@@ -1,0 +1,89 @@
+//! Criterion wrappers running miniature versions of each figure's
+//! experiment, so `cargo bench` exercises every harness path. The full
+//! tables come from the `fig*`/`tables` binaries (see the crate docs).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use phloem_benchsuite::fig14::{run_bfs_replicated, RepVariant};
+use phloem_benchsuite::taco::{self, TacoApp};
+use phloem_benchsuite::{bfs, cc, Variant};
+use phloem_compiler::PassConfig;
+use phloem_workloads::{graph, matrix};
+use pipette_sim::MachineConfig;
+
+fn fig6_mini(c: &mut Criterion) {
+    let g = graph::road_network(40, 5);
+    let cfg = MachineConfig::paper_1core();
+    let loads = bfs::kernel_loads();
+    let cuts = vec![loads[2], loads[4], loads[5]];
+    c.bench_function("fig6_bfs_ablation_mini", |b| {
+        b.iter(|| {
+            for passes in [PassConfig::queues_only(), PassConfig::all()] {
+                let v = Variant::Phloem {
+                    passes,
+                    stages: 4,
+                    cuts: cuts.clone(),
+                };
+                bfs::run(&v, &g, 0, &cfg, "mini");
+            }
+        })
+    });
+}
+
+fn fig9_mini(c: &mut Criterion) {
+    let g = graph::collaboration(80, 3);
+    let cfg = MachineConfig::paper_1core();
+    c.bench_function("fig9_bfs_variants_mini", |b| {
+        b.iter(|| {
+            for v in [Variant::Serial, Variant::phloem(), Variant::Manual] {
+                bfs::run(&v, &g, 0, &cfg, "mini");
+            }
+        })
+    });
+    c.bench_function("fig9_cc_variants_mini", |b| {
+        b.iter(|| {
+            for v in [Variant::Serial, Variant::phloem()] {
+                cc::run(&v, &g, &cfg, "mini");
+            }
+        })
+    });
+}
+
+fn fig12_mini(c: &mut Criterion) {
+    let a = matrix::random_square(120, 5.0, 9);
+    let cfg = MachineConfig::paper_1core();
+    c.bench_function("fig12_spmv_mini", |b| {
+        b.iter(|| {
+            for v in [Variant::Serial, Variant::phloem()] {
+                taco::run(TacoApp::Spmv, &v, &a, &cfg, "mini");
+            }
+        })
+    });
+}
+
+fn fig13_mini(c: &mut Criterion) {
+    let kernel = bfs::kernel();
+    c.bench_function("fig13_enumerate_and_check", |b| {
+        b.iter(|| {
+            phloem_compiler::search::enumerate_pipelines(
+                &kernel,
+                &phloem_compiler::search::SearchOptions::default(),
+            )
+            .len()
+        })
+    });
+}
+
+fn fig14_mini(c: &mut Criterion) {
+    let g = graph::mesh(12, 2);
+    let cfg = MachineConfig::paper_multicore(4);
+    c.bench_function("fig14_replicated_bfs_mini", |b| {
+        b.iter(|| run_bfs_replicated(RepVariant::Phloem, &g, 0, &cfg, "mini"))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = fig6_mini, fig9_mini, fig12_mini, fig13_mini, fig14_mini
+}
+criterion_main!(benches);

@@ -1,0 +1,73 @@
+//! Criterion microbenchmarks for the substrate components: compiler
+//! throughput, simulator speed, interpreter speed, generators.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use phloem_benchsuite::bfs;
+use phloem_compiler::{compile_static, CompileOptions};
+use phloem_ir::{interp, Value};
+use phloem_workloads::graph;
+use pipette_sim::{Machine, MachineConfig};
+
+fn bench_compiler(c: &mut Criterion) {
+    let kernel = bfs::kernel();
+    c.bench_function("compile_static_bfs_4stage", |b| {
+        b.iter(|| compile_static(&kernel, 4, &CompileOptions::default()).unwrap())
+    });
+    c.bench_function("enumerate_pipelines_bfs", |b| {
+        b.iter(|| {
+            phloem_compiler::search::enumerate_pipelines(
+                &kernel,
+                &phloem_compiler::search::SearchOptions::default(),
+            )
+        })
+    });
+}
+
+fn bench_simulator(c: &mut Criterion) {
+    let g = graph::power_law(800, 3, 7);
+    let kernel = bfs::kernel();
+    let pipe = compile_static(&kernel, 4, &CompileOptions::default()).unwrap();
+    let serial = {
+        let mut p = phloem_ir::Pipeline::new("serial");
+        p.add_stage(phloem_ir::StageProgram::plain(kernel.clone()), 0);
+        p
+    };
+    let cfg = MachineConfig::paper_1core();
+    c.bench_function("simulate_bfs_round_serial", |b| {
+        b.iter(|| {
+            let (mut mem, arrays) = bfs::build_mem(&g, 0, 1);
+            mem.store(arrays.fringe_len, 0, Value::I64(1)).unwrap();
+            Machine::run_once(&cfg, &serial, mem, &[("cur_dist", Value::I64(1))]).unwrap()
+        })
+    });
+    c.bench_function("simulate_bfs_round_pipelined", |b| {
+        b.iter(|| {
+            let (mut mem, arrays) = bfs::build_mem(&g, 0, 1);
+            mem.store(arrays.fringe_len, 0, Value::I64(1)).unwrap();
+            Machine::run_once(&cfg, &pipe, mem, &[("cur_dist", Value::I64(1))]).unwrap()
+        })
+    });
+    c.bench_function("functional_interp_bfs_round", |b| {
+        b.iter(|| {
+            let (mut mem, arrays) = bfs::build_mem(&g, 0, 1);
+            mem.store(arrays.fringe_len, 0, Value::I64(1)).unwrap();
+            interp::run_serial(&kernel, mem, &[("cur_dist", Value::I64(1))]).unwrap()
+        })
+    });
+}
+
+fn bench_workloads(c: &mut Criterion) {
+    c.bench_function("generate_road_network_10k", |b| {
+        b.iter(|| graph::road_network(100, 42))
+    });
+    c.bench_function("generate_power_law_10k", |b| {
+        b.iter(|| graph::power_law(10_000, 6, 42))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_compiler, bench_simulator, bench_workloads
+}
+criterion_main!(benches);

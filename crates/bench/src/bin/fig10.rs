@@ -1,0 +1,60 @@
+//! Fig. 10: breakdown of core cycles (issue / backend stalls / queue
+//! stalls / other), normalized to the serial baseline, per benchmark.
+//!
+//! Paper shape: pipelined versions trade backend (memory) stalls for
+//! queue stalls; Phloem's BFS runs slightly fewer instructions and
+//! blocks less than manual; CC and PRD show more memory stalls than
+//! their manual versions.
+
+use phloem_bench::{fig9_matrix, header, machine};
+use phloem_benchsuite::gmean;
+
+fn main() {
+    header("Fig. 10: cycle breakdown normalized to serial");
+    let cfg = machine();
+    let matrix = fig9_matrix(false);
+    println!(
+        "{:<8}{:<16}{:>10}{:>10}{:>10}{:>10}{:>12}",
+        "app", "variant", "issue", "backend", "queue", "other", "total(norm)"
+    );
+    for (app, per_input) in &matrix {
+        // Serial totals per input normalize each variant's breakdown.
+        let serial_tot: Vec<f64> = per_input
+            .iter()
+            .map(|ms| ms[0].stats.cycle_breakdown(cfg.issue_width).total())
+            .collect();
+        let nvars = per_input[0].len();
+        for k in 0..nvars {
+            let mut issue = Vec::new();
+            let mut backend = Vec::new();
+            let mut queue = Vec::new();
+            let mut other = Vec::new();
+            for (ms, st) in per_input.iter().zip(&serial_tot) {
+                let b = ms[k].stats.cycle_breakdown(cfg.issue_width);
+                issue.push(b.issue / st);
+                backend.push(b.backend / st);
+                queue.push(b.queue / st);
+                other.push(b.other / st);
+            }
+            let (i, b, q, o) = (
+                gmean(issue.iter().map(|v| v.max(1e-9))),
+                gmean(backend.iter().map(|v| v.max(1e-9))),
+                gmean(queue.iter().map(|v| v.max(1e-9))),
+                gmean(other.iter().map(|v| v.max(1e-9))),
+            );
+            println!(
+                "{:<8}{:<16}{:>10.3}{:>10.3}{:>10.3}{:>10.3}{:>12.3}",
+                app,
+                per_input[0][k].variant.split('[').next().unwrap_or(""),
+                i,
+                b,
+                q,
+                o,
+                i + b + q + o
+            );
+        }
+        println!();
+    }
+    println!("paper: decoupled versions convert backend stalls into (smaller)");
+    println!("       queue stalls; S/D/P/M legend maps to the variants above.");
+}

@@ -1,0 +1,45 @@
+//! Fig. 12: Taco benchmark speedups over Taco's serial output, for the
+//! data-parallel version and Phloem's *static* compilation flow (the
+//! paper uses static mode for the Taco benchmarks; there are no manual
+//! pipelines here).
+//!
+//! Paper shape: MTMul, Residual, SpMV gain ~1.5x from Phloem while
+//! data-parallel barely helps; SDDMM is the opposite (regular dense
+//! inner loop — conventional architectures already handle it well).
+
+use phloem_bench::{header, machine, print_speedups, scale, SpeedupRow};
+use phloem_benchsuite::taco::{self, TacoApp};
+use phloem_benchsuite::Variant;
+use phloem_workloads::taco_test_matrices;
+
+fn main() {
+    header("Fig. 12: Taco kernels, speedup over serial (gmean across inputs)");
+    let cfg = machine();
+    let inputs = taco_test_matrices(scale());
+    let variants = [
+        Variant::Serial,
+        Variant::DataParallel(cfg.smt_threads),
+        Variant::phloem(),
+    ];
+    let mut rows = Vec::new();
+    for app in TacoApp::all() {
+        eprintln!("[fig12] {}...", app.name());
+        let mut per_input = Vec::new();
+        for mi in &inputs {
+            eprintln!("[fig12]   {}", mi.name);
+            let ms: Vec<_> = variants
+                .iter()
+                .map(|v| taco::run(app, v, &mi.matrix, &cfg, mi.name))
+                .collect();
+            per_input.push(ms);
+        }
+        rows.push(SpeedupRow {
+            label: app.name().to_string(),
+            values: phloem_bench::speedups_vs_serial(&per_input),
+        });
+    }
+    print_speedups(&["data-parallel", "phloem-static"], &rows);
+    println!();
+    println!("paper: MTMul/Residual/SpMV ~1.5x for Phloem with flat data-parallel;");
+    println!("       SDDMM ~1x for Phloem while data-parallel gains instead.");
+}

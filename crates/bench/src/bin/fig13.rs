@@ -1,0 +1,79 @@
+//! Fig. 13: distribution of gmean training-input speedups of all
+//! candidate pipelines, bucketed by pipeline length (stages *including*
+//! reference accelerators), for select benchmarks.
+//!
+//! Paper shape: mid-length pipelines win (e.g. BFS's best 4-stage beats
+//! its 8-stage); forcing particular lengths can hit bad minima; SpMM
+//! degrades as stages are added.
+
+use phloem_bench::{
+    graph_app_kernel, header, machine, pgo_search, train_graph_cycles, train_spmm_cycles,
+};
+use phloem_benchsuite::Variant;
+use phloem_compiler::PassConfig;
+
+fn bucket_print(name: &str, points: &[(usize, f64)]) {
+    println!("{name}:");
+    let max_stage = points.iter().map(|(s, _)| *s).max().unwrap_or(0);
+    for s in 1..=max_stage {
+        let vals: Vec<f64> = points
+            .iter()
+            .filter(|(st, _)| *st == s)
+            .map(|(_, v)| *v)
+            .collect();
+        if vals.is_empty() {
+            println!("  {s:>2} stages:  x (no pipeline of this length profiled)");
+            continue;
+        }
+        let min = vals.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = vals.iter().cloned().fold(0.0, f64::max);
+        let best = max;
+        println!(
+            "  {s:>2} stages:  n={:<3} min {min:>5.2}x  max {max:>5.2}x  best {best:>5.2}x",
+            vals.len()
+        );
+    }
+}
+
+fn main() {
+    header("Fig. 13: training speedup vs. pipeline length (PGO search)");
+    let cfg = machine();
+    for app in ["BFS", "CC", "Radii"] {
+        eprintln!("[fig13] {app}...");
+        let kernel = graph_app_kernel(app);
+        let serial =
+            train_graph_cycles(app, &Variant::Serial, &cfg).expect("serial training");
+        let pgo = pgo_search(&kernel, serial, |cuts| {
+            train_graph_cycles(
+                app,
+                &Variant::Phloem {
+                    passes: PassConfig::all(),
+                    stages: 4,
+                    cuts: cuts.to_vec(),
+                },
+                &cfg,
+            )
+        });
+        bucket_print(app, &pgo.points);
+        println!("  ({} candidate pipelines profiled)", pgo.points.len());
+    }
+    // SpMM.
+    eprintln!("[fig13] SpMM...");
+    let kernel = phloem_benchsuite::spmm::kernel();
+    let serial = train_spmm_cycles(&Variant::Serial, &cfg).expect("serial SpMM training");
+    let pgo = pgo_search(&kernel, serial, |cuts| {
+        train_spmm_cycles(
+            &Variant::Phloem {
+                passes: PassConfig::all(),
+                stages: 4,
+                cuts: cuts.to_vec(),
+            },
+            &cfg,
+        )
+    });
+    bucket_print("SpMM", &pgo.points);
+    println!("  ({} candidate pipelines profiled)", pgo.points.len());
+    println!();
+    println!("paper: too many stages add communication that limits performance;");
+    println!("       SpMM monotonically degrades with stage count.");
+}

@@ -1,0 +1,66 @@
+//! Fig. 14: BFS, CC, PageRank-Delta, and Radii replicated over 4 cores
+//! x 4 SMT threads, compared to a single-core single-thread serial run,
+//! a 16-thread data-parallel version, and the manually replicated
+//! pipelines.
+//!
+//! Paper shape: manual BFS/CC reach ~12x/~7x, Phloem ~10x/~4x — both
+//! beat data-parallel; Phloem's replicated Radii (2 stages x 8) beats
+//! both; PRD beats data-parallel but reaches about half of manual
+//! (whose merged stages allow a second level of update replication).
+
+use phloem_bench::{header, machine, machine4, print_speedups, scale, SpeedupRow};
+use phloem_benchsuite::fig14::{
+    run_bfs_replicated, run_cc_replicated, run_prd_replicated, run_radii_replicated, RepVariant,
+};
+use phloem_benchsuite::{bfs, cc, prd, radii, Variant};
+use phloem_workloads::test_graphs;
+
+fn main() {
+    header("Fig. 14: replicated pipelines on 4 cores x 4 threads");
+    let cfg1 = machine();
+    let cfg4 = machine4();
+    let dp16 = Variant::DataParallel(16);
+    let graphs = test_graphs(scale());
+    let mut rows = Vec::new();
+    for app in ["BFS", "CC", "PRD", "Radii"] {
+        eprintln!("[fig14] {app}...");
+        let mut per_input = Vec::new();
+        for gi in &graphs {
+            eprintln!("[fig14]   {}", gi.name);
+            let g = &gi.graph;
+            let serial = match app {
+                "BFS" => bfs::run(&Variant::Serial, g, 0, &cfg1, gi.name),
+                "CC" => cc::run(&Variant::Serial, g, &cfg1, gi.name),
+                "PRD" => prd::run(&Variant::Serial, g, &cfg1, gi.name),
+                _ => radii::run(&Variant::Serial, g, &cfg1, gi.name),
+            };
+            let dp = match app {
+                "BFS" => bfs::run(&dp16, g, 0, &cfg4, gi.name),
+                "CC" => cc::run(&dp16, g, &cfg4, gi.name),
+                "PRD" => prd::run(&dp16, g, &cfg4, gi.name),
+                _ => radii::run(&dp16, g, &cfg4, gi.name),
+            };
+            let phl = match app {
+                "BFS" => run_bfs_replicated(RepVariant::Phloem, g, 0, &cfg4, gi.name),
+                "CC" => run_cc_replicated(RepVariant::Phloem, g, &cfg4, gi.name),
+                "PRD" => run_prd_replicated(RepVariant::Phloem, g, &cfg4, gi.name),
+                _ => run_radii_replicated(RepVariant::Phloem, g, &cfg4, gi.name),
+            };
+            let man = match app {
+                "BFS" => run_bfs_replicated(RepVariant::Manual, g, 0, &cfg4, gi.name),
+                "CC" => run_cc_replicated(RepVariant::Manual, g, &cfg4, gi.name),
+                "PRD" => run_prd_replicated(RepVariant::Manual, g, &cfg4, gi.name),
+                _ => run_radii_replicated(RepVariant::Manual, g, &cfg4, gi.name),
+            };
+            per_input.push(vec![serial, dp, phl, man]);
+        }
+        rows.push(SpeedupRow {
+            label: app.to_string(),
+            values: phloem_bench::speedups_vs_serial(&per_input),
+        });
+    }
+    print_speedups(&["data-parallel(16)", "phloem-repl", "manual-repl"], &rows);
+    println!();
+    println!("paper: manual BFS/CC ~12x/~7x vs Phloem ~10x/~4x (both > data-parallel);");
+    println!("       Phloem Radii (2 stages x 8 replicas) beats manual; PRD ~half of manual.");
+}

@@ -1,0 +1,31 @@
+//! Fig. 9: per-benchmark speedup over the serial baseline for the
+//! data-parallel, Phloem (static and profile-guided), and manually
+//! pipelined versions, gmean'd across the test inputs.
+//!
+//! Paper shape: Phloem ~1.7x gmean over serial and ~85% of manual;
+//! Phloem beats data-parallel almost everywhere; BFS and Radii *exceed*
+//! manual; SpMM is the negative result (~1x, manual's bespoke
+//! merge-skip wins).
+
+use phloem_bench::{fig9_matrix, header, pgo_enabled, print_speedups, SpeedupRow};
+
+fn main() {
+    let with_pgo = pgo_enabled();
+    header("Fig. 9: speedup over serial (gmean across test inputs)");
+    let matrix = fig9_matrix(with_pgo);
+    let mut cols = vec!["data-parallel", "phloem-static", "manual"];
+    if with_pgo {
+        cols.push("phloem-pgo");
+    }
+    let rows: Vec<SpeedupRow> = matrix
+        .iter()
+        .map(|(app, per_input)| SpeedupRow {
+            label: app.clone(),
+            values: phloem_bench::speedups_vs_serial(per_input),
+        })
+        .collect();
+    print_speedups(&cols, &rows);
+    println!();
+    println!("paper: Phloem gmean 1.7x; 85% of manual; BFS/Radii beat manual;");
+    println!("       SpMM ~1x (bespoke manual merge-skip unavailable to Phloem).");
+}

@@ -1,0 +1,317 @@
+//! # phloem-bench
+//!
+//! Experiment harnesses that regenerate every table and figure of the
+//! Phloem paper's evaluation (Sec. VI-VII). One binary per artifact:
+//!
+//! | Binary   | Artifact | Contents |
+//! |----------|----------|----------|
+//! | `tables` | Tables I, III, IV, V | Pipette ISA, machine config, input catalogs |
+//! | `fig6`   | Fig. 6  | BFS pass ablation on a road network |
+//! | `fig9`   | Fig. 9  | Per-benchmark speedups (serial / data-parallel / Phloem static+PGO / manual) |
+//! | `fig10`  | Fig. 10 | Cycle breakdowns normalized to serial |
+//! | `fig11`  | Fig. 11 | Energy breakdowns normalized to serial |
+//! | `fig12`  | Fig. 12 | Taco benchmark speedups |
+//! | `fig13`  | Fig. 13 | Speedup distribution vs. pipeline length (PGO search) |
+//! | `fig14`  | Fig. 14 | Replicated pipelines on 4 cores x 4 threads |
+//!
+//! Set `SCALE=tiny|small|full` to trade fidelity for runtime (default
+//! `small`); set `PGO=0` to skip the profile-guided search in `fig9`.
+//! Absolute cycle counts come from our simulator, not the authors'
+//! testbed: compare *shapes* (who wins, by roughly what factor), which
+//! each harness prints alongside the paper's reported numbers.
+
+#![warn(missing_docs)]
+
+use phloem_benchsuite::{gmean, Measurement, Variant};
+use phloem_workloads::Scale;
+use pipette_sim::MachineConfig;
+
+/// Reads the experiment scale from `SCALE` (default: small).
+pub fn scale() -> Scale {
+    match std::env::var("SCALE").as_deref() {
+        Ok("tiny") => Scale::Tiny,
+        Ok("full") => Scale::Full,
+        _ => Scale::Small,
+    }
+}
+
+/// True unless `PGO=0`.
+pub fn pgo_enabled() -> bool {
+    std::env::var("PGO").as_deref() != Ok("0")
+}
+
+/// The Table III single-core machine.
+pub fn machine() -> MachineConfig {
+    MachineConfig::paper_1core()
+}
+
+/// The Fig. 14 4-core machine.
+pub fn machine4() -> MachineConfig {
+    MachineConfig::paper_multicore(4)
+}
+
+/// Prints a section header.
+pub fn header(title: &str) {
+    println!();
+    println!("== {title} ==");
+}
+
+/// One row of a speedup table.
+#[derive(Clone, Debug)]
+pub struct SpeedupRow {
+    /// Row label (benchmark or variant).
+    pub label: String,
+    /// Speedups, one per column.
+    pub values: Vec<f64>,
+}
+
+/// Prints a speedup table with aligned columns.
+pub fn print_speedups(cols: &[&str], rows: &[SpeedupRow]) {
+    print!("{:<12}", "");
+    for c in cols {
+        print!("{c:>16}");
+    }
+    println!();
+    for r in rows {
+        print!("{:<12}", r.label);
+        for v in &r.values {
+            print!("{:>15.2}x", v);
+        }
+        println!();
+    }
+    if rows.len() > 1 {
+        print!("{:<12}", "gmean");
+        for k in 0..cols.len() {
+            let g = gmean(rows.iter().map(|r| r.values[k]));
+            print!("{:>15.2}x", g);
+        }
+        println!();
+    }
+}
+
+/// The standard Fig. 9 variant set (PGO cuts are decided separately).
+pub fn fig9_variants(threads: usize) -> Vec<Variant> {
+    vec![
+        Variant::Serial,
+        Variant::DataParallel(threads),
+        Variant::phloem(),
+        Variant::Manual,
+    ]
+}
+
+/// Computes speedup-vs-serial columns from grouped measurements
+/// (variant rows per input), gmean'd across inputs.
+pub fn speedups_vs_serial(per_input: &[Vec<Measurement>]) -> Vec<f64> {
+    let nvars = per_input[0].len();
+    (1..nvars)
+        .map(|k| {
+            gmean(
+                per_input
+                    .iter()
+                    .map(|ms| ms[0].cycles as f64 / ms[k].cycles.max(1) as f64),
+            )
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn speedup_math() {
+        let mk = |cycles: u64| Measurement {
+            variant: "v".into(),
+            input: "i".into(),
+            cycles,
+            stats: Default::default(),
+        };
+        let per_input = vec![vec![mk(100), mk(50)], vec![mk(200), mk(50)]];
+        let s = speedups_vs_serial(&per_input);
+        assert!((s[0] - (2.0f64 * 4.0).sqrt()).abs() < 1e-9);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Shared experiment drivers (fig9 / fig10 / fig11 / fig13 reuse these)
+// ---------------------------------------------------------------------
+
+use phloem_compiler::search::{enumerate_pipelines, SearchOptions};
+use phloem_ir::LoadId;
+use phloem_workloads::{spmm_test_matrices, spmm_training_matrices, test_graphs, training_graphs};
+
+/// The graph applications of the C-path evaluation.
+pub const GRAPH_APPS: [&str; 4] = ["BFS", "CC", "PRD", "Radii"];
+
+/// Runs one graph app variant on one input; panics bubble up (results
+/// are always verified against the oracle inside).
+pub fn run_graph_app(
+    app: &str,
+    v: &Variant,
+    g: &phloem_workloads::Graph,
+    cfg: &MachineConfig,
+    input: &str,
+) -> Measurement {
+    match app {
+        "BFS" => phloem_benchsuite::bfs::run(v, g, 0, cfg, input),
+        "CC" => phloem_benchsuite::cc::run(v, g, cfg, input),
+        "PRD" => phloem_benchsuite::prd::run(v, g, cfg, input),
+        "Radii" => phloem_benchsuite::radii::run(v, g, cfg, input),
+        other => panic!("unknown app {other}"),
+    }
+}
+
+/// The serial kernel of a graph app (for PGO enumeration).
+pub fn graph_app_kernel(app: &str) -> phloem_ir::Function {
+    match app {
+        "BFS" => phloem_benchsuite::bfs::kernel(),
+        "CC" => phloem_benchsuite::cc::kernel(),
+        "PRD" => phloem_benchsuite::prd::scatter_kernel(),
+        "Radii" => phloem_benchsuite::radii::kernel(),
+        other => panic!("unknown app {other}"),
+    }
+}
+
+/// Outcome of the profile-guided search for one benchmark.
+pub struct PgoOutcome {
+    /// Cuts of the best-profiling pipeline.
+    pub best_cuts: Vec<LoadId>,
+    /// `(total stages incl. RAs, gmean training speedup)` per candidate.
+    pub points: Vec<(usize, f64)>,
+}
+
+/// Enumerates candidate pipelines for `kernel` and profiles each with
+/// `run_cuts` (gmean training cycles; `None` on failure). The serial
+/// training cycles normalize the Fig. 13 speedups.
+pub fn pgo_search(
+    kernel: &phloem_ir::Function,
+    serial_train_cycles: f64,
+    run_cuts: impl Fn(&[LoadId]) -> Option<f64>,
+) -> PgoOutcome {
+    let opts = SearchOptions::default();
+    let cands = enumerate_pipelines(kernel, &opts);
+    let mut points = Vec::new();
+    let mut best: Option<(Vec<LoadId>, f64)> = None;
+    for (cuts, pipe) in &cands {
+        let cycles = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            run_cuts(cuts)
+        }))
+        .ok()
+        .flatten();
+        if let Some(c) = cycles {
+            points.push((pipe.total_stages(), serial_train_cycles / c));
+            if best.as_ref().map(|(_, b)| c < *b).unwrap_or(true) {
+                best = Some((cuts.clone(), c));
+            }
+        }
+    }
+    let best_cuts = best.map(|(c, _)| c).unwrap_or_default();
+    PgoOutcome { best_cuts, points }
+}
+
+/// Gmean cycles of a graph-app variant over the training graphs.
+pub fn train_graph_cycles(app: &str, v: &Variant, cfg: &MachineConfig) -> Option<f64> {
+    let mut vals = Vec::new();
+    for gi in training_graphs(scale()) {
+        let m = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            run_graph_app(app, v, &gi.graph, cfg, gi.name)
+        }))
+        .ok()?;
+        vals.push(m.cycles as f64);
+    }
+    Some(gmean(vals))
+}
+
+/// Gmean cycles of a SpMM variant over the training matrices.
+pub fn train_spmm_cycles(v: &Variant, cfg: &MachineConfig) -> Option<f64> {
+    let mut vals = Vec::new();
+    let inputs = spmm_training_matrices(scale());
+    for mi in &inputs {
+        let bt = mi.matrix.transpose();
+        let m = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            phloem_benchsuite::spmm::run(v, &mi.matrix, &bt, cfg, mi.name)
+        }))
+        .ok()?;
+        vals.push(m.cycles as f64);
+    }
+    Some(gmean(vals))
+}
+
+/// The complete Fig. 9/10/11 measurement matrix:
+/// `(app, per-input rows of [serial, data-parallel, phloem, manual,
+/// phloem-pgo?])`. PGO adds a fifth column when enabled.
+pub fn fig9_matrix(with_pgo: bool) -> Vec<(String, Vec<Vec<Measurement>>)> {
+    let cfg = machine();
+    let graphs = test_graphs(scale());
+    let mut out = Vec::new();
+    for app in GRAPH_APPS {
+        eprintln!("[fig9] {app}...");
+        let mut variants = fig9_variants(cfg.smt_threads);
+        if with_pgo {
+            let kernel = graph_app_kernel(app);
+            let serial = train_graph_cycles(app, &Variant::Serial, &cfg)
+                .expect("serial training run");
+            let pgo = pgo_search(&kernel, serial, |cuts| {
+                train_graph_cycles(
+                    app,
+                    &Variant::Phloem {
+                        passes: phloem_compiler::PassConfig::all(),
+                        stages: 4,
+                        cuts: cuts.to_vec(),
+                    },
+                    &cfg,
+                )
+            });
+            variants.push(Variant::Phloem {
+                passes: phloem_compiler::PassConfig::all(),
+                stages: 4,
+                cuts: pgo.best_cuts,
+            });
+        }
+        let mut rows = Vec::new();
+        for gi in &graphs {
+            eprintln!("[fig9]   {} ({} edges)", gi.name, gi.graph.num_edges());
+            let ms: Vec<Measurement> = variants
+                .iter()
+                .map(|v| run_graph_app(app, v, &gi.graph, &cfg, gi.name))
+                .collect();
+            rows.push(ms);
+        }
+        out.push((app.to_string(), rows));
+    }
+    // SpMM.
+    eprintln!("[fig9] SpMM...");
+    let mut variants = fig9_variants(cfg.smt_threads);
+    if with_pgo {
+        let kernel = phloem_benchsuite::spmm::kernel();
+        let serial =
+            train_spmm_cycles(&Variant::Serial, &cfg).expect("serial SpMM training");
+        let pgo = pgo_search(&kernel, serial, |cuts| {
+            train_spmm_cycles(
+                &Variant::Phloem {
+                    passes: phloem_compiler::PassConfig::all(),
+                    stages: 4,
+                    cuts: cuts.to_vec(),
+                },
+                &cfg,
+            )
+        });
+        variants.push(Variant::Phloem {
+            passes: phloem_compiler::PassConfig::all(),
+            stages: 4,
+            cuts: pgo.best_cuts,
+        });
+    }
+    let mut rows = Vec::new();
+    for mi in spmm_test_matrices(scale()) {
+        eprintln!("[fig9]   {} ({} nnz)", mi.name, mi.matrix.nnz());
+        let bt = mi.matrix.transpose();
+        let ms: Vec<Measurement> = variants
+            .iter()
+            .map(|v| phloem_benchsuite::spmm::run(v, &mi.matrix, &bt, &cfg, mi.name))
+            .collect();
+        rows.push(ms);
+    }
+    out.push(("SpMM".to_string(), rows));
+    out
+}

@@ -1,0 +1,18 @@
+//! # phloem-benchsuite
+//!
+//! The Phloem (HPCA 2023) evaluation applications, each in the four
+//! variants of Fig. 9: serial, data-parallel, Phloem-compiled, and
+//! manually pipelined.
+
+#![warn(missing_docs)]
+
+pub mod bfs;
+pub mod cc;
+pub mod fig14;
+pub mod prd;
+pub mod radii;
+pub mod spmm;
+pub mod taco;
+pub mod runner;
+
+pub use runner::{gmean, Measurement, Variant};

@@ -1,0 +1,122 @@
+//! Shared benchmark-runner infrastructure: variants, measurements, and
+//! helpers used by every application module and the figure harnesses.
+
+use phloem_compiler::PassConfig;
+use phloem_ir::{Function, Pipeline, StageProgram};
+use pipette_sim::RunStats;
+use serde::{Deserialize, Serialize};
+
+/// Which program variant to run (the four bars of Fig. 9).
+#[derive(Clone, Debug, PartialEq)]
+pub enum Variant {
+    /// The original serial code on one thread.
+    Serial,
+    /// A competitive data-parallel implementation on `usize` threads.
+    DataParallel(usize),
+    /// Phloem-generated pipeline with the given passes; `stages` caps the
+    /// compute-stage count (cost-model cuts) unless `cuts` pins them.
+    Phloem {
+        /// Pass ablation switches.
+        passes: PassConfig,
+        /// Requested stage count for the static cost model.
+        stages: usize,
+        /// Explicit cut loads (PGO mode); empty = static mode.
+        cuts: Vec<phloem_ir::LoadId>,
+    },
+    /// The hand-optimized Pipette pipeline.
+    Manual,
+}
+
+impl Variant {
+    /// Default Phloem variant: all passes, 4-stage static compilation.
+    pub fn phloem() -> Variant {
+        Variant::Phloem {
+            passes: PassConfig::all(),
+            stages: 4,
+            cuts: Vec::new(),
+        }
+    }
+
+    /// Short label for tables.
+    pub fn label(&self) -> String {
+        match self {
+            Variant::Serial => "serial".into(),
+            Variant::DataParallel(t) => format!("data-parallel({t})"),
+            Variant::Phloem { passes, cuts, .. } => {
+                if cuts.is_empty() {
+                    format!("phloem[{}]", passes.label())
+                } else {
+                    format!("phloem[{};{} cuts]", passes.label(), cuts.len())
+                }
+            }
+            Variant::Manual => "manual".into(),
+        }
+    }
+}
+
+/// One measured run.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Measurement {
+    /// Variant label.
+    pub variant: String,
+    /// Input name.
+    pub input: String,
+    /// Total simulated cycles.
+    pub cycles: u64,
+    /// Full statistics (cycle breakdown, energy, cache counters).
+    pub stats: RunStats,
+}
+
+impl Measurement {
+    /// Speedup of this measurement relative to a baseline cycle count.
+    pub fn speedup_over(&self, baseline_cycles: u64) -> f64 {
+        baseline_cycles as f64 / self.cycles.max(1) as f64
+    }
+}
+
+/// Geometric mean of an iterator of positive values.
+pub fn gmean(vals: impl IntoIterator<Item = f64>) -> f64 {
+    let mut sum = 0.0;
+    let mut n = 0usize;
+    for v in vals {
+        sum += v.max(1e-12).ln();
+        n += 1;
+    }
+    if n == 0 {
+        return 1.0;
+    }
+    (sum / n as f64).exp()
+}
+
+/// Wraps a serial function as a one-stage pipeline.
+pub fn serial_pipeline(func: Function) -> Pipeline {
+    let mut p = Pipeline::new(format!("{}-serial", func.name));
+    p.add_stage(StageProgram::plain(func), 0);
+    p
+}
+
+/// Places `funcs` as independent data-parallel stages, `smt` per core.
+pub fn data_parallel_pipeline(funcs: Vec<Function>, smt: usize) -> Pipeline {
+    let mut p = Pipeline::new("data-parallel");
+    for (i, f) in funcs.into_iter().enumerate() {
+        p.add_stage(StageProgram::plain(f), i / smt);
+    }
+    p
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gmean_basics() {
+        assert!((gmean([2.0, 8.0]) - 4.0).abs() < 1e-9);
+        assert_eq!(gmean(Vec::<f64>::new()), 1.0);
+    }
+
+    #[test]
+    fn labels_are_distinct() {
+        assert_ne!(Variant::Serial.label(), Variant::Manual.label());
+        assert!(Variant::phloem().label().contains("phloem"));
+    }
+}

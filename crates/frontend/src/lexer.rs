@@ -1,0 +1,211 @@
+//! Lexer for PhloemC (a C subset; see the crate docs).
+
+use std::fmt;
+
+/// A token with its source line (for diagnostics).
+#[derive(Clone, Debug, PartialEq)]
+pub struct Token {
+    /// Kind and payload.
+    pub kind: Tok,
+    /// 1-based source line.
+    pub line: usize,
+}
+
+/// Token kinds.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Tok {
+    /// Identifier or keyword.
+    Ident(String),
+    /// Integer literal.
+    Int(i64),
+    /// Float literal.
+    Float(f64),
+    /// A `#pragma <rest of line>` directive.
+    Pragma(String),
+    /// Punctuation / operator.
+    Punct(&'static str),
+}
+
+/// Lexing error.
+#[derive(Clone, Debug, PartialEq)]
+pub struct LexError {
+    /// Message.
+    pub msg: String,
+    /// 1-based source line.
+    pub line: usize,
+}
+
+impl fmt::Display for LexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.msg)
+    }
+}
+
+impl std::error::Error for LexError {}
+
+const PUNCTS: &[&str] = &[
+    "<<=", ">>=", "==", "!=", "<=", ">=", "&&", "||", "<<", ">>", "++", "--", "+=", "-=", "*=",
+    "/=", "|=", "&=", "^=", "->", "(", ")", "{", "}", "[", "]", ";", ",", "=", "<", ">", "+",
+    "-", "*", "/", "%", "!", "&", "|", "^", "~",
+];
+
+/// Tokenizes PhloemC source.
+///
+/// # Errors
+/// Returns a [`LexError`] on unknown characters or malformed numbers.
+pub fn lex(src: &str) -> Result<Vec<Token>, LexError> {
+    let mut out = Vec::new();
+    let bytes: Vec<char> = src.chars().collect();
+    let mut i = 0;
+    let mut line = 1;
+    while i < bytes.len() {
+        let c = bytes[i];
+        if c == '\n' {
+            line += 1;
+            i += 1;
+            continue;
+        }
+        if c.is_whitespace() {
+            i += 1;
+            continue;
+        }
+        // Comments.
+        if c == '/' && i + 1 < bytes.len() && bytes[i + 1] == '/' {
+            while i < bytes.len() && bytes[i] != '\n' {
+                i += 1;
+            }
+            continue;
+        }
+        if c == '/' && i + 1 < bytes.len() && bytes[i + 1] == '*' {
+            i += 2;
+            while i + 1 < bytes.len() && !(bytes[i] == '*' && bytes[i + 1] == '/') {
+                if bytes[i] == '\n' {
+                    line += 1;
+                }
+                i += 1;
+            }
+            i = (i + 2).min(bytes.len());
+            continue;
+        }
+        // Pragmas (line-based).
+        if c == '#' {
+            let start = i;
+            while i < bytes.len() && bytes[i] != '\n' {
+                i += 1;
+            }
+            let text: String = bytes[start..i].iter().collect();
+            let rest = text
+                .trim_start_matches('#')
+                .trim_start()
+                .strip_prefix("pragma")
+                .map(|r| r.trim().to_string())
+                .ok_or(LexError {
+                    msg: format!("unsupported directive `{text}`"),
+                    line,
+                })?;
+            out.push(Token {
+                kind: Tok::Pragma(rest),
+                line,
+            });
+            continue;
+        }
+        // Identifiers / keywords.
+        if c.is_ascii_alphabetic() || c == '_' {
+            let start = i;
+            while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == '_') {
+                i += 1;
+            }
+            out.push(Token {
+                kind: Tok::Ident(bytes[start..i].iter().collect()),
+                line,
+            });
+            continue;
+        }
+        // Numbers.
+        if c.is_ascii_digit() {
+            let start = i;
+            let mut is_float = false;
+            while i < bytes.len()
+                && (bytes[i].is_ascii_digit()
+                    || bytes[i] == '.'
+                    || bytes[i] == 'e'
+                    || bytes[i] == 'E'
+                    || (is_float && (bytes[i] == '+' || bytes[i] == '-')
+                        && matches!(bytes[i - 1], 'e' | 'E')))
+            {
+                if bytes[i] == '.' || bytes[i] == 'e' || bytes[i] == 'E' {
+                    is_float = true;
+                }
+                i += 1;
+            }
+            let text: String = bytes[start..i].iter().collect();
+            let kind = if is_float {
+                Tok::Float(text.parse().map_err(|_| LexError {
+                    msg: format!("bad float `{text}`"),
+                    line,
+                })?)
+            } else {
+                Tok::Int(text.parse().map_err(|_| LexError {
+                    msg: format!("bad integer `{text}`"),
+                    line,
+                })?)
+            };
+            out.push(Token { kind, line });
+            continue;
+        }
+        // Punctuation (longest match).
+        let mut matched = false;
+        for p in PUNCTS {
+            if bytes[i..].iter().take(p.len()).collect::<String>() == **p {
+                out.push(Token {
+                    kind: Tok::Punct(p),
+                    line,
+                });
+                i += p.len();
+                matched = true;
+                break;
+            }
+        }
+        if !matched {
+            return Err(LexError {
+                msg: format!("unexpected character `{c}`"),
+                line,
+            });
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lexes_code_and_pragmas() {
+        let toks = lex("#pragma phloem\nvoid f(long n) { n += 1; } // tail\n").unwrap();
+        assert!(matches!(&toks[0].kind, Tok::Pragma(p) if p == "phloem"));
+        assert!(matches!(&toks[1].kind, Tok::Ident(s) if s == "void"));
+        assert!(toks.iter().any(|t| t.kind == Tok::Punct("+=")));
+    }
+
+    #[test]
+    fn lexes_numbers() {
+        let toks = lex("42 3.5 1e-3").unwrap();
+        assert_eq!(toks[0].kind, Tok::Int(42));
+        assert_eq!(toks[1].kind, Tok::Float(3.5));
+        assert_eq!(toks[2].kind, Tok::Float(1e-3));
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        let toks = lex("/* a\nb */ x").unwrap();
+        assert_eq!(toks.len(), 1);
+        assert_eq!(toks[0].line, 2);
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(lex("@").is_err());
+        assert!(lex("#define X 1").is_err());
+    }
+}

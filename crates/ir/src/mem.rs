@@ -1,0 +1,251 @@
+//! Functional memory state: named arrays in a flat address space.
+//!
+//! Each array receives a 64-byte-aligned base address from a bump
+//! allocator, so the cache model in `pipette-sim` sees realistic line and
+//! set behaviour. Element sizes of 4 bytes (graph ids, CSR offsets) and
+//! 8 bytes (doubles) are supported; values are held as [`Value`]s
+//! regardless of element width.
+
+use crate::expr::ArrayId;
+use crate::func::ArrayDecl;
+use crate::value::{Trap, Ty, Value};
+
+const BASE_ADDR: u64 = 0x1_0000;
+const LINE: u64 = 64;
+
+/// One allocated array.
+#[derive(Clone, Debug)]
+pub struct ArrayStore {
+    /// Declaration (name, type, element width).
+    pub decl: ArrayDecl,
+    /// Base address in the simulated flat address space.
+    pub base: u64,
+    data: Vec<Value>,
+}
+
+impl ArrayStore {
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True if the array has no elements.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+}
+
+/// The full memory state of one simulation.
+#[derive(Clone, Debug, Default)]
+pub struct MemState {
+    arrays: Vec<ArrayStore>,
+    next_base: u64,
+}
+
+impl MemState {
+    /// Creates an empty memory state.
+    pub fn new() -> MemState {
+        MemState {
+            arrays: Vec::new(),
+            next_base: BASE_ADDR,
+        }
+    }
+
+    /// Allocates a zero-initialized array. Arrays must be allocated in
+    /// [`ArrayId`] order matching the function's declarations.
+    pub fn alloc(&mut self, decl: ArrayDecl, len: usize) -> ArrayId {
+        let fill = decl.ty.zero();
+        self.alloc_init(decl, vec![fill; len])
+    }
+
+    /// Allocates an array with the given initial contents.
+    pub fn alloc_init(&mut self, decl: ArrayDecl, data: Vec<Value>) -> ArrayId {
+        let id = ArrayId(self.arrays.len() as u32);
+        let bytes = data.len() as u64 * decl.elem_bytes as u64;
+        let base = self.next_base;
+        // Leave a one-line gap between arrays so unrelated arrays never
+        // share a cache line.
+        self.next_base = (base + bytes + LINE).next_multiple_of(LINE);
+        self.arrays.push(ArrayStore { decl, base, data });
+        id
+    }
+
+    /// Allocates an integer array from an iterator of `i64`.
+    pub fn alloc_i64(
+        &mut self,
+        decl: ArrayDecl,
+        data: impl IntoIterator<Item = i64>,
+    ) -> ArrayId {
+        debug_assert_eq!(decl.ty, Ty::I64);
+        let vals: Vec<Value> = data.into_iter().map(Value::I64).collect();
+        self.alloc_init(decl, vals)
+    }
+
+    /// Allocates a float array from an iterator of `f64`.
+    pub fn alloc_f64(
+        &mut self,
+        decl: ArrayDecl,
+        data: impl IntoIterator<Item = f64>,
+    ) -> ArrayId {
+        debug_assert_eq!(decl.ty, Ty::F64);
+        let vals: Vec<Value> = data.into_iter().map(Value::F64).collect();
+        self.alloc_init(decl, vals)
+    }
+
+    /// Number of arrays allocated.
+    pub fn array_count(&self) -> usize {
+        self.arrays.len()
+    }
+
+    /// Metadata and contents of one array.
+    ///
+    /// # Panics
+    /// Panics if `a` was never allocated.
+    pub fn array(&self, a: ArrayId) -> &ArrayStore {
+        &self.arrays[a.0 as usize]
+    }
+
+    fn store_ref(&self, a: ArrayId) -> Result<&ArrayStore, Trap> {
+        self.arrays
+            .get(a.0 as usize)
+            .ok_or_else(|| Trap::BadId(format!("array {}", a.0)))
+    }
+
+    /// Reads `a[idx]`.
+    ///
+    /// # Errors
+    /// Traps on a bad array id or out-of-bounds index.
+    pub fn load(&self, a: ArrayId, idx: i64) -> Result<Value, Trap> {
+        let s = self.store_ref(a)?;
+        if idx < 0 || idx as usize >= s.data.len() {
+            return Err(Trap::OutOfBounds(s.decl.name.clone(), idx, s.data.len()));
+        }
+        Ok(s.data[idx as usize])
+    }
+
+    /// Writes `a[idx] = v`.
+    ///
+    /// # Errors
+    /// Traps on a bad array id, out-of-bounds index, or storing a control
+    /// value to memory.
+    pub fn store(&mut self, a: ArrayId, idx: i64, v: Value) -> Result<(), Trap> {
+        if let Value::Ctrl(c) = v {
+            return Err(Trap::CtrlAsData(c));
+        }
+        let s = self
+            .arrays
+            .get_mut(a.0 as usize)
+            .ok_or_else(|| Trap::BadId(format!("array {}", a.0)))?;
+        if idx < 0 || idx as usize >= s.data.len() {
+            return Err(Trap::OutOfBounds(s.decl.name.clone(), idx, s.data.len()));
+        }
+        s.data[idx as usize] = v;
+        Ok(())
+    }
+
+    /// Byte address of `a[idx]` (for the cache model).
+    ///
+    /// # Errors
+    /// Traps on a bad array id or out-of-bounds index.
+    pub fn addr(&self, a: ArrayId, idx: i64) -> Result<u64, Trap> {
+        let s = self.store_ref(a)?;
+        if idx < 0 || idx as usize >= s.data.len() {
+            return Err(Trap::OutOfBounds(s.decl.name.clone(), idx, s.data.len()));
+        }
+        Ok(s.base + idx as u64 * s.decl.elem_bytes as u64)
+    }
+
+    /// Contents of an integer array as `i64`s (for result checking).
+    ///
+    /// # Panics
+    /// Panics if the array holds non-integer values.
+    pub fn i64_vec(&self, a: ArrayId) -> Vec<i64> {
+        self.array(a)
+            .data
+            .iter()
+            .map(|v| v.as_i64().expect("i64 array"))
+            .collect()
+    }
+
+    /// Contents of a float array as `f64`s.
+    ///
+    /// # Panics
+    /// Panics if the array holds control values.
+    pub fn f64_vec(&self, a: ArrayId) -> Vec<f64> {
+        self.array(a)
+            .data
+            .iter()
+            .map(|v| v.as_f64().expect("f64 array"))
+            .collect()
+    }
+
+    /// Raw values of an array.
+    pub fn values(&self, a: ArrayId) -> &[Value] {
+        &self.array(a).data
+    }
+
+    /// Overwrites the full contents of an array (length must match).
+    ///
+    /// # Panics
+    /// Panics on length mismatch.
+    pub fn set_values(&mut self, a: ArrayId, vals: Vec<Value>) {
+        let s = &mut self.arrays[a.0 as usize];
+        assert_eq!(s.data.len(), vals.len(), "array length mismatch");
+        s.data = vals;
+    }
+
+    /// True if the observable contents of two memories are equal
+    /// (used to compare pipeline output against the serial oracle).
+    pub fn same_contents(&self, other: &MemState) -> bool {
+        self.arrays.len() == other.arrays.len()
+            && self
+                .arrays
+                .iter()
+                .zip(&other.arrays)
+                .all(|(a, b)| a.data == b.data)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_and_access() {
+        let mut m = MemState::new();
+        let a = m.alloc_i64(ArrayDecl::i32("a"), [1, 2, 3]);
+        assert_eq!(m.load(a, 1).unwrap(), Value::I64(2));
+        m.store(a, 1, Value::I64(9)).unwrap();
+        assert_eq!(m.i64_vec(a), vec![1, 9, 3]);
+    }
+
+    #[test]
+    fn out_of_bounds_traps() {
+        let mut m = MemState::new();
+        let a = m.alloc(ArrayDecl::i64("a"), 2);
+        assert!(matches!(m.load(a, 2), Err(Trap::OutOfBounds(_, 2, 2))));
+        assert!(matches!(m.load(a, -1), Err(Trap::OutOfBounds(_, -1, 2))));
+    }
+
+    #[test]
+    fn addresses_are_line_aligned_and_disjoint() {
+        let mut m = MemState::new();
+        let a = m.alloc(ArrayDecl::i32("a"), 100);
+        let b = m.alloc(ArrayDecl::f64("b"), 100);
+        let a_base = m.addr(a, 0).unwrap();
+        let a_end = m.addr(a, 99).unwrap() + 4;
+        let b_base = m.addr(b, 0).unwrap();
+        assert_eq!(a_base % 64, 0);
+        assert_eq!(b_base % 64, 0);
+        assert!(b_base >= a_end + 64, "arrays must not share a line");
+        // 4-byte elements: consecutive indices 4 bytes apart.
+        assert_eq!(m.addr(a, 1).unwrap(), a_base + 4);
+    }
+
+    #[test]
+    fn ctrl_values_cannot_be_stored() {
+        let mut m = MemState::new();
+        let a = m.alloc(ArrayDecl::i64("a"), 1);
+        assert!(m.store(a, 0, Value::Ctrl(3)).is_err());
+    }
+}

@@ -1,0 +1,72 @@
+//! Property tests for IR fundamentals: queue FIFO semantics and
+//! arithmetic evaluation invariants.
+
+use proptest::prelude::*;
+
+use phloem_ir::{
+    eval_binop, BinOp, FunctionalWorld, MemState, QueueId, Tid, Value, World,
+};
+
+proptest! {
+    /// Queues deliver exactly the enqueued values, in order, and respect
+    /// capacity under arbitrary enq/deq interleavings.
+    #[test]
+    fn queues_are_fifo_under_random_interleavings(
+        ops in proptest::collection::vec(any::<bool>(), 1..200),
+        cap in 1usize..8,
+    ) {
+        let mut w = FunctionalWorld::new(MemState::new(), 1, cap, 2);
+        let q = QueueId(0);
+        let mut sent = 0i64;
+        let mut received = 0i64;
+        let mut in_flight = 0usize;
+        for enq in ops {
+            if enq {
+                match w.try_enq(Tid(0), q, Value::I64(sent), 0).unwrap() {
+                    Some(_) => {
+                        sent += 1;
+                        in_flight += 1;
+                        prop_assert!(in_flight <= cap);
+                    }
+                    None => prop_assert_eq!(in_flight, cap),
+                }
+            } else {
+                match w.try_deq(Tid(1), q, 0).unwrap() {
+                    Some((v, _)) => {
+                        prop_assert_eq!(v, Value::I64(received));
+                        received += 1;
+                        in_flight -= 1;
+                    }
+                    None => prop_assert_eq!(in_flight, 0),
+                }
+            }
+        }
+        prop_assert_eq!(sent - received, in_flight as i64);
+    }
+
+    /// Min/Max are commutative and idempotent; comparisons return 0/1.
+    #[test]
+    fn binop_algebra(a in any::<i32>(), b in any::<i32>()) {
+        let (x, y) = (Value::I64(a as i64), Value::I64(b as i64));
+        prop_assert_eq!(
+            eval_binop(BinOp::Min, x, y).unwrap(),
+            eval_binop(BinOp::Min, y, x).unwrap()
+        );
+        prop_assert_eq!(eval_binop(BinOp::Max, x, x).unwrap(), x);
+        let lt = eval_binop(BinOp::Lt, x, y).unwrap().as_i64().unwrap();
+        let ge = eval_binop(BinOp::Ge, x, y).unwrap().as_i64().unwrap();
+        prop_assert_eq!(lt + ge, 1);
+    }
+
+    /// Control values survive queues untouched and are never confused
+    /// with data.
+    #[test]
+    fn control_values_round_trip(tag in any::<u32>()) {
+        let mut w = FunctionalWorld::new(MemState::new(), 1, 4, 1);
+        w.try_enq(Tid(0), QueueId(0), Value::Ctrl(tag), 0).unwrap();
+        let (v, _) = w.try_deq(Tid(0), QueueId(0), 0).unwrap().unwrap();
+        prop_assert!(v.is_ctrl());
+        prop_assert!(v.as_i64().is_err());
+        prop_assert_eq!(v, Value::Ctrl(tag));
+    }
+}

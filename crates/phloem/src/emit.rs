@@ -1,0 +1,437 @@
+//! Emission: materializing one stage program per pipeline stage from the
+//! decoupling [`Plan`].
+//!
+//! Every stage receives a copy of the control skeleton it participates
+//! in. Atoms it owns are emitted verbatim (followed by enqueues of values
+//! consumers need); atoms owned upstream become dequeues (or local
+//! recomputation). Loops are emitted per their planned mode: `Bounds`
+//! (local or dequeued bounds), `Cv` (`while (true)` + control values), or
+//! `Transparent` (skipped entirely — pass 6). End-of-loop `NEXT` CVs and
+//! the final `DONE` are enqueued by the stage producing the consumer's
+//! carrier queue.
+
+use crate::decouple::{next_tag, LoopMode, Node, Plan, DONE};
+use crate::options::CompileError;
+use phloem_ir::{
+    BinOp, BranchId, CtrlHandler, Expr, Function, HandlerEnd, QueueId, Stmt, StageProgram, Ty,
+    UnOp, VarDecl, VarId,
+};
+
+pub(crate) struct Emitter<'p> {
+    plan: &'p Plan,
+    s: u32,
+    /// Emitted-loop stack: (source loop tag, mode).
+    loop_stack: Vec<(usize, LoopMode)>,
+    /// Source-loop stack: (tag, emitted?).
+    src_stack: Vec<(usize, bool)>,
+    /// Loop-stack snapshot at each carrier dequeue site, keyed by def pos.
+    carrier_sites: Vec<(usize, Vec<(usize, LoopMode)>)>,
+    /// Scratch variable for inline control-tag checks.
+    ctrl_tmp: Option<VarId>,
+    extra_vars: Vec<VarDecl>,
+    base_vars: usize,
+    next_branch: u32,
+    error: Option<CompileError>,
+}
+
+impl<'p> Emitter<'p> {
+    fn fresh_branch(&mut self) -> BranchId {
+        let b = BranchId(self.next_branch);
+        self.next_branch += 1;
+        b
+    }
+
+    fn ctrl_tmp(&mut self) -> VarId {
+        if let Some(v) = self.ctrl_tmp {
+            return v;
+        }
+        let v = VarId((self.base_vars + self.extra_vars.len()) as u32);
+        self.extra_vars.push(VarDecl {
+            name: "_cv".into(),
+            ty: Ty::I64,
+        });
+        self.ctrl_tmp = Some(v);
+        v
+    }
+
+    /// Loops whose carrier is the def at `pos` (for this stage).
+    fn carried_loops(&self, pos: usize) -> Vec<usize> {
+        self.plan
+            .carrier_pos
+            .iter()
+            .filter(|((_, u), p)| *u == self.s && **p == pos)
+            .map(|((t, _), _)| *t)
+            .collect()
+    }
+
+    fn is_carrier(&self, pos: usize) -> bool {
+        self.plan.done_carrier.get(&self.s) == Some(&pos)
+            || !self.carried_loops(pos).is_empty()
+    }
+
+    /// The CV dispatch targets at a carrier dequeue of `pos`: the loops
+    /// this queue carries that expect a NEXT, innermost first.
+    fn ctrl_targets(&self, pos: usize) -> Vec<(usize, u32)> {
+        let carried = self.carried_loops(pos);
+        let mut out = Vec::new();
+        let depth = self.loop_stack.len();
+        for (i, (tag, mode)) in self.loop_stack.iter().enumerate().rev() {
+            if *mode == LoopMode::Cv
+                && carried.contains(tag)
+                && self.plan.need_next.contains(&(*tag, self.s))
+            {
+                out.push((*tag, (depth - i) as u32));
+            }
+        }
+        out
+    }
+
+    fn emit_ctrl_check(&mut self, x: VarId, pos: usize, out: &mut Vec<Stmt>) {
+        // if (is_control(x)) { t = ctrl_tag(x); nested tag dispatch }
+        let targets = self.ctrl_targets(pos);
+        let all = self.loop_stack.len() as u32;
+        let t = self.ctrl_tmp();
+        let mut inner: Vec<Stmt> = vec![Stmt::Break { levels: all }];
+        for (tag, levels) in targets.into_iter().rev() {
+            let id = self.fresh_branch();
+            inner = vec![Stmt::If {
+                id,
+                cond: Expr::bin(
+                    BinOp::Eq,
+                    Expr::var(t),
+                    Expr::i64(next_tag(tag) as i64),
+                ),
+                then_body: vec![Stmt::Break { levels }],
+                else_body: inner,
+            }];
+        }
+        let mut body = vec![Stmt::Assign {
+            var: t,
+            expr: Expr::un(UnOp::CtrlTag, Expr::var(x)),
+        }];
+        body.extend(inner);
+        let id = self.fresh_branch();
+        out.push(Stmt::If {
+            id,
+            cond: Expr::is_ctrl(Expr::var(x)),
+            then_body: body,
+            else_body: vec![],
+        });
+    }
+
+    fn innermost_emitted_is_bounds(&self) -> bool {
+        self.loop_stack
+            .last()
+            .map(|(_, m)| *m == LoopMode::Bounds)
+            .unwrap_or(false)
+    }
+
+    fn emit_seq(&mut self, nodes: &[Node], out: &mut Vec<Stmt>) {
+        for n in nodes {
+            match n {
+                Node::Atom {
+                    stmt,
+                    stage,
+                    def,
+                    pos,
+                } => self.emit_atom(stmt, *stage, *def, *pos, out),
+                Node::If {
+                    tag,
+                    id,
+                    cond,
+                    then,
+                    els,
+                    exit,
+                } => {
+                    if *exit {
+                        // Loop-exit skeleton: emitted only in Bounds mode.
+                        if self.innermost_emitted_is_bounds() {
+                            let mut tb = Vec::new();
+                            self.emit_seq(then, &mut tb);
+                            let mut eb = Vec::new();
+                            self.emit_seq(els, &mut eb);
+                            out.push(Stmt::If {
+                                id: *id,
+                                cond: cond.clone(),
+                                then_body: tb,
+                                else_body: eb,
+                            });
+                        } else if crate::decouple::node_present(self.plan, n, self.s) {
+                            self.error.get_or_insert(CompileError::Unsupported(
+                                "stage-owned work inside a loop-exit test of a \
+                                 control-value loop"
+                                    .into(),
+                            ));
+                        }
+                        continue;
+                    }
+                    if !crate::decouple::node_present(self.plan, n, self.s) {
+                        continue;
+                    }
+                    if self.plan.dropped.contains(&(*tag, self.s)) {
+                        self.emit_seq(then, out);
+                        continue;
+                    }
+                    let mut tb = Vec::new();
+                    self.emit_seq(then, &mut tb);
+                    let mut eb = Vec::new();
+                    self.emit_seq(els, &mut eb);
+                    if tb.is_empty() && eb.is_empty() {
+                        continue;
+                    }
+                    out.push(Stmt::If {
+                        id: *id,
+                        cond: cond.clone(),
+                        then_body: tb,
+                        else_body: eb,
+                    });
+                }
+                Node::For {
+                    tag,
+                    id,
+                    var,
+                    lo,
+                    hi,
+                    body,
+                } => {
+                    self.emit_loop(n, *tag, *id, Some((var, lo, hi)), body, out);
+                }
+                Node::While { tag, id, body } => {
+                    self.emit_loop(n, *tag, *id, None, body, out);
+                }
+            }
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn emit_loop(
+        &mut self,
+        node: &Node,
+        tag: usize,
+        id: BranchId,
+        header: Option<(&VarId, &Expr, &Expr)>,
+        body: &[Node],
+        out: &mut Vec<Stmt>,
+    ) {
+        if !crate::decouple::node_present(self.plan, node, self.s) {
+            return;
+        }
+        let mode = self
+            .plan
+            .modes
+            .get(&(tag, self.s))
+            .copied()
+            .unwrap_or(LoopMode::Bounds);
+        match mode {
+            LoopMode::Transparent => {
+                self.src_stack.push((tag, false));
+                self.emit_seq(body, out);
+                self.src_stack.pop();
+            }
+            LoopMode::Bounds => {
+                self.loop_stack.push((tag, LoopMode::Bounds));
+                self.src_stack.push((tag, true));
+                let mut b = Vec::new();
+                self.emit_seq(body, &mut b);
+                self.src_stack.pop();
+                self.loop_stack.pop();
+                match header {
+                    Some((var, lo, hi)) => out.push(Stmt::For {
+                        id,
+                        var: *var,
+                        start: lo.clone(),
+                        end: hi.clone(),
+                        body: b,
+                    }),
+                    None => out.push(Stmt::While {
+                        id,
+                        cond: Expr::i64(1),
+                        body: b,
+                    }),
+                }
+            }
+            LoopMode::Cv => {
+                self.loop_stack.push((tag, LoopMode::Cv));
+                self.src_stack.push((tag, true));
+                let mut b = Vec::new();
+                self.emit_seq(body, &mut b);
+                self.src_stack.pop();
+                self.loop_stack.pop();
+                out.push(Stmt::While {
+                    id,
+                    cond: Expr::i64(1),
+                    body: b,
+                });
+            }
+        }
+        // Producer duties: signal this loop's end to consumers that need
+        // its boundary.
+        if let Some(duties) = self.plan.next_duties.get(&(tag, self.s)) {
+            for (pos, consumer) in duties {
+                out.push(Stmt::EnqCtrl {
+                    queue: self.plan.queue(*pos, *consumer),
+                    ctrl: next_tag(tag),
+                });
+            }
+        }
+    }
+
+    fn emit_atom(
+        &mut self,
+        stmt: &Stmt,
+        stage: u32,
+        def: Option<VarId>,
+        pos: usize,
+        out: &mut Vec<Stmt>,
+    ) {
+        if let Stmt::Break { levels } = stmt {
+            if stage != self.s {
+                return;
+            }
+            // Translate source loop levels to emitted loop levels.
+            if self.innermost_emitted_is_bounds() {
+                let src_len = self.src_stack.len();
+                if (*levels as usize) > src_len {
+                    self.error.get_or_insert(CompileError::Internal(
+                        "break beyond loop stack".into(),
+                    ));
+                    return;
+                }
+                let slice = &self.src_stack[src_len - *levels as usize..];
+                if !slice.last().map(|(_, e)| *e).unwrap_or(false) {
+                    self.error.get_or_insert(CompileError::Unsupported(
+                        "break targets a loop this stage does not emit".into(),
+                    ));
+                    return;
+                }
+                let emitted = slice.iter().filter(|(_, e)| *e).count() as u32;
+                out.push(Stmt::Break { levels: emitted });
+            }
+            return;
+        }
+        if stage == self.s {
+            out.push(stmt.clone());
+            if let Some(v) = def {
+                for ((p, consumer), q) in self.plan.comm.range((pos, 0)..(pos + 1, 0)) {
+                    debug_assert_eq!(*p, pos);
+                    out.push(Stmt::Enq {
+                        queue: *q,
+                        value: Expr::var(v),
+                    });
+                    let _ = consumer;
+                }
+            }
+            return;
+        }
+        let Some(v) = def else { return };
+        if self.plan.is_comm(pos, self.s) {
+            let q = self.plan.queue(pos, self.s);
+            out.push(Stmt::Deq { var: v, queue: q });
+            if self.is_carrier(pos) {
+                if self.plan.passes.use_handlers {
+                    self.carrier_sites.push((pos, self.loop_stack.clone()));
+                } else {
+                    self.emit_ctrl_check(v, pos, out);
+                }
+            }
+        } else if self.plan.recomp.contains(&(pos, self.s)) {
+            let d = &self.plan.defs[&pos];
+            if let Some(e) = &d.expr {
+                out.push(Stmt::Assign {
+                    var: v,
+                    expr: e.clone(),
+                });
+            }
+        }
+    }
+}
+
+/// Emits the stage program for stage `s`. Returns `None` if the stage has
+/// no content (it will be compacted away).
+pub(crate) fn emit_stage(
+    plan: &Plan,
+    tree: &[Node],
+    base: &Function,
+    s: u32,
+    name: &str,
+) -> Result<Option<StageProgram>, CompileError> {
+    let mut em = Emitter {
+        plan,
+        s,
+        loop_stack: Vec::new(),
+        src_stack: Vec::new(),
+        carrier_sites: Vec::new(),
+        ctrl_tmp: None,
+        extra_vars: Vec::new(),
+        base_vars: base.vars.len(),
+        next_branch: base.next_branch_id().0 + 1,
+        error: None,
+    };
+    let mut body = Vec::new();
+    em.emit_seq(tree, &mut body);
+    if let Some(e) = em.error.take() {
+        return Err(e);
+    }
+
+    // Trailing DONE duties.
+    if let Some(duties) = plan.done_duties.get(&s) {
+        for (pos, consumer) in duties {
+            body.push(Stmt::EnqCtrl {
+                queue: plan.queue(*pos, *consumer),
+                ctrl: DONE,
+            });
+        }
+    }
+    if body.is_empty() {
+        return Ok(None);
+    }
+
+    // Handlers (pass 5): one per (carrier queue, control value).
+    let mut handlers = Vec::new();
+    if plan.passes.use_handlers {
+        for (pos, site) in &em.carrier_sites {
+            let q: QueueId = plan.queue(*pos, s);
+            let depth = site.len() as u32;
+            let carried: Vec<usize> = plan
+                .carrier_pos
+                .iter()
+                .filter(|((_, u), p)| *u == s && *p == pos)
+                .map(|((t, _), _)| *t)
+                .collect();
+            for (i, (tag, mode)) in site.iter().enumerate() {
+                if *mode == LoopMode::Cv
+                    && carried.contains(tag)
+                    && plan.need_next.contains(&(*tag, s))
+                {
+                    handlers.push(CtrlHandler {
+                        queue: q,
+                        ctrl: Some(next_tag(*tag)),
+                        bind: None,
+                        body: vec![],
+                        end: HandlerEnd::BreakLoops(depth - i as u32),
+                    });
+                }
+            }
+            if plan.done_carrier.get(&s) == Some(pos) {
+                handlers.push(CtrlHandler {
+                    queue: q,
+                    ctrl: Some(DONE),
+                    bind: None,
+                    body: vec![],
+                    end: HandlerEnd::BreakLoops(depth),
+                });
+            }
+        }
+    }
+
+    let mut vars = base.vars.clone();
+    vars.extend(em.extra_vars);
+    let func = Function {
+        name: format!("{name}:s{s}"),
+        vars,
+        arrays: base.arrays.clone(),
+        params: base.params.clone(),
+        body,
+    };
+    Ok(Some(StageProgram { func, handlers }))
+}

@@ -1,0 +1,215 @@
+//! End-to-end decoupling tests on the paper's running example: one BFS
+//! round (Fig. 1 / Fig. 5). Every pass configuration must preserve the
+//! serial semantics, and the fully-optimized pipeline must have the
+//! paper's structure: fetch -> chained RAs (nodes, edges) -> update.
+
+use phloem_compiler::{analyze, compile_static, decouple_with_cuts, CompileOptions, PassConfig};
+use phloem_ir::{
+    interp, ArrayDecl, Expr, Function, FunctionBuilder, LoadId, MemState, StageKind, Value,
+};
+use phloem_workloads::graph;
+
+/// One BFS round over the fringe. Reads `fringe_len[0]`, writes
+/// `out_len[0]` and updates `dist`/`next_fringe`.
+fn bfs_round() -> Function {
+    let mut b = FunctionBuilder::new("bfs_round");
+    let cd = b.param_i64("cur_dist");
+    let fringe = b.array_i32("fringe");
+    let nodes = b.array_i32("nodes");
+    let edges = b.array_i32("edges");
+    let dist = b.array_i32("dist");
+    let nf = b.array_i32("next_fringe");
+    let flen = b.array_i32("fringe_len");
+    let olen = b.array_i32("out_len");
+    let nl = b.var_i64("nl");
+    let i = b.var_i64("i");
+    let v = b.var_i64("v");
+    let s = b.var_i64("s");
+    let e = b.var_i64("e");
+    let j = b.var_i64("j");
+    let ngh = b.var_i64("ngh");
+    let od = b.var_i64("od");
+    let len = b.var_i64("len");
+    let l = b.load(flen, Expr::i64(0));
+    b.assign(nl, l);
+    b.for_loop(i, Expr::i64(0), Expr::var(nl), |f| {
+        let lv = f.load(fringe, Expr::var(i));
+        f.assign(v, lv);
+        let ls = f.load(nodes, Expr::var(v));
+        f.assign(s, ls);
+        let le = f.load(nodes, Expr::add(Expr::var(v), Expr::i64(1)));
+        f.assign(e, le);
+        f.for_loop(j, Expr::var(s), Expr::var(e), |f| {
+            let ln = f.load(edges, Expr::var(j));
+            f.assign(ngh, ln);
+            let lo = f.load(dist, Expr::var(ngh));
+            f.assign(od, lo);
+            f.if_then(
+                Expr::bin(phloem_ir::BinOp::Gt, Expr::var(od), Expr::var(cd)),
+                |f| {
+                    f.store(dist, Expr::var(ngh), Expr::var(cd));
+                    f.store(nf, Expr::var(len), Expr::var(ngh));
+                    f.assign(len, Expr::add(Expr::var(len), Expr::i64(1)));
+                },
+            );
+        });
+    });
+    b.store(olen, Expr::i64(0), Expr::var(len));
+    b.build()
+}
+
+struct BfsMem {
+    mem: MemState,
+    dist: phloem_ir::ArrayId,
+    next_fringe: phloem_ir::ArrayId,
+    out_len: phloem_ir::ArrayId,
+}
+
+fn build_mem(g: &phloem_workloads::Graph, fringe: &[i64]) -> BfsMem {
+    let mut mem = MemState::new();
+    let n = g.num_vertices;
+    let mut fr = fringe.to_vec();
+    fr.resize(n.max(fringe.len()), 0);
+    let _f = mem.alloc_i64(ArrayDecl::i32("fringe"), fr);
+    let _n = mem.alloc_i64(ArrayDecl::i32("nodes"), g.offsets.iter().copied());
+    let _e = mem.alloc_i64(ArrayDecl::i32("edges"), g.edges.iter().copied());
+    let mut dist0 = vec![i64::MAX; n];
+    for &r in fringe {
+        dist0[r as usize] = 0;
+    }
+    let dist = mem.alloc_i64(ArrayDecl::i32("dist"), dist0);
+    let next_fringe = mem.alloc(ArrayDecl::i32("next_fringe"), g.num_edges().max(4));
+    let _fl = mem.alloc_i64(ArrayDecl::i32("fringe_len"), [fringe.len() as i64]);
+    let out_len = mem.alloc(ArrayDecl::i32("out_len"), 1);
+    BfsMem {
+        mem,
+        dist,
+        next_fringe,
+        out_len,
+    }
+}
+
+fn serial_result(g: &phloem_workloads::Graph) -> (Vec<i64>, Vec<i64>, i64) {
+    let f = bfs_round();
+    let m = build_mem(g, &[0]);
+    let run = interp::run_serial(&f, m.mem, &[("cur_dist", Value::I64(1))]).unwrap();
+    let len = run.mem.i64_vec(m.out_len)[0];
+    (
+        run.mem.i64_vec(m.dist),
+        run.mem.i64_vec(m.next_fringe)[..len as usize].to_vec(),
+        len,
+    )
+}
+
+fn pipeline_result(
+    g: &phloem_workloads::Graph,
+    cuts: &[LoadId],
+    passes: PassConfig,
+) -> (Vec<i64>, Vec<i64>, i64, phloem_ir::Pipeline) {
+    let f = bfs_round();
+    let opts = CompileOptions {
+        passes,
+        ..Default::default()
+    };
+    let pipe = decouple_with_cuts(&f, cuts, &opts)
+        .unwrap_or_else(|e| panic!("compile failed ({}): {e}", passes.label()));
+    let m = build_mem(g, &[0]);
+    let run = interp::run_pipeline(&pipe, m.mem, &[("cur_dist", Value::I64(1))], 24)
+        .unwrap_or_else(|e| panic!("run failed ({}): {e}", passes.label()));
+    let len = run.mem.i64_vec(m.out_len)[0];
+    (
+        run.mem.i64_vec(m.dist),
+        run.mem.i64_vec(m.next_fringe)[..len as usize].to_vec(),
+        len,
+        pipe,
+    )
+}
+
+/// The paper's cuts: nodes (pair), edges (scan), dist (update stage).
+fn paper_cuts(f: &Function) -> Vec<LoadId> {
+    let a = analyze(f);
+    // loads: flen, fringe, nodes, nodes+1, edges, dist
+    vec![a.loads[2].id, a.loads[4].id, a.loads[5].id]
+}
+
+#[test]
+fn all_pass_configs_preserve_semantics() {
+    let g = graph::power_law(600, 3, 42);
+    let (sd, sf, sl) = serial_result(&g);
+    assert!(sl > 0, "root must have neighbors");
+    let f = bfs_round();
+    let cuts = paper_cuts(&f);
+    for passes in [
+        PassConfig::queues_only(),
+        PassConfig::with_recompute(),
+        PassConfig::with_cv(),
+        PassConfig::with_dce(),
+        PassConfig::with_handlers(),
+        PassConfig::all(),
+    ] {
+        let (pd, pf, pl, _) = pipeline_result(&g, &cuts, passes);
+        assert_eq!(pl, sl, "next fringe length ({})", passes.label());
+        assert_eq!(pd, sd, "distances ({})", passes.label());
+        assert_eq!(pf, sf, "fringe contents ({})", passes.label());
+    }
+}
+
+#[test]
+fn fewer_cuts_also_work() {
+    let g = graph::mesh(18, 7);
+    let (sd, _, sl) = serial_result(&g);
+    let f = bfs_round();
+    let cuts = paper_cuts(&f);
+    for k in 1..=2 {
+        let (pd, _, pl, _) = pipeline_result(&g, &cuts[..k], PassConfig::all());
+        assert_eq!((pl, pd), (sl, sd.clone()), "with {k} cuts");
+    }
+}
+
+#[test]
+fn full_pipeline_has_papers_structure() {
+    let g = graph::mesh(10, 3);
+    let f = bfs_round();
+    let cuts = paper_cuts(&f);
+    let (_, _, _, pipe) = pipeline_result(&g, &cuts, PassConfig::all());
+    // 4 stages total where the two middle ones became chained RAs:
+    // fetch-fringe -> RA(nodes, INDIRECT) -> RA(edges, SCAN) -> update.
+    assert_eq!(pipe.total_stages(), 4, "{}", phloem_ir::pretty::pipeline_to_string(&pipe));
+    assert_eq!(pipe.ra_stages(), 2, "{}", phloem_ir::pretty::pipeline_to_string(&pipe));
+    let kinds: Vec<&StageKind> = pipe.stages.iter().map(|s| &s.kind).collect();
+    assert!(matches!(kinds[0], StageKind::Compute));
+    let (StageKind::Ra(ra1), StageKind::Ra(ra2)) = (kinds[1], kinds[2]) else {
+        panic!("middle stages must be RAs: {}", phloem_ir::pretty::pipeline_to_string(&pipe));
+    };
+    assert_eq!(ra1.mode, phloem_ir::RaMode::Indirect);
+    assert_eq!(ra2.mode, phloem_ir::RaMode::Scan);
+    // Chained: the first RA's output feeds the second.
+    assert_eq!(ra1.out_queue, ra2.in_queue);
+    assert!(matches!(kinds[3], StageKind::Compute));
+}
+
+#[test]
+fn static_compilation_picks_good_cuts() {
+    let g = graph::power_law(400, 3, 5);
+    let (sd, _, sl) = serial_result(&g);
+    let f = bfs_round();
+    let pipe = compile_static(&f, 4, &CompileOptions::default()).expect("static compile");
+    assert!(pipe.compute_stages() >= 2);
+    let m = build_mem(&g, &[0]);
+    let run = interp::run_pipeline(&pipe, m.mem, &[("cur_dist", Value::I64(1))], 24).unwrap();
+    assert_eq!(run.mem.i64_vec(m.out_len)[0], sl);
+    assert_eq!(run.mem.i64_vec(m.dist), sd);
+}
+
+#[test]
+fn race_cut_is_rejected() {
+    // Cutting *between* the dist load and the dist store (i.e. forcing
+    // the load into an earlier stage than the store) must be impossible:
+    // the write-constraint keeps them co-staged, and cutting at a load
+    // whose group would then precede its dependences errors out.
+    let f = bfs_round();
+    let a = analyze(&f);
+    // Cut at dist only: legal (update stage reads + writes dist itself).
+    let pipe = decouple_with_cuts(&f, &[a.loads[5].id], &CompileOptions::default());
+    assert!(pipe.is_ok(), "{pipe:?}");
+}

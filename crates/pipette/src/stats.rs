@@ -1,0 +1,167 @@
+//! Run statistics: per-thread execution counters, the Fig. 10 cycle
+//! breakdown, and roll-ups across pipeline invocations.
+
+use crate::cache::CacheStats;
+use crate::energy::EnergyBreakdown;
+use phloem_ir::Time;
+use serde::{Deserialize, Serialize};
+
+/// Counters for one hardware thread (stage or RA).
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct ThreadStats {
+    /// Stage name.
+    pub name: String,
+    /// True for reference-accelerator stages.
+    pub is_ra: bool,
+    /// Micro-ops issued.
+    pub uops: u64,
+    /// Conditional branches.
+    pub branches: u64,
+    /// Mispredictions.
+    pub mispredicts: u64,
+    /// Loads issued.
+    pub loads: u64,
+    /// Stores issued.
+    pub stores: u64,
+    /// Queue enqueues.
+    pub enqs: u64,
+    /// Queue dequeues.
+    pub deqs: u64,
+    /// Cycles lost blocked on full/empty queues.
+    pub queue_stall_cycles: u64,
+    /// Cycles lost to backend stalls (memory deps, window-full).
+    pub backend_stall_cycles: u64,
+    /// Cycles lost to frontend causes (misprediction penalties).
+    pub frontend_stall_cycles: u64,
+    /// Time of the thread's last completed operation.
+    pub finish_time: Time,
+}
+
+/// The Fig. 10 cycle-breakdown categories, in core-cycle units summed
+/// over compute threads.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct CycleBreakdown {
+    /// Cycles spent issuing micro-ops (uops / issue width).
+    pub issue: f64,
+    /// Backend stalls (memory latency, window-full).
+    pub backend: f64,
+    /// Full/empty queue stalls.
+    pub queue: f64,
+    /// Other (frontend / misprediction) stalls.
+    pub other: f64,
+}
+
+impl CycleBreakdown {
+    /// Sum of all categories.
+    pub fn total(&self) -> f64 {
+        self.issue + self.backend + self.queue + self.other
+    }
+}
+
+/// Statistics from one run (or an accumulated session).
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct RunStats {
+    /// End-to-end cycles (makespan, including launch overheads).
+    pub cycles: Time,
+    /// Per-thread counters (one entry per stage of the last pipeline;
+    /// accumulated by stage index across invocations in a session).
+    pub threads: Vec<ThreadStats>,
+    /// Cache hierarchy counters.
+    pub cache: CacheStats,
+    /// Energy totals.
+    pub energy: EnergyBreakdown,
+    /// Pipeline launches performed.
+    pub invocations: u64,
+}
+
+impl RunStats {
+    /// Total micro-ops across compute threads (excludes RAs).
+    pub fn compute_uops(&self) -> u64 {
+        self.threads
+            .iter()
+            .filter(|t| !t.is_ra)
+            .map(|t| t.uops + t.branches + t.loads + t.stores + t.enqs + t.deqs)
+            .sum()
+    }
+
+    /// Total instructions including RA operations.
+    pub fn total_ops(&self) -> u64 {
+        self.threads
+            .iter()
+            .map(|t| t.uops + t.branches + t.loads + t.stores + t.enqs + t.deqs)
+            .sum()
+    }
+
+    /// Builds the Fig. 10 breakdown from per-thread counters.
+    pub fn cycle_breakdown(&self, issue_width: u64) -> CycleBreakdown {
+        let mut b = CycleBreakdown::default();
+        for t in self.threads.iter().filter(|t| !t.is_ra) {
+            let ops = t.uops + t.branches + t.loads + t.stores + t.enqs + t.deqs;
+            b.issue += ops as f64 / issue_width as f64;
+            b.backend += t.backend_stall_cycles as f64;
+            b.queue += t.queue_stall_cycles as f64;
+            b.other += t.frontend_stall_cycles as f64;
+        }
+        b
+    }
+
+    /// Accumulates another run's statistics (stage-indexed threads are
+    /// merged positionally; used by sessions running many invocations).
+    pub fn accumulate(&mut self, other: &RunStats) {
+        self.cycles = self.cycles.max(other.cycles);
+        self.invocations += other.invocations;
+        self.cache = other.cache; // hierarchy counters are cumulative already
+        self.energy = other.energy;
+        if self.threads.len() < other.threads.len() {
+            self.threads
+                .resize(other.threads.len(), ThreadStats::default());
+        }
+        for (mine, theirs) in self.threads.iter_mut().zip(&other.threads) {
+            if mine.name.is_empty() {
+                mine.name = theirs.name.clone();
+                mine.is_ra = theirs.is_ra;
+            }
+            mine.uops += theirs.uops;
+            mine.branches += theirs.branches;
+            mine.mispredicts += theirs.mispredicts;
+            mine.loads += theirs.loads;
+            mine.stores += theirs.stores;
+            mine.enqs += theirs.enqs;
+            mine.deqs += theirs.deqs;
+            mine.queue_stall_cycles += theirs.queue_stall_cycles;
+            mine.backend_stall_cycles += theirs.backend_stall_cycles;
+            mine.frontend_stall_cycles += theirs.frontend_stall_cycles;
+            mine.finish_time = mine.finish_time.max(theirs.finish_time);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn breakdown_skips_ras() {
+        let stats = RunStats {
+            cycles: 100,
+            threads: vec![
+                ThreadStats {
+                    name: "s0".into(),
+                    uops: 60,
+                    backend_stall_cycles: 10,
+                    ..Default::default()
+                },
+                ThreadStats {
+                    name: "ra".into(),
+                    is_ra: true,
+                    uops: 1000,
+                    ..Default::default()
+                },
+            ],
+            ..Default::default()
+        };
+        let b = stats.cycle_breakdown(6);
+        assert_eq!(b.issue, 10.0);
+        assert_eq!(b.backend, 10.0);
+    }
+}

@@ -1,0 +1,61 @@
+//! Property tests for the memory hierarchy.
+
+use proptest::prelude::*;
+
+use pipette_sim::{HitLevel, MachineConfig, MemHierarchy};
+
+fn cfg() -> MachineConfig {
+    let mut c = MachineConfig::paper_1core();
+    c.prefetch = false;
+    c
+}
+
+proptest! {
+    /// Temporal locality: an address accessed twice in a row hits L1 the
+    /// second time, whatever happened before.
+    #[test]
+    fn immediate_reuse_hits_l1(addrs in proptest::collection::vec(0u64..1_000_000, 1..200)) {
+        let mut h = MemHierarchy::new(&cfg());
+        for (i, a) in addrs.iter().enumerate() {
+            h.access(0, *a, i as u64 * 10);
+            let (lat, lvl) = h.access(0, *a, i as u64 * 10 + 1);
+            prop_assert_eq!(lvl, HitLevel::L1);
+            prop_assert_eq!(lat, 4);
+        }
+    }
+
+    /// Latencies are always one of the hierarchy's levels (plus bounded
+    /// DRAM queueing), and counters account every access.
+    #[test]
+    fn latencies_and_counters_are_sane(addrs in proptest::collection::vec(0u64..10_000_000, 1..300)) {
+        let mut h = MemHierarchy::new(&cfg());
+        let mut now = 0;
+        for a in &addrs {
+            let (lat, lvl) = h.access(0, *a, now);
+            match lvl {
+                HitLevel::L1 => prop_assert_eq!(lat, 4),
+                HitLevel::L2 => prop_assert_eq!(lat, 12),
+                HitLevel::L3 => prop_assert_eq!(lat, 40),
+                HitLevel::Mem => prop_assert!(lat >= 160),
+            }
+            now += lat;
+        }
+        prop_assert_eq!(h.stats.total(), addrs.len() as u64);
+    }
+
+    /// A working set within the L1 capacity never misses after warmup.
+    #[test]
+    fn small_working_sets_stay_resident(lines in 1u64..64, rounds in 2usize..6) {
+        let mut h = MemHierarchy::new(&cfg());
+        let mut now = 0;
+        for r in 0..rounds {
+            for l in 0..lines {
+                let (lat, lvl) = h.access(0, l * 64, now);
+                now += lat;
+                if r > 0 {
+                    prop_assert_eq!(lvl, HitLevel::L1, "line {} round {}", l, r);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,225 @@
+//! # taco-mini
+//!
+//! A miniature tensor-algebra compiler in the spirit of **Taco**
+//! (Kjolstad et al., OOPSLA 2017), providing the domain-specific
+//! frontend the Phloem paper combines with its compiler (Sec. IV-D):
+//! tensor-index expressions over mixed sparse/dense formats are lowered
+//! to serial loop nests that Phloem then pipelines automatically.
+//!
+//! Only the shapes the paper evaluates are supported (one CSR operand,
+//! dense vectors/matrices otherwise): SpMV, Residual, MTMul, and SDDMM.
+//!
+//! ```
+//! use taco_mini::{kernels, Format};
+//!
+//! let spmv = kernels::spmv();
+//! assert_eq!(spmv.phases.len(), 1);
+//! let mtmul = kernels::mtmul();
+//! assert_eq!(mtmul.phases.len(), 2, "scatter kernels get an init phase");
+//! # let _ = Format::Csr;
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod lower;
+pub mod parser;
+
+pub use lower::{lower, Format, Kernel, LowerError};
+pub use parser::{parse, Access, Factor, ParseError, TensorAssign};
+
+use std::collections::HashMap;
+
+/// Parses and lowers in one step.
+///
+/// # Errors
+/// Propagates parse and lowering errors (as strings).
+pub fn compile(src: &str, formats: &[(&str, Format)]) -> Result<Kernel, String> {
+    let assign = parse(src).map_err(|e| e.to_string())?;
+    let fm: HashMap<String, Format> = formats
+        .iter()
+        .map(|(n, f)| (n.to_string(), *f))
+        .collect();
+    lower(&assign, &fm).map_err(|e| e.to_string())
+}
+
+/// The four kernels of the paper's Taco evaluation (Fig. 12).
+pub mod kernels {
+    use super::*;
+
+    /// `y = A x`.
+    pub fn spmv() -> Kernel {
+        compile(
+            "y(i) = A(i,j) * x(j)",
+            &[
+                ("A", Format::Csr),
+                ("x", Format::DenseVec),
+                ("y", Format::DenseVec),
+            ],
+        )
+        .expect("spmv lowers")
+    }
+
+    /// `y = b - A x`.
+    pub fn residual() -> Kernel {
+        compile(
+            "y(i) = b(i) - A(i,j) * x(j)",
+            &[
+                ("A", Format::Csr),
+                ("b", Format::DenseVec),
+                ("x", Format::DenseVec),
+                ("y", Format::DenseVec),
+            ],
+        )
+        .expect("residual lowers")
+    }
+
+    /// `y = alpha Aᵀ x + beta z`.
+    pub fn mtmul() -> Kernel {
+        compile(
+            "y(j) = alpha * A(i,j) * x(i) + beta * z(j)",
+            &[
+                ("A", Format::Csr),
+                ("x", Format::DenseVec),
+                ("z", Format::DenseVec),
+                ("y", Format::DenseVec),
+            ],
+        )
+        .expect("mtmul lowers")
+    }
+
+    /// `A = B ∘ (C D)` (sampled dense-dense matrix multiplication).
+    pub fn sddmm() -> Kernel {
+        compile(
+            "A(i,j) = B(i,j) * C(i,k) * D(k,j)",
+            &[
+                ("A", Format::Csr),
+                ("B", Format::Csr),
+                ("C", Format::DenseMat),
+                ("D", Format::DenseMat),
+            ],
+        )
+        .expect("sddmm lowers")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use phloem_ir::{interp, ArrayDecl, MemState, Value};
+
+    fn tiny_csr() -> (Vec<i64>, Vec<i64>, Vec<f64>) {
+        // 3x3: [[1, 0, 2], [0, 3, 0], [4, 0, 5]]
+        (
+            vec![0, 2, 3, 5],
+            vec![0, 2, 1, 0, 2],
+            vec![1.0, 2.0, 3.0, 4.0, 5.0],
+        )
+    }
+
+    fn alloc_csr(mem: &mut MemState, rp: &[i64], ci: &[i64], va: &[f64], p: &str) {
+        mem.alloc_i64(ArrayDecl::i32(format!("{p}_rp")), rp.iter().copied());
+        mem.alloc_i64(ArrayDecl::i32(format!("{p}_ci")), ci.iter().copied());
+        mem.alloc_f64(ArrayDecl::f64(format!("{p}_val")), va.iter().copied());
+    }
+
+    #[test]
+    fn spmv_matches_host_math() {
+        let k = kernels::spmv();
+        assert_eq!(k.array_names, vec!["A_rp", "A_ci", "A_val", "x", "y"]);
+        let (rp, ci, va) = tiny_csr();
+        let mut mem = MemState::new();
+        alloc_csr(&mut mem, &rp, &ci, &va, "A");
+        mem.alloc_f64(ArrayDecl::f64("x"), [1.0, 2.0, 3.0]);
+        let y = mem.alloc(ArrayDecl::f64("y"), 3);
+        let run = interp::run_serial(&k.phases[0], mem, &[("n", Value::I64(3))]).unwrap();
+        assert_eq!(run.mem.f64_vec(y), vec![7.0, 6.0, 19.0]);
+    }
+
+    #[test]
+    fn residual_matches_host_math() {
+        let k = kernels::residual();
+        let (rp, ci, va) = tiny_csr();
+        let mut mem = MemState::new();
+        alloc_csr(&mut mem, &rp, &ci, &va, "A");
+        mem.alloc_f64(ArrayDecl::f64("b"), [10.0, 10.0, 10.0]);
+        mem.alloc_f64(ArrayDecl::f64("x"), [1.0, 2.0, 3.0]);
+        let y = mem.alloc(ArrayDecl::f64("y"), 3);
+        let run = interp::run_serial(&k.phases[0], mem, &[("n", Value::I64(3))]).unwrap();
+        assert_eq!(run.mem.f64_vec(y), vec![3.0, 4.0, -9.0]);
+    }
+
+    #[test]
+    fn mtmul_matches_host_math() {
+        let k = kernels::mtmul();
+        assert_eq!(k.phases.len(), 2);
+        let (rp, ci, va) = tiny_csr();
+        let mut mem = MemState::new();
+        alloc_csr(&mut mem, &rp, &ci, &va, "A");
+        mem.alloc_f64(ArrayDecl::f64("x"), [1.0, 2.0, 3.0]);
+        mem.alloc_f64(ArrayDecl::f64("z"), [1.0, 1.0, 1.0]);
+        let y = mem.alloc(ArrayDecl::f64("y"), 3);
+        let params = [
+            ("n", Value::I64(3)),
+            ("m", Value::I64(3)),
+            ("alpha", Value::F64(2.0)),
+            ("beta", Value::F64(0.5)),
+        ];
+        let mut cur = mem;
+        for ph in &k.phases {
+            cur = interp::run_serial(ph, cur, &params).unwrap().mem;
+        }
+        // A^T x = [1*1+4*3, 3*2, 2*1+5*3] = [13, 6, 17]
+        assert_eq!(cur.f64_vec(y), vec![26.5, 12.5, 34.5]);
+    }
+
+    #[test]
+    fn sddmm_matches_host_math() {
+        let k = kernels::sddmm();
+        let (rp, ci, va) = tiny_csr();
+        let kdim = 2usize;
+        let mut mem = MemState::new();
+        alloc_csr(&mut mem, &rp, &ci, &va, "B");
+        // C: 3 x 2; D: 2 x 3, row-major.
+        let c = [1.0, 2.0, 3.0, 4.0, 5.0, 6.0];
+        let d = [1.0, 0.0, 2.0, 0.0, 1.0, 0.5];
+        mem.alloc_f64(ArrayDecl::f64("C"), c.iter().copied());
+        mem.alloc_f64(ArrayDecl::f64("D"), d.iter().copied());
+        let out = mem.alloc(ArrayDecl::f64("A_val_out"), va.len());
+        let run = interp::run_serial(
+            &k.phases[0],
+            mem,
+            &[
+                ("n", Value::I64(3)),
+                ("kdim", Value::I64(kdim as i64)),
+                ("m", Value::I64(3)),
+            ],
+        )
+        .unwrap();
+        let mut want = Vec::new();
+        for i in 0..3usize {
+            for p in rp[i]..rp[i + 1] {
+                let j = ci[p as usize] as usize;
+                let mut dot = 0.0;
+                for t in 0..kdim {
+                    dot += c[i * kdim + t] * d[t * 3 + j];
+                }
+                want.push(va[p as usize] * dot);
+            }
+        }
+        assert_eq!(run.mem.f64_vec(out), want);
+    }
+
+    #[test]
+    fn phases_validate() {
+        for k in [
+            kernels::spmv(),
+            kernels::residual(),
+            kernels::mtmul(),
+            kernels::sddmm(),
+        ] {
+            for ph in &k.phases {
+                ph.validate().unwrap_or_else(|e| panic!("{}: {e}", ph.name));
+            }
+        }
+    }
+}

@@ -1,0 +1,25 @@
+//! # phloem-workloads
+//!
+//! Deterministic synthetic inputs for the Phloem (HPCA 2023)
+//! reproduction: CSR graphs matching the domains of the paper's
+//! Table IV and sparse matrices matching Table V, plus host-side
+//! reference oracles (BFS distances, SpMV) used to check compiled
+//! pipelines.
+//!
+//! Real SuiteSparse/DIMACS instances are not redistributable inside this
+//! repository, so each catalog entry records which paper input it stands
+//! in for; the generators reproduce the property that matters for each
+//! domain (degree distribution, diameter, bandedness, nnz/row).
+
+#![warn(missing_docs)]
+
+pub mod catalog;
+pub mod graph;
+pub mod matrix;
+
+pub use catalog::{
+    spmm_test_matrices, spmm_training_matrices, taco_test_matrices, test_graphs,
+    training_graphs, GraphInput, MatrixInput, Scale,
+};
+pub use graph::Graph;
+pub use matrix::{DenseMatrix, SparseMatrix};

@@ -1,0 +1,65 @@
+//! The Fig. 5 walk-through: how each of Phloem's passes transforms BFS.
+//!
+//! Compiles the BFS kernel under each pass configuration of Fig. 6,
+//! prints the resulting stage programs for the most interesting steps,
+//! and measures each on the simulator.
+//!
+//! Run with: `cargo run --release --example bfs_pipeline`
+
+use phloem_benchsuite::{bfs, Variant};
+use phloem_compiler::{decouple_with_cuts, CompileOptions, PassConfig};
+use phloem_ir::pretty;
+use phloem_workloads::graph;
+use pipette_sim::MachineConfig;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let kernel = bfs::kernel();
+    let loads = bfs::kernel_loads();
+    let cuts = vec![loads[2], loads[4], loads[5]]; // nodes, edges, dist
+
+    println!("=== serial kernel ===");
+    println!("{}", pretty::function_to_string(&kernel));
+
+    for (what, passes) in [
+        ("pass 1 only: add queues", PassConfig::queues_only()),
+        ("passes 1-2 + CV + DCE + handlers", PassConfig::with_handlers()),
+        ("all passes (with reference accelerators)", PassConfig::all()),
+    ] {
+        let opts = CompileOptions {
+            passes,
+            ..Default::default()
+        };
+        let p = decouple_with_cuts(&kernel, &cuts, &opts)?;
+        println!("=== {what} ===");
+        println!("{}", pretty::pipeline_to_string(&p));
+    }
+
+    // Measure the ablation (mini Fig. 6).
+    let g = graph::road_network(70, 11);
+    let cfg = MachineConfig::paper_1core();
+    let serial = bfs::run(&Variant::Serial, &g, 0, &cfg, "road");
+    println!("=== cycles (road network, {} edges) ===", g.num_edges());
+    println!("{:<24} {:>10}  1.00x", "serial", serial.cycles);
+    for passes in [
+        PassConfig::queues_only(),
+        PassConfig::with_recompute(),
+        PassConfig::with_cv(),
+        PassConfig::with_dce(),
+        PassConfig::with_handlers(),
+        PassConfig::all(),
+    ] {
+        let v = Variant::Phloem {
+            passes,
+            stages: 4,
+            cuts: cuts.clone(),
+        };
+        let m = bfs::run(&v, &g, 0, &cfg, "road");
+        println!(
+            "{:<24} {:>10}  {:.2}x",
+            passes.label(),
+            m.cycles,
+            serial.cycles as f64 / m.cycles as f64
+        );
+    }
+    Ok(())
+}

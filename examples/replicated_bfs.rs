@@ -1,0 +1,71 @@
+//! Pipeline replication (Sec. IV-C / Fig. 7 / Fig. 14): composing data
+//! and pipeline parallelism across 4 cores.
+//!
+//! Shows both the generic `replicate()` transformation (on a small
+//! producer/consumer pipeline, with a value-distributing boundary) and
+//! the full replicated BFS of Fig. 14, compared against serial and
+//! 16-thread data-parallel baselines.
+//!
+//! Run with: `cargo run --release --example replicated_bfs`
+
+use phloem_benchsuite::fig14::{run_bfs_replicated, RepVariant};
+use phloem_benchsuite::{bfs, Variant};
+use phloem_compiler::replicate::{replicate, ReplicateSpec};
+use phloem_ir::{pretty, QueueId};
+use phloem_workloads::graph;
+use pipette_sim::MachineConfig;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Generic replication of an auto-compiled pipeline (no RAs so the
+    // distribute boundary sits on a compute stage).
+    let kernel = bfs::kernel();
+    let loads = bfs::kernel_loads();
+    let opts = phloem_compiler::CompileOptions {
+        passes: phloem_compiler::PassConfig::with_handlers(), // no RA
+        ..Default::default()
+    };
+    let single = phloem_compiler::decouple_with_cuts(&kernel, &[loads[2], loads[4], loads[5]], &opts)?;
+    println!(
+        "single pipeline: {} compute stages, {} queues",
+        single.compute_stages(),
+        single.num_queues
+    );
+    let spec = ReplicateSpec {
+        replicas: 4,
+        // Distribute the neighbor stream feeding the update stage.
+        distribute: vec![QueueId(single.num_queues - 1)],
+        partition_input: true,
+    };
+    let replicated = replicate(&single, &spec)?;
+    println!(
+        "replicated x4:   {} stages over {} cores, {} queues\n",
+        replicated.total_stages(),
+        replicated.cores_used(),
+        replicated.num_queues
+    );
+    println!(
+        "replica 0 fetch stage:\n{}",
+        pretty::function_to_string(&replicated.stages[0].program.func)
+    );
+
+    // Fig. 14-style measurement.
+    let g = graph::road_network(120, 3);
+    println!("graph: {} vertices, {} edges", g.num_vertices, g.num_edges());
+    let cfg1 = MachineConfig::paper_1core();
+    let cfg4 = MachineConfig::paper_multicore(4);
+    let serial = bfs::run(&Variant::Serial, &g, 0, &cfg1, "road");
+    let dp = bfs::run(&Variant::DataParallel(16), &g, 0, &cfg4, "road");
+    let rep = run_bfs_replicated(RepVariant::Phloem, &g, 0, &cfg4, "road");
+    println!("serial (1 core, 1 thread): {:>10} cycles  1.00x", serial.cycles);
+    println!(
+        "data-parallel (16 threads): {:>9} cycles  {:.2}x",
+        dp.cycles,
+        serial.cycles as f64 / dp.cycles as f64
+    );
+    println!(
+        "phloem replicated x4:       {:>9} cycles  {:.2}x",
+        rep.cycles,
+        serial.cycles as f64 / rep.cycles as f64
+    );
+    Ok(())
+}

@@ -1,0 +1,55 @@
+//! Taco integration (Sec. IV-D): a tensor-index expression goes through
+//! taco-mini's sparse lowering, then through Phloem's static pipeline
+//! compilation — reproducing the paper's "add Phloem as a pass to an
+//! existing domain-specific compiler" flow.
+//!
+//! Run with: `cargo run --release --example spmv_taco`
+
+use phloem_benchsuite::taco::{self, TacoApp};
+use phloem_benchsuite::Variant;
+use phloem_ir::pretty;
+use phloem_workloads::matrix;
+use pipette_sim::MachineConfig;
+use taco_mini::{compile, Format};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. A Taco expression.
+    let expr = "y(i) = A(i,j) * x(j)";
+    println!("tensor expression: {expr}");
+    let kernel = compile(
+        expr,
+        &[
+            ("A", Format::Csr),
+            ("x", Format::DenseVec),
+            ("y", Format::DenseVec),
+        ],
+    )?;
+    println!("\n=== taco-mini output (serial loop nest) ===");
+    for ph in &kernel.phases {
+        println!("{}", pretty::function_to_string(ph));
+    }
+
+    // 2. Phloem pipelines it.
+    let cfg = MachineConfig::paper_1core();
+    let pipes = taco::pipelines_for(TacoApp::Spmv, &Variant::phloem(), &cfg)?;
+    println!("=== after Phloem (static flow) ===");
+    for p in &pipes {
+        println!("{}", pretty::pipeline_to_string(p));
+    }
+
+    // 3. Measure all Fig. 12 variants on one input.
+    let a = matrix::random_square(1500, 6.0, 42);
+    println!("input: {}x{} matrix, {} nnz", a.rows, a.cols, a.nnz());
+    let serial = taco::run(TacoApp::Spmv, &Variant::Serial, &a, &cfg, "rnd");
+    println!("{:<16} {:>10} cycles  1.00x", "serial", serial.cycles);
+    for v in [Variant::DataParallel(4), Variant::phloem()] {
+        let m = taco::run(TacoApp::Spmv, &v, &a, &cfg, "rnd");
+        println!(
+            "{:<16} {:>10} cycles  {:.2}x",
+            m.variant,
+            m.cycles,
+            serial.cycles as f64 / m.cycles as f64
+        );
+    }
+    Ok(())
+}

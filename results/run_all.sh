@@ -1,0 +1,17 @@
+#!/bin/bash
+cd /root/repo
+export SCALE=small
+cargo build -q --release -p phloem-bench
+for f in tables fig6 fig12 fig13 fig9 fig14; do
+  echo "=== running $f ($(date +%H:%M:%S)) ==="
+  cargo run -q --release -p phloem-bench --bin $f > results/$f.txt 2> results/$f.log
+  echo "=== $f done (exit $?) ==="
+done
+# Breakdown figures rerun the full matrix; tiny scale keeps the total
+# runtime sane and the shapes are scale-insensitive.
+for f in fig10 fig11; do
+  echo "=== running $f at tiny scale ($(date +%H:%M:%S)) ==="
+  SCALE=tiny cargo run -q --release -p phloem-bench --bin $f > results/$f.txt 2> results/$f.log
+  echo "=== $f done (exit $?) ==="
+done
+echo ALL_HARNESSES_DONE

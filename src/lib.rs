@@ -1,0 +1,123 @@
+//! # phloem-suite
+//!
+//! Umbrella crate of the Phloem (HPCA 2023) reproduction: re-exports the
+//! component crates and provides the end-to-end "C source with pragmas
+//! in, pipelines out" entry point the paper's workflow describes.
+//!
+//! See the repository `README.md` for the full map, `DESIGN.md` for the
+//! system inventory, and `EXPERIMENTS.md` for paper-vs-measured results.
+
+#![warn(missing_docs)]
+
+pub use phloem_benchsuite as benchsuite;
+pub use phloem_compiler as compiler;
+pub use phloem_frontend as frontend;
+pub use phloem_ir as ir;
+pub use phloem_workloads as workloads;
+pub use pipette_sim as pipette;
+pub use taco_mini as taco;
+
+use phloem_compiler::replicate::{replicate, ReplicateSpec};
+use phloem_compiler::{CompileError, CompileOptions};
+use phloem_ir::{Pipeline, QueueId};
+
+/// Error from the end-to-end C pipeline compilation.
+#[derive(Debug)]
+pub enum SuiteError {
+    /// Frontend failure.
+    Parse(phloem_frontend::ParseError),
+    /// Compiler failure.
+    Compile(CompileError),
+}
+
+impl std::fmt::Display for SuiteError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SuiteError::Parse(e) => write!(f, "{e}"),
+            SuiteError::Compile(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for SuiteError {}
+
+/// Compiles every `#pragma phloem` function in a PhloemC source string,
+/// honoring its pragmas:
+///
+/// * `#pragma decouple` loads become forced cut points (otherwise the
+///   static cost model picks cuts for a 4-stage pipeline);
+/// * `#pragma replicate(N)` + `#pragma distribute` replicate the
+///   pipeline N times with the last inter-stage queue as the
+///   value-distributed boundary.
+///
+/// Functions without `#pragma phloem` are skipped (the paper's compiler
+/// only transforms marked kernels).
+///
+/// # Errors
+/// Returns parse or compile errors with context.
+///
+/// ```
+/// let src = r#"
+///     #pragma phloem
+///     void gather(long n, int* restrict a, int* restrict b,
+///                 int* restrict out) {
+///         long acc = 0;
+///         for (long i = 0; i < n; i++) {
+///             long x = a[i];
+///             long y = b[x];
+///             acc += y;
+///         }
+///         out[0] = acc;
+///     }
+/// "#;
+/// let pipes = phloem_suite::compile_c_source(src, &Default::default())?;
+/// assert_eq!(pipes.len(), 1);
+/// assert!(pipes[0].1.compute_stages() >= 2);
+/// # Ok::<(), phloem_suite::SuiteError>(())
+/// ```
+pub fn compile_c_source(
+    src: &str,
+    opts: &CompileOptions,
+) -> Result<Vec<(String, Pipeline)>, SuiteError> {
+    let funcs = phloem_frontend::compile_c(src).map_err(SuiteError::Parse)?;
+    let mut out = Vec::new();
+    for cf in funcs {
+        if !cf.pragmas.phloem {
+            continue;
+        }
+        // Distribution needs stream-terminated consumers (their item
+        // counts change); RAs cannot feed a distribute boundary.
+        let mut fopts = opts.clone();
+        if cf.pragmas.replicate.unwrap_or(1) > 1 && cf.pragmas.distribute {
+            fopts.passes.stream_consumers = true;
+            fopts.passes.use_ra = false;
+        }
+        let pipeline = if cf.pragmas.decouple_loads.is_empty() {
+            phloem_compiler::compile_static(&cf.func, 4, &fopts)
+        } else {
+            phloem_compiler::decouple_with_cuts(&cf.func, &cf.pragmas.decouple_loads, &fopts)
+        }
+        .map_err(SuiteError::Compile)?;
+        let pipeline = match cf.pragmas.replicate {
+            Some(n) if n > 1 => {
+                let distribute = if cf.pragmas.distribute && pipeline.num_queues > 0 {
+                    vec![QueueId(pipeline.num_queues - 1)]
+                } else {
+                    Vec::new()
+                };
+                replicate(
+                    &pipeline,
+                    &ReplicateSpec {
+                        replicas: n,
+                        distribute,
+                        partition_input: true,
+                    },
+                )
+                .map_err(SuiteError::Compile)?
+            }
+            _ => pipeline,
+        };
+        out.push((cf.func.name.clone(), pipeline));
+    }
+    Ok(out)
+}

@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# Repo CI gate. Run from the repo root; fails fast on the first error.
+#
+#   ./ci.sh            # build + test + lint + format check
+#
+# Tier-1 (must always pass): release build + default-package tests.
+# The remaining steps hold the whole workspace to the same bar.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "==> cargo build --release"
+cargo build --release
+
+echo "==> cargo test -q"
+cargo test -q
+
+echo "==> cargo test --workspace -q"
+cargo test --workspace -q
+
+echo "==> cargo clippy --workspace --all-targets -- -D warnings"
+cargo clippy --workspace --all-targets -q -- -D warnings
+
+echo "==> cargo fmt --check"
+cargo fmt --check
+
+echo "CI OK"

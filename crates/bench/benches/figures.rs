@@ -1,8 +1,8 @@
-//! Criterion wrappers running miniature versions of each figure's
+//! Micro-harness wrappers (via `phloem_bench::microbench`) running miniature versions of each figure's
 //! experiment, so `cargo bench` exercises every harness path. The full
 //! tables come from the `fig*`/`tables` binaries (see the crate docs).
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use phloem_bench::microbench::Criterion;
 use phloem_benchsuite::fig14::{run_bfs_replicated, RepVariant};
 use phloem_benchsuite::taco::{self, TacoApp};
 use phloem_benchsuite::{bfs, cc, Variant};
@@ -81,9 +81,11 @@ fn fig14_mini(c: &mut Criterion) {
     });
 }
 
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(10);
-    targets = fig6_mini, fig9_mini, fig12_mini, fig13_mini, fig14_mini
+fn main() {
+    let mut c = Criterion::default().sample_size(10);
+    fig6_mini(&mut c);
+    fig9_mini(&mut c);
+    fig12_mini(&mut c);
+    fig13_mini(&mut c);
+    fig14_mini(&mut c);
 }
-criterion_main!(benches);

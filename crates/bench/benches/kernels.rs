@@ -1,7 +1,7 @@
-//! Criterion microbenchmarks for the substrate components: compiler
+//! Microbenchmarks (wall-clock, via `phloem_bench::microbench`) for the substrate components: compiler
 //! throughput, simulator speed, interpreter speed, generators.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use phloem_bench::microbench::Criterion;
 use phloem_benchsuite::bfs;
 use phloem_compiler::{compile_static, CompileOptions};
 use phloem_ir::{interp, Value};
@@ -65,9 +65,9 @@ fn bench_workloads(c: &mut Criterion) {
     });
 }
 
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(10);
-    targets = bench_compiler, bench_simulator, bench_workloads
+fn main() {
+    let mut c = Criterion::default().sample_size(10);
+    bench_compiler(&mut c);
+    bench_simulator(&mut c);
+    bench_workloads(&mut c);
 }
-criterion_main!(benches);

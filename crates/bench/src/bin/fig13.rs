@@ -41,8 +41,7 @@ fn main() {
     for app in ["BFS", "CC", "Radii"] {
         eprintln!("[fig13] {app}...");
         let kernel = graph_app_kernel(app);
-        let serial =
-            train_graph_cycles(app, &Variant::Serial, &cfg).expect("serial training");
+        let serial = train_graph_cycles(app, &Variant::Serial, &cfg).expect("serial training");
         let pgo = pgo_search(&kernel, serial, |cuts| {
             train_graph_cycles(
                 app,

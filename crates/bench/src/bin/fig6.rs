@@ -25,7 +25,10 @@ fn main() {
     );
     let cfg = machine();
     let serial = bfs::run(&Variant::Serial, &g, 0, &cfg, "road");
-    println!("{:<22} {:>12} cycles {:>9}", "serial", serial.cycles, "1.00x");
+    println!(
+        "{:<22} {:>12} cycles {:>9}",
+        "serial", serial.cycles, "1.00x"
+    );
 
     let loads = bfs::kernel_loads();
     // nodes / edges / dist — the paper's decoupling points.

@@ -1,0 +1,155 @@
+//! Host simulation throughput (`BENCH_simspeed.json`): simulated
+//! megacycles per wall-clock second on the PGO search workload, for the
+//! event-driven scheduler vs. the reference polling scheduler.
+//!
+//! The PGO search (Fig. 13) is the simulator's heaviest consumer — it
+//! profiles every candidate pipeline over the training inputs — so it
+//! is where simulator host-efficiency matters most. Both schedulers
+//! produce bit-identical simulated cycles (asserted here per run); the
+//! difference is purely host work. `Polling` is the seed simulator's
+//! full host model (round-robin re-polling of blocked threads plus its
+//! map-based issue tracker), so the ratio reported here is the host
+//! speedup of the event-driven core over the seed.
+//!
+//! Output: a summary on stdout and `BENCH_simspeed.json` in the current
+//! directory. Set `SCALE=tiny|small|full` as usual; `REPS=<n>` (default
+//! 3) controls how many timed repetitions each scheduler gets (the best
+//! repetition is reported, minimizing host noise).
+
+use std::time::Instant;
+
+use phloem_bench::{header, machine, scale};
+use phloem_benchsuite::{bfs, Variant};
+use phloem_compiler::search::{enumerate_pipelines, SearchOptions};
+use phloem_compiler::PassConfig;
+use phloem_ir::LoadId;
+use phloem_workloads::training_graphs;
+use pipette_sim::{MachineConfig, SchedulerKind};
+
+/// Profiles one candidate cut set over the training graphs; returns the
+/// total simulated cycles, or `None` if the candidate fails to compile
+/// or run (the search skips such candidates in every scheduler mode
+/// alike, so the workloads stay comparable).
+fn profile_candidate(cuts: &[LoadId], cfg: &MachineConfig) -> Option<u64> {
+    let v = Variant::Phloem {
+        passes: PassConfig::all(),
+        stages: 4,
+        cuts: cuts.to_vec(),
+    };
+    let mut total = 0u64;
+    for gi in training_graphs(scale()) {
+        let m = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            bfs::run(&v, &gi.graph, 0, cfg, gi.name)
+        }))
+        .ok()?;
+        total += m.cycles;
+    }
+    Some(total)
+}
+
+/// One timed sweep of the whole PGO search workload: every candidate,
+/// every training graph. Returns `(total simulated cycles, per-candidate
+/// cycle totals)` — the latter is compared across schedulers to assert
+/// bit-identical timing.
+fn sweep(candidates: &[Vec<LoadId>], cfg: &MachineConfig) -> (u64, Vec<Option<u64>>) {
+    let mut per_candidate = Vec::with_capacity(candidates.len());
+    let mut total = 0u64;
+    for cuts in candidates {
+        let c = profile_candidate(cuts, cfg);
+        total += c.unwrap_or(0);
+        per_candidate.push(c);
+    }
+    (total, per_candidate)
+}
+
+struct Timed {
+    best_secs: f64,
+    sim_cycles: u64,
+    per_candidate: Vec<Option<u64>>,
+}
+
+fn time_scheduler(kind: SchedulerKind, candidates: &[Vec<LoadId>], reps: usize) -> Timed {
+    let mut cfg = machine();
+    cfg.scheduler = kind;
+    // Warm-up (page cache, lazy allocations) outside the timed region.
+    let _ = profile_candidate(&candidates[0], &cfg);
+    let mut best_secs = f64::INFINITY;
+    let mut sim_cycles = 0;
+    let mut per_candidate = Vec::new();
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        let (total, per) = sweep(candidates, &cfg);
+        let secs = t0.elapsed().as_secs_f64();
+        if secs < best_secs {
+            best_secs = secs;
+        }
+        sim_cycles = total;
+        per_candidate = per;
+    }
+    Timed {
+        best_secs,
+        sim_cycles,
+        per_candidate,
+    }
+}
+
+fn main() {
+    let reps: usize = std::env::var("REPS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(3)
+        .max(1);
+    let kernel = bfs::kernel();
+    let candidates: Vec<Vec<LoadId>> = enumerate_pipelines(&kernel, &SearchOptions::default())
+        .into_iter()
+        .map(|(cuts, _)| cuts)
+        .collect();
+
+    header("Sim throughput: BFS PGO search workload");
+    println!(
+        "  {} candidate pipelines x {} training graphs, {} reps each (best kept)",
+        candidates.len(),
+        training_graphs(scale()).len(),
+        reps
+    );
+
+    let polling = time_scheduler(SchedulerKind::Polling, &candidates, reps);
+    let event = time_scheduler(SchedulerKind::EventDriven, &candidates, reps);
+
+    assert_eq!(
+        event.per_candidate, polling.per_candidate,
+        "schedulers disagreed on simulated cycles"
+    );
+
+    let mcps = |t: &Timed| t.sim_cycles as f64 / 1e6 / t.best_secs;
+    let (ev_mcps, po_mcps) = (mcps(&event), mcps(&polling));
+    let speedup = ev_mcps / po_mcps;
+    println!(
+        "  polling (seed reference): {:>8.1} Mcycles/s  ({:.3} s, {} Mcycles)",
+        po_mcps,
+        polling.best_secs,
+        polling.sim_cycles / 1_000_000
+    );
+    println!(
+        "  event-driven            : {:>8.1} Mcycles/s  ({:.3} s, {} Mcycles)",
+        ev_mcps,
+        event.best_secs,
+        event.sim_cycles / 1_000_000
+    );
+    println!("  host speedup : {speedup:.2}x (identical simulated cycles in both modes)");
+
+    let json = format!(
+        "{{\n  \"bench\": \"simspeed\",\n  \"workload\": \"BFS PGO search over training graphs\",\n  \"scale\": \"{:?}\",\n  \"candidates\": {},\n  \"reps\": {},\n  \"sim_cycles_total\": {},\n  \"polling\": {{ \"wall_s\": {:.6}, \"mcycles_per_s\": {:.3} }},\n  \"event_driven\": {{ \"wall_s\": {:.6}, \"mcycles_per_s\": {:.3} }},\n  \"host_speedup_event_over_polling\": {:.4}\n}}\n",
+        scale(),
+        candidates.len(),
+        reps,
+        event.sim_cycles,
+        polling.best_secs,
+        po_mcps,
+        event.best_secs,
+        ev_mcps,
+        speedup
+    );
+    std::fs::write("BENCH_simspeed.json", &json).expect("write BENCH_simspeed.json");
+    println!("  wrote BENCH_simspeed.json");
+}

@@ -22,6 +22,8 @@
 
 #![warn(missing_docs)]
 
+pub mod microbench;
+
 use phloem_benchsuite::{gmean, Measurement, Variant};
 use phloem_workloads::Scale;
 use pipette_sim::MachineConfig;
@@ -114,24 +116,6 @@ pub fn speedups_vs_serial(per_input: &[Vec<Measurement>]) -> Vec<f64> {
         .collect()
 }
 
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn speedup_math() {
-        let mk = |cycles: u64| Measurement {
-            variant: "v".into(),
-            input: "i".into(),
-            cycles,
-            stats: Default::default(),
-        };
-        let per_input = vec![vec![mk(100), mk(50)], vec![mk(200), mk(50)]];
-        let s = speedups_vs_serial(&per_input);
-        assert!((s[0] - (2.0f64 * 4.0).sqrt()).abs() < 1e-9);
-    }
-}
-
 // ---------------------------------------------------------------------
 // Shared experiment drivers (fig9 / fig10 / fig11 / fig13 reuse these)
 // ---------------------------------------------------------------------
@@ -193,11 +177,9 @@ pub fn pgo_search(
     let mut points = Vec::new();
     let mut best: Option<(Vec<LoadId>, f64)> = None;
     for (cuts, pipe) in &cands {
-        let cycles = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            run_cuts(cuts)
-        }))
-        .ok()
-        .flatten();
+        let cycles = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| run_cuts(cuts)))
+            .ok()
+            .flatten();
         if let Some(c) = cycles {
             points.push((pipe.total_stages(), serial_train_cycles / c));
             if best.as_ref().map(|(_, b)| c < *b).unwrap_or(true) {
@@ -249,8 +231,8 @@ pub fn fig9_matrix(with_pgo: bool) -> Vec<(String, Vec<Vec<Measurement>>)> {
         let mut variants = fig9_variants(cfg.smt_threads);
         if with_pgo {
             let kernel = graph_app_kernel(app);
-            let serial = train_graph_cycles(app, &Variant::Serial, &cfg)
-                .expect("serial training run");
+            let serial =
+                train_graph_cycles(app, &Variant::Serial, &cfg).expect("serial training run");
             let pgo = pgo_search(&kernel, serial, |cuts| {
                 train_graph_cycles(
                     app,
@@ -284,8 +266,7 @@ pub fn fig9_matrix(with_pgo: bool) -> Vec<(String, Vec<Vec<Measurement>>)> {
     let mut variants = fig9_variants(cfg.smt_threads);
     if with_pgo {
         let kernel = phloem_benchsuite::spmm::kernel();
-        let serial =
-            train_spmm_cycles(&Variant::Serial, &cfg).expect("serial SpMM training");
+        let serial = train_spmm_cycles(&Variant::Serial, &cfg).expect("serial SpMM training");
         let pgo = pgo_search(&kernel, serial, |cuts| {
             train_spmm_cycles(
                 &Variant::Phloem {
@@ -314,4 +295,22 @@ pub fn fig9_matrix(with_pgo: bool) -> Vec<(String, Vec<Vec<Measurement>>)> {
     }
     out.push(("SpMM".to_string(), rows));
     out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn speedup_math() {
+        let mk = |cycles: u64| Measurement {
+            variant: "v".into(),
+            input: "i".into(),
+            cycles,
+            stats: Default::default(),
+        };
+        let per_input = vec![vec![mk(100), mk(50)], vec![mk(200), mk(50)]];
+        let s = speedups_vs_serial(&per_input);
+        assert!((s[0] - (2.0f64 * 4.0).sqrt()).abs() < 1e-9);
+    }
 }

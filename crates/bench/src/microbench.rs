@@ -1,0 +1,121 @@
+//! A tiny wall-clock micro-benchmark harness with a Criterion-shaped
+//! API (`Criterion::bench_function` / `Bencher::iter`), used by the
+//! `[[bench]]` targets since the offline build cannot fetch the real
+//! `criterion` crate (see `crates/shims/README.md`).
+
+use std::time::{Duration, Instant};
+
+/// Harness entry point: collects samples and prints one line per
+/// benchmark (`name  median ns/iter  (samples x iters)`).
+pub struct Criterion {
+    sample_size: usize,
+    target_sample_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 20,
+            target_sample_time: Duration::from_millis(50),
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(3);
+        self
+    }
+
+    /// Runs one benchmark: calibrates an iteration count, takes samples,
+    /// and prints the median time per iteration.
+    pub fn bench_function(&mut self, name: &str, mut f: impl FnMut(&mut Bencher)) {
+        // Calibration: find iters/sample so one sample is long enough to
+        // time reliably.
+        let mut iters = 1u64;
+        loop {
+            let mut b = Bencher {
+                iters,
+                elapsed: Duration::ZERO,
+            };
+            f(&mut b);
+            if b.elapsed >= self.target_sample_time || iters >= 1 << 20 {
+                break;
+            }
+            let grow = (self.target_sample_time.as_nanos() as u64)
+                .checked_div(b.elapsed.as_nanos().max(1) as u64)
+                .unwrap_or(2)
+                .clamp(2, 16);
+            iters = iters.saturating_mul(grow);
+        }
+        let mut samples: Vec<f64> = (0..self.sample_size)
+            .map(|_| {
+                let mut b = Bencher {
+                    iters,
+                    elapsed: Duration::ZERO,
+                };
+                f(&mut b);
+                b.elapsed.as_nanos() as f64 / iters as f64
+            })
+            .collect();
+        samples.sort_by(|a, b| a.total_cmp(b));
+        let median = samples[samples.len() / 2];
+        println!(
+            "{name:<40} {:>14}/iter   ({} samples x {iters} iters)",
+            fmt_ns(median),
+            samples.len(),
+        );
+    }
+}
+
+/// Passed to the benchmark closure; times the hot loop.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `iters` executions of `f` (results are passed through
+    /// [`std::hint::black_box`] so the work is not optimized away).
+    pub fn iter<O>(&mut self, mut f: impl FnMut() -> O) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            std::hint::black_box(f());
+        }
+        self.elapsed += start.elapsed();
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} us", ns / 1e3)
+    } else {
+        format!("{ns:.1} ns")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn harness_runs_and_counts_iters() {
+        let mut c = Criterion::default().sample_size(3);
+        let mut total = 0u64;
+        c.bench_function("noop", |b| b.iter(|| total += 1));
+        assert!(total > 0);
+    }
+
+    #[test]
+    fn ns_formatting() {
+        assert_eq!(fmt_ns(12.0), "12.0 ns");
+        assert!(fmt_ns(2.5e3).ends_with("us"));
+        assert!(fmt_ns(2.5e6).ends_with("ms"));
+        assert!(fmt_ns(2.5e9).ends_with('s'));
+    }
+}

@@ -18,11 +18,11 @@
 use crate::runner::{data_parallel_pipeline, serial_pipeline, Measurement, Variant};
 use phloem_compiler::{compile_static, decouple_with_cuts, CompileOptions};
 use phloem_ir::{
-    ArrayDecl, ArrayId, BinOp, CtrlHandler, Expr, Function, FunctionBuilder, HandlerEnd,
-    MemState, Pipeline, QueueId, RaConfig, RaMode, StageProgram, Value,
+    ArrayDecl, ArrayId, BinOp, CtrlHandler, Expr, Function, FunctionBuilder, HandlerEnd, MemState,
+    Pipeline, QueueId, RaConfig, RaMode, StageProgram, Value,
 };
-use pipette_sim::{MachineConfig, Session};
 use phloem_workloads::Graph;
+use pipette_sim::{MachineConfig, Session};
 
 const DONE: u32 = 0;
 const NEXT: u32 = 1;
@@ -350,13 +350,18 @@ pub fn pipeline_for(
 ///
 /// # Panics
 /// Panics if the variant's final distances differ from the oracle.
-pub fn run(variant: &Variant, g: &Graph, root: usize, cfg: &MachineConfig, input: &str) -> Measurement {
+pub fn run(
+    variant: &Variant,
+    g: &Graph,
+    root: usize,
+    cfg: &MachineConfig,
+    input: &str,
+) -> Measurement {
     let threads = match variant {
         Variant::DataParallel(t) => *t,
         _ => 1,
     };
-    let pipeline =
-        pipeline_for(variant, g.num_vertices, cfg).expect("BFS pipeline construction");
+    let pipeline = pipeline_for(variant, g.num_vertices, cfg).expect("BFS pipeline construction");
     let (mem, arrays) = build_mem(g, root, threads);
     let mut session = Session::new(cfg.clone(), mem);
     let mut len = 1i64;
@@ -386,7 +391,10 @@ pub fn run(variant: &Variant, g: &Graph, root: usize, cfg: &MachineConfig, input
         }
         len = next.len() as i64;
         for (k, v) in next.iter().enumerate() {
-            session.mem_mut().store(arrays.fringe, k as i64, *v).unwrap();
+            session
+                .mem_mut()
+                .store(arrays.fringe, k as i64, *v)
+                .unwrap();
         }
         cur_dist += 1;
         rounds += 1;

@@ -14,11 +14,11 @@
 use crate::runner::{data_parallel_pipeline, serial_pipeline, Measurement, Variant};
 use phloem_compiler::{compile_static, CompileOptions};
 use phloem_ir::{
-    ArrayDecl, ArrayId, BinOp, CtrlHandler, Expr, Function, FunctionBuilder, HandlerEnd,
-    MemState, Pipeline, QueueId, RaConfig, RaMode, StageProgram, Value,
+    ArrayDecl, ArrayId, BinOp, CtrlHandler, Expr, Function, FunctionBuilder, HandlerEnd, MemState,
+    Pipeline, QueueId, RaConfig, RaMode, StageProgram, Value,
 };
-use pipette_sim::{MachineConfig, Session};
 use phloem_workloads::Graph;
+use pipette_sim::{MachineConfig, Session};
 
 const DONE: u32 = 0;
 const NEXT: u32 = 1;
@@ -152,7 +152,11 @@ pub fn dp_kernel(tid: usize, threads: usize, segment: usize) -> Function {
     let nt = threads as i64;
     b.assign(
         lo,
-        Expr::bin(BinOp::Div, Expr::mul(Expr::var(nl), Expr::i64(t)), Expr::i64(nt)),
+        Expr::bin(
+            BinOp::Div,
+            Expr::mul(Expr::var(nl), Expr::i64(t)),
+            Expr::i64(nt),
+        ),
     );
     b.assign(
         hi,
@@ -345,7 +349,11 @@ pub fn pipeline_for(
             let funcs = (0..*t).map(|k| dp_kernel(k, *t, seg)).collect();
             Ok(data_parallel_pipeline(funcs, cfg.smt_threads))
         }
-        Variant::Phloem { passes, stages, cuts } => {
+        Variant::Phloem {
+            passes,
+            stages,
+            cuts,
+        } => {
             let opts = CompileOptions {
                 passes: *passes,
                 smt_threads: cfg.smt_threads,
@@ -405,7 +413,10 @@ pub fn run(variant: &Variant, g: &Graph, cfg: &MachineConfig, input: &str) -> Me
         }
         len = next.len() as i64;
         for (k, v) in next.iter().enumerate() {
-            session.mem_mut().store(arrays.fringe, k as i64, *v).unwrap();
+            session
+                .mem_mut()
+                .store(arrays.fringe, k as i64, *v)
+                .unwrap();
         }
         rounds += 1;
         assert!(rounds < 1_000_000, "CC did not converge");
@@ -450,7 +461,17 @@ mod tests {
         let cfg = MachineConfig::paper_1core();
         let p = pipeline_for(&Variant::phloem(), 100, &cfg).unwrap();
         // fetch -> chained RAs -> update (labels co-staged by Fig. 4 rule).
-        assert_eq!(p.total_stages(), 4, "{}", phloem_ir::pretty::pipeline_to_string(&p));
-        assert_eq!(p.ra_stages(), 2, "{}", phloem_ir::pretty::pipeline_to_string(&p));
+        assert_eq!(
+            p.total_stages(),
+            4,
+            "{}",
+            phloem_ir::pretty::pipeline_to_string(&p)
+        );
+        assert_eq!(
+            p.ra_stages(),
+            2,
+            "{}",
+            phloem_ir::pretty::pipeline_to_string(&p)
+        );
     }
 }

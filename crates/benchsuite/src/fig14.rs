@@ -18,11 +18,11 @@
 
 use crate::runner::Measurement;
 use phloem_ir::{
-    ArrayDecl, ArrayId, BinOp, CtrlHandler, Expr, FunctionBuilder, HandlerEnd, Pipeline,
-    QueueId, RaConfig, RaMode, StageProgram, Stmt, Value, VarId,
+    ArrayDecl, ArrayId, BinOp, CtrlHandler, Expr, FunctionBuilder, HandlerEnd, Pipeline, QueueId,
+    RaConfig, RaMode, StageProgram, Stmt, Value, VarId,
 };
-use pipette_sim::{MachineConfig, Session};
 use phloem_workloads::Graph;
+use pipette_sim::{MachineConfig, Session};
 
 const DONE: u32 = 0;
 
@@ -36,11 +36,7 @@ pub enum RepVariant {
 }
 
 fn pack(hi: Expr, lo: Expr) -> Expr {
-    Expr::bin(
-        BinOp::Or,
-        Expr::bin(BinOp::Shl, hi, Expr::i64(32)),
-        lo,
-    )
+    Expr::bin(BinOp::Or, Expr::bin(BinOp::Shl, hi, Expr::i64(32)), lo)
 }
 
 fn unpack_lo(b: &mut FunctionBuilder, x: VarId, dst: VarId) {
@@ -210,11 +206,7 @@ pub fn bfs_replicated(replicas: usize, _variant: RepVariant) -> Pipeline {
             let lo2 = f.load(dist, Expr::var(ngh));
             f.assign(od, lo2);
             f.if_then(Expr::bin(BinOp::Gt, Expr::var(od), Expr::var(cd)), |f| {
-                f.store(
-                    dist,
-                    Expr::var(ngh),
-                    Expr::var(cd),
-                );
+                f.store(dist, Expr::var(ngh), Expr::var(cd));
                 f.store(
                     nf,
                     Expr::add(
@@ -289,7 +281,10 @@ pub fn run_bfs_replicated(
         }
         len = next.len() as i64;
         for (k, v) in next.iter().enumerate() {
-            session.mem_mut().store(arrays.fringe, k as i64, *v).unwrap();
+            session
+                .mem_mut()
+                .store(arrays.fringe, k as i64, *v)
+                .unwrap();
         }
         cur_dist += 1;
     }
@@ -541,7 +536,10 @@ pub fn run_cc_replicated(
         }
         len = next.len() as i64;
         for (k, v) in next.iter().enumerate() {
-            session.mem_mut().store(arrays.fringe, k as i64, *v).unwrap();
+            session
+                .mem_mut()
+                .store(arrays.fringe, k as i64, *v)
+                .unwrap();
         }
         rounds += 1;
         assert!(rounds < 1_000_000);
@@ -559,7 +557,6 @@ pub fn run_cc_replicated(
         stats,
     }
 }
-
 
 // ---------------------------------------------------------------------
 // Radii: 2 stages x 2R replicas (Phloem) vs 3 stages x R (manual)
@@ -662,7 +659,10 @@ pub fn radii_replicated(cores: usize, variant: RepVariant) -> Pipeline {
             });
             let done_bcast: Vec<Stmt> = upd_queues
                 .iter()
-                .map(|qq| Stmt::EnqCtrl { queue: *qq, ctrl: DONE })
+                .map(|qq| Stmt::EnqCtrl {
+                    queue: *qq,
+                    ctrl: DONE,
+                })
                 .collect();
             p.add_stage(
                 StageProgram {
@@ -791,7 +791,10 @@ pub fn run_radii_replicated(
         session
             .run(
                 &pipeline,
-                &[("round", Value::I64(round)), ("seg", Value::I64(seg as i64))],
+                &[
+                    ("round", Value::I64(round)),
+                    ("seg", Value::I64(seg as i64)),
+                ],
             )
             .unwrap_or_else(|e| panic!("radii-rep round {round}: {e}"));
         let mut next = Vec::new();
@@ -813,7 +816,10 @@ pub fn run_radii_replicated(
         }
         len = next.len() as i64;
         for (k, v) in next.iter().enumerate() {
-            session.mem_mut().store(arrays.fringe, k as i64, *v).unwrap();
+            session
+                .mem_mut()
+                .store(arrays.fringe, k as i64, *v)
+                .unwrap();
         }
         let nv = session.mem().values(arrays.nvisited).to_vec();
         session.mem_mut().set_values(arrays.visited, nv);
@@ -928,7 +934,10 @@ pub fn prd_scatter_replicated(cores: usize, variant: RepVariant) -> Pipeline {
         });
         let done_bcast: Vec<Stmt> = upd_queues
             .iter()
-            .map(|qq| Stmt::EnqCtrl { queue: *qq, ctrl: DONE })
+            .map(|qq| Stmt::EnqCtrl {
+                queue: *qq,
+                ctrl: DONE,
+            })
             .collect();
         p.add_stage(
             StageProgram {
@@ -976,10 +985,7 @@ pub fn prd_scatter_replicated(cores: usize, variant: RepVariant) -> Pipeline {
             f.store(
                 acc,
                 Expr::var(ngh2),
-                Expr::add(
-                    Expr::var(a2),
-                    Expr::mul(Expr::var(dv), Expr::var(iv)),
-                ),
+                Expr::add(Expr::var(a2), Expr::mul(Expr::var(dv), Expr::var(iv))),
             );
         });
         p.add_stage(
@@ -1046,7 +1052,10 @@ pub fn run_prd_replicated(
         }
         len = next.len() as i64;
         for (k, v) in next.iter().enumerate() {
-            session.mem_mut().store(arrays.active, k as i64, *v).unwrap();
+            session
+                .mem_mut()
+                .store(arrays.active, k as i64, *v)
+                .unwrap();
         }
     }
     let (mem, stats) = session.finish();

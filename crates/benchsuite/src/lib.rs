@@ -11,8 +11,8 @@ pub mod cc;
 pub mod fig14;
 pub mod prd;
 pub mod radii;
+pub mod runner;
 pub mod spmm;
 pub mod taco;
-pub mod runner;
 
 pub use runner::{gmean, Measurement, Variant};

@@ -15,11 +15,11 @@
 use crate::runner::{data_parallel_pipeline, serial_pipeline, Measurement, Variant};
 use phloem_compiler::{compile_static, CompileOptions};
 use phloem_ir::{
-    ArrayDecl, ArrayId, BinOp, CtrlHandler, Expr, Function, FunctionBuilder, HandlerEnd,
-    MemState, Pipeline, QueueId, RaConfig, RaMode, StageProgram, UnOp, Value,
+    ArrayDecl, ArrayId, BinOp, CtrlHandler, Expr, Function, FunctionBuilder, HandlerEnd, MemState,
+    Pipeline, QueueId, RaConfig, RaMode, StageProgram, UnOp, Value,
 };
-use pipette_sim::{MachineConfig, Session};
 use phloem_workloads::Graph;
+use pipette_sim::{MachineConfig, Session};
 
 const DONE: u32 = 0;
 const NEXT: u32 = 1;
@@ -208,7 +208,11 @@ pub fn dp_scatter(tid: usize, threads: usize) -> Function {
     let nt = threads as i64;
     b.assign(
         lo,
-        Expr::bin(BinOp::Div, Expr::mul(Expr::var(nl), Expr::i64(t)), Expr::i64(nt)),
+        Expr::bin(
+            BinOp::Div,
+            Expr::mul(Expr::var(nl), Expr::i64(t)),
+            Expr::i64(nt),
+        ),
     );
     b.assign(
         hi,
@@ -438,7 +442,11 @@ pub fn pipelines_for(
             (0..*t).map(|k| dp_scatter(k, *t)).collect(),
             cfg.smt_threads,
         ),
-        Variant::Phloem { passes, stages, cuts } => {
+        Variant::Phloem {
+            passes,
+            stages,
+            cuts,
+        } => {
             let opts = phloem_opts(cfg, *passes);
             if cuts.is_empty() {
                 compile_static(&scatter_kernel(), *stages, &opts)?
@@ -511,7 +519,10 @@ pub fn run_with_ranks(
         }
         len = next.len() as i64;
         for (k, v) in next.iter().enumerate() {
-            session.mem_mut().store(arrays.active, k as i64, *v).unwrap();
+            session
+                .mem_mut()
+                .store(arrays.active, k as i64, *v)
+                .unwrap();
         }
     }
     let (mem, stats) = session.finish();

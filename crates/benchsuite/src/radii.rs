@@ -10,11 +10,11 @@
 use crate::runner::{data_parallel_pipeline, serial_pipeline, Measurement, Variant};
 use phloem_compiler::{compile_static, CompileOptions};
 use phloem_ir::{
-    ArrayDecl, ArrayId, BinOp, CtrlHandler, Expr, Function, FunctionBuilder, HandlerEnd,
-    MemState, Pipeline, QueueId, RaConfig, RaMode, StageProgram, Value,
+    ArrayDecl, ArrayId, BinOp, CtrlHandler, Expr, Function, FunctionBuilder, HandlerEnd, MemState,
+    Pipeline, QueueId, RaConfig, RaMode, StageProgram, Value,
 };
-use pipette_sim::{MachineConfig, Session};
 use phloem_workloads::Graph;
+use pipette_sim::{MachineConfig, Session};
 
 const DONE: u32 = 0;
 const NEXT: u32 = 1;
@@ -182,7 +182,11 @@ pub fn dp_kernel(tid: usize, threads: usize, segment: usize) -> Function {
     let nt = threads as i64;
     b.assign(
         lo,
-        Expr::bin(BinOp::Div, Expr::mul(Expr::var(nl), Expr::i64(t)), Expr::i64(nt)),
+        Expr::bin(
+            BinOp::Div,
+            Expr::mul(Expr::var(nl), Expr::i64(t)),
+            Expr::i64(nt),
+        ),
     );
     b.assign(
         hi,
@@ -204,7 +208,13 @@ pub fn dp_kernel(tid: usize, threads: usize, segment: usize) -> Function {
         f.for_loop(j, Expr::var(s), Expr::var(e), |f| {
             let lngh = f.load(edges, Expr::var(j));
             f.assign(ngh, lngh);
-            f.atomic_rmw(BinOp::Or, nvisited, Expr::var(ngh), Expr::var(mv), Some(old));
+            f.atomic_rmw(
+                BinOp::Or,
+                nvisited,
+                Expr::var(ngh),
+                Expr::var(mv),
+                Some(old),
+            );
             f.if_then(
                 Expr::ne(
                     Expr::bin(BinOp::Or, Expr::var(old), Expr::var(mv)),
@@ -404,7 +414,11 @@ pub fn pipeline_for(
             let funcs = (0..*t).map(|k| dp_kernel(k, *t, seg)).collect();
             Ok(data_parallel_pipeline(funcs, cfg.smt_threads))
         }
-        Variant::Phloem { passes, stages, cuts } => {
+        Variant::Phloem {
+            passes,
+            stages,
+            cuts,
+        } => {
             let opts = CompileOptions {
                 passes: *passes,
                 smt_threads: cfg.smt_threads,
@@ -468,7 +482,10 @@ pub fn run(variant: &Variant, g: &Graph, cfg: &MachineConfig, input: &str) -> Me
         }
         len = next.len() as i64;
         for (k, v) in next.iter().enumerate() {
-            session.mem_mut().store(arrays.fringe, k as i64, *v).unwrap();
+            session
+                .mem_mut()
+                .store(arrays.fringe, k as i64, *v)
+                .unwrap();
         }
         // Double-buffer swap: visited <- nvisited (host work, free).
         let nv = session.mem().values(arrays.nvisited).to_vec();

@@ -19,8 +19,8 @@ use phloem_ir::{
     ArrayDecl, ArrayId, BinOp, Expr, Function, FunctionBuilder, MemState, Pipeline, QueueId,
     RaConfig, RaMode, StageProgram, UnOp, Value,
 };
-use pipette_sim::{MachineConfig, Session};
 use phloem_workloads::SparseMatrix;
+use pipette_sim::{MachineConfig, Session};
 
 const DONE: u32 = 0;
 const NEXT: u32 = 1;
@@ -72,6 +72,7 @@ pub fn build_mem(a: &SparseMatrix, bt: &SparseMatrix, threads: usize) -> (MemSta
     )
 }
 
+#[allow(clippy::too_many_arguments)]
 fn emit_merge_body(
     b: &mut FunctionBuilder,
     aci: ArrayId,
@@ -200,7 +201,11 @@ pub fn dp_kernel(tid: usize, threads: usize) -> Function {
     let nt = threads as i64;
     b.assign(
         lo,
-        Expr::bin(BinOp::Div, Expr::mul(Expr::var(n), Expr::i64(t)), Expr::i64(nt)),
+        Expr::bin(
+            BinOp::Div,
+            Expr::mul(Expr::var(n), Expr::i64(t)),
+            Expr::i64(nt),
+        ),
     );
     b.assign(
         hi,
@@ -454,7 +459,11 @@ pub fn pipeline_for(
             (0..*t).map(|k| dp_kernel(k, *t)).collect(),
             cfg.smt_threads,
         )),
-        Variant::Phloem { passes, stages, cuts } => {
+        Variant::Phloem {
+            passes,
+            stages,
+            cuts,
+        } => {
             let opts = CompileOptions {
                 passes: *passes,
                 smt_threads: cfg.smt_threads,

@@ -45,8 +45,8 @@ impl std::error::Error for LexError {}
 
 const PUNCTS: &[&str] = &[
     "<<=", ">>=", "==", "!=", "<=", ">=", "&&", "||", "<<", ">>", "++", "--", "+=", "-=", "*=",
-    "/=", "|=", "&=", "^=", "->", "(", ")", "{", "}", "[", "]", ";", ",", "=", "<", ">", "+",
-    "-", "*", "/", "%", "!", "&", "|", "^", "~",
+    "/=", "|=", "&=", "^=", "->", "(", ")", "{", "}", "[", "]", ";", ",", "=", "<", ">", "+", "-",
+    "*", "/", "%", "!", "&", "|", "^", "~",
 ];
 
 /// Tokenizes PhloemC source.
@@ -130,7 +130,8 @@ pub fn lex(src: &str) -> Result<Vec<Token>, LexError> {
                     || bytes[i] == '.'
                     || bytes[i] == 'e'
                     || bytes[i] == 'E'
-                    || (is_float && (bytes[i] == '+' || bytes[i] == '-')
+                    || (is_float
+                        && (bytes[i] == '+' || bytes[i] == '-')
                         && matches!(bytes[i - 1], 'e' | 'E')))
             {
                 if bytes[i] == '.' || bytes[i] == 'e' || bytes[i] == 'E' {

@@ -138,13 +138,18 @@ mod tests {
 
     #[test]
     fn useful_errors() {
-        assert!(compile_c("void f() { x = 1; }").unwrap_err().msg.contains("undeclared"));
-        assert!(compile_c("long f() {}").is_err());
-        assert!(compile_c("void f() { g(); }").is_err());
-        assert!(compile_c("void f(long n) { for (long i = 0; i < n; i += 2) { } }")
+        assert!(compile_c("void f() { x = 1; }")
             .unwrap_err()
             .msg
-            .contains("unit-stride"));
+            .contains("undeclared"));
+        assert!(compile_c("long f() {}").is_err());
+        assert!(compile_c("void f() { g(); }").is_err());
+        assert!(
+            compile_c("void f(long n) { for (long i = 0; i < n; i += 2) { } }")
+                .unwrap_err()
+                .msg
+                .contains("unit-stride")
+        );
     }
 
     #[test]

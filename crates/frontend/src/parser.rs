@@ -15,7 +15,9 @@
 //!   free, which the grammar already guarantees).
 
 use crate::lexer::{lex, Tok, Token};
-use phloem_ir::{ArrayDecl, ArrayId, BinOp, Expr, Function, FunctionBuilder, LoadId, Ty, UnOp, VarId};
+use phloem_ir::{
+    ArrayDecl, ArrayId, BinOp, Expr, Function, FunctionBuilder, LoadId, Ty, UnOp, VarId,
+};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use std::fmt;

@@ -201,12 +201,7 @@ impl FunctionBuilder {
     }
 
     /// Emits `if (cond) { ... } else { ... }`.
-    pub fn if_else(
-        &mut self,
-        cond: Expr,
-        t: impl FnOnce(&mut Self),
-        e: impl FnOnce(&mut Self),
-    ) {
+    pub fn if_else(&mut self, cond: Expr, t: impl FnOnce(&mut Self), e: impl FnOnce(&mut Self)) {
         let id = self.fresh_branch();
         self.stack.push(Vec::new());
         t(self);

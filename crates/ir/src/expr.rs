@@ -77,16 +77,21 @@ impl Expr {
     }
 
     /// `a + b`.
+    // Not `std::ops::Add`: these are static two-argument constructors,
+    // not methods on `self` (same below for `sub`/`mul`).
+    #[allow(clippy::should_implement_trait)]
     pub fn add(a: Expr, b: Expr) -> Expr {
         Expr::bin(BinOp::Add, a, b)
     }
 
     /// `a - b`.
+    #[allow(clippy::should_implement_trait)]
     pub fn sub(a: Expr, b: Expr) -> Expr {
         Expr::bin(BinOp::Sub, a, b)
     }
 
     /// `a * b`.
+    #[allow(clippy::should_implement_trait)]
     pub fn mul(a: Expr, b: Expr) -> Expr {
         Expr::bin(BinOp::Mul, a, b)
     }

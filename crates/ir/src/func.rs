@@ -131,11 +131,7 @@ impl Function {
         self.visit_validate(&self.body, 0, &mut seen_loads)
     }
 
-    fn check_expr(
-        &self,
-        e: &Expr,
-        seen_loads: &mut Vec<LoadId>,
-    ) -> Result<(), ValidateError> {
+    fn check_expr(&self, e: &Expr, seen_loads: &mut Vec<LoadId>) -> Result<(), ValidateError> {
         match e {
             Expr::Const(_) => Ok(()),
             Expr::Var(v) => {
@@ -307,10 +303,10 @@ impl Function {
         let mut out = Vec::new();
         for s in &self.body {
             s.for_each(&mut |s| match s {
-                Stmt::Enq { queue, .. } | Stmt::EnqCtrl { queue, .. } | Stmt::Deq { queue, .. } => {
-                    if !out.contains(queue) {
-                        out.push(*queue);
-                    }
+                Stmt::Enq { queue, .. } | Stmt::EnqCtrl { queue, .. } | Stmt::Deq { queue, .. }
+                    if !out.contains(queue) =>
+                {
+                    out.push(*queue);
                 }
                 Stmt::EnqSel { queues, .. } => {
                     for queue in queues {

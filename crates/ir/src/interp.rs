@@ -69,9 +69,7 @@ pub fn run_serial(
             StepResult::Progress => {}
             StepResult::Finished => break,
             StepResult::Blocked(b) => {
-                return Err(Trap::Deadlock(format!(
-                    "serial function blocked on {b:?}"
-                )))
+                return Err(Trap::Deadlock(format!("serial function blocked on {b:?}")))
             }
         }
     }

@@ -66,6 +66,4 @@ pub use pipeline::{Pipeline, RaConfig, RaMode, Stage, StageKind, StageProgram};
 pub use step::{bind_params, StageSpec, StepInterp};
 pub use stmt::{CtrlHandler, HandlerEnd, Stmt};
 pub use value::{eval_binop, eval_unop, BinOp, Trap, Ty, UnOp, Value};
-pub use world::{
-    BlockReason, FunctionalWorld, OpCounts, StepResult, Tid, Time, UopClass, World,
-};
+pub use world::{BlockReason, FunctionalWorld, OpCounts, StepResult, Tid, Time, UopClass, World};

@@ -71,22 +71,14 @@ impl MemState {
     }
 
     /// Allocates an integer array from an iterator of `i64`.
-    pub fn alloc_i64(
-        &mut self,
-        decl: ArrayDecl,
-        data: impl IntoIterator<Item = i64>,
-    ) -> ArrayId {
+    pub fn alloc_i64(&mut self, decl: ArrayDecl, data: impl IntoIterator<Item = i64>) -> ArrayId {
         debug_assert_eq!(decl.ty, Ty::I64);
         let vals: Vec<Value> = data.into_iter().map(Value::I64).collect();
         self.alloc_init(decl, vals)
     }
 
     /// Allocates a float array from an iterator of `f64`.
-    pub fn alloc_f64(
-        &mut self,
-        decl: ArrayDecl,
-        data: impl IntoIterator<Item = f64>,
-    ) -> ArrayId {
+    pub fn alloc_f64(&mut self, decl: ArrayDecl, data: impl IntoIterator<Item = f64>) -> ArrayId {
         debug_assert_eq!(decl.ty, Ty::F64);
         let vals: Vec<Value> = data.into_iter().map(Value::F64).collect();
         self.alloc_init(decl, vals)

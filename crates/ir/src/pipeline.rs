@@ -157,7 +157,12 @@ impl Pipeline {
     ///
     /// # Errors
     /// Returns a descriptive trap for the first violation.
-    pub fn check(&self, max_queues: u16, smt_threads: usize, ras_per_core: usize) -> Result<(), Trap> {
+    pub fn check(
+        &self,
+        max_queues: u16,
+        smt_threads: usize,
+        ras_per_core: usize,
+    ) -> Result<(), Trap> {
         if self.num_queues > max_queues {
             return Err(Trap::Malformed(format!(
                 "pipeline uses {} queues but hardware has {max_queues}",

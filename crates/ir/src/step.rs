@@ -295,7 +295,7 @@ impl<'p> StepInterp<'p> {
                     }
                 }
                 Frame::While { stmt } => {
-                    let stmt: &'p Stmt = *stmt;
+                    let stmt: &'p Stmt = stmt;
                     let Stmt::While { id, cond, body } = stmt else {
                         unreachable!("While frame holds a While stmt");
                     };
@@ -321,7 +321,7 @@ impl<'p> StepInterp<'p> {
                     end_time,
                     entered,
                 } => {
-                    let stmt: &'p Stmt = *stmt;
+                    let stmt: &'p Stmt = stmt;
                     let (mut cur, end, mut cur_time, end_time, entered) =
                         (*cur, *end, *cur_time, *end_time, *entered);
                     let Stmt::For { id, var, body, .. } = stmt else {
@@ -392,6 +392,38 @@ impl<'p> StepInterp<'p> {
                     }
                     return Ok(StepResult::Progress);
                 }
+            }
+        }
+    }
+
+    /// Runs up to `max` progress-making steps, stopping early if the
+    /// thread blocks or finishes. Returns the number of atoms executed
+    /// and the stop condition: [`StepResult::Finished`], a queue
+    /// [`StepResult::Blocked`], or `Blocked(BlockReason::Budget)` when
+    /// the slice was exhausted with the thread still runnable.
+    ///
+    /// This is the scheduler's time-slice primitive: the sequence of
+    /// [`World`] calls is exactly what `max` consecutive [`Self::step`]
+    /// calls would make, so timing-model behaviour is identical.
+    ///
+    /// # Errors
+    /// Propagates runtime traps (bounds, control-value misuse, budget).
+    pub fn run_slice(
+        &mut self,
+        world: &mut dyn World,
+        max: u32,
+    ) -> Result<(u32, StepResult), Trap> {
+        let mut n = 0;
+        loop {
+            match self.step(world)? {
+                StepResult::Progress => {
+                    n += 1;
+                    if n >= max {
+                        return Ok((n, StepResult::Blocked(BlockReason::Budget)));
+                    }
+                }
+                StepResult::Blocked(b) => return Ok((n, StepResult::Blocked(b))),
+                StepResult::Finished => return Ok((n, StepResult::Finished)),
             }
         }
     }
@@ -479,32 +511,30 @@ impl<'p> StepInterp<'p> {
                     None => Ok(AtomOutcome::Blocked(BlockReason::QueueFull(*queue))),
                 }
             }
-            Stmt::Deq { var, queue } => {
-                match world.try_deq(self.tid, *queue, self.flow_time)? {
-                    None => Ok(AtomOutcome::Blocked(BlockReason::QueueEmpty(*queue))),
-                    Some((w, t)) => {
-                        if let Value::Ctrl(tag) = w {
-                            if let Some(h) = self.find_handler(*queue, tag) {
-                                let t_jump = world.uop(self.tid, UopClass::CtrlJump, t);
-                                self.flow_time = self.flow_time.max(t_jump);
-                                if let Some(bind) = h.bind {
-                                    self.write_var(bind, w, t_jump);
-                                }
-                                self.frames.push(Frame::HandlerEnd { end: h.end });
-                                if !h.body.is_empty() {
-                                    self.frames.push(Frame::Seq {
-                                        stmts: &h.body,
-                                        idx: 0,
-                                    });
-                                }
-                                return Ok(AtomOutcome::Dispatched);
+            Stmt::Deq { var, queue } => match world.try_deq(self.tid, *queue, self.flow_time)? {
+                None => Ok(AtomOutcome::Blocked(BlockReason::QueueEmpty(*queue))),
+                Some((w, t)) => {
+                    if let Value::Ctrl(tag) = w {
+                        if let Some(h) = self.find_handler(*queue, tag) {
+                            let t_jump = world.uop(self.tid, UopClass::CtrlJump, t);
+                            self.flow_time = self.flow_time.max(t_jump);
+                            if let Some(bind) = h.bind {
+                                self.write_var(bind, w, t_jump);
                             }
+                            self.frames.push(Frame::HandlerEnd { end: h.end });
+                            if !h.body.is_empty() {
+                                self.frames.push(Frame::Seq {
+                                    stmts: &h.body,
+                                    idx: 0,
+                                });
+                            }
+                            return Ok(AtomOutcome::Dispatched);
                         }
-                        self.write_var(*var, w, t);
-                        Ok(AtomOutcome::Done)
                     }
+                    self.write_var(*var, w, t);
+                    Ok(AtomOutcome::Done)
                 }
-            }
+            },
             other => Err(Trap::Malformed(format!(
                 "compound statement in atom position: {other:?}"
             ))),

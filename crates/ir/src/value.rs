@@ -394,7 +394,10 @@ mod tests {
             eval_unop(UnOp::IsCtrl, Value::Ctrl(7)).unwrap(),
             Value::I64(1)
         );
-        assert_eq!(eval_unop(UnOp::IsCtrl, Value::I64(7)).unwrap(), Value::I64(0));
+        assert_eq!(
+            eval_unop(UnOp::IsCtrl, Value::I64(7)).unwrap(),
+            Value::I64(0)
+        );
     }
 
     #[test]

@@ -63,6 +63,19 @@ pub enum BlockReason {
     QueueFull(QueueId),
     /// Dequeue from an empty queue.
     QueueEmpty(QueueId),
+    /// The scheduler's step budget for this slice ran out (preemption —
+    /// the thread is still runnable, unlike the queue reasons).
+    Budget,
+}
+
+impl BlockReason {
+    /// The queue this reason waits on, if any.
+    pub fn queue(&self) -> Option<QueueId> {
+        match self {
+            BlockReason::QueueFull(q) | BlockReason::QueueEmpty(q) => Some(*q),
+            BlockReason::Budget => None,
+        }
+    }
 }
 
 /// Result of a single interpreter step.
@@ -93,8 +106,13 @@ pub trait World {
     ///
     /// # Errors
     /// Traps on out-of-bounds accesses.
-    fn load(&mut self, t: Tid, array: ArrayId, index: i64, dep: Time)
-        -> Result<(Value, Time), Trap>;
+    fn load(
+        &mut self,
+        t: Tid,
+        array: ArrayId,
+        index: i64,
+        dep: Time,
+    ) -> Result<(Value, Time), Trap>;
 
     /// Performs a store.
     ///
@@ -127,13 +145,7 @@ pub trait World {
     ///
     /// # Errors
     /// Traps on bad queue ids.
-    fn try_enq(
-        &mut self,
-        t: Tid,
-        q: QueueId,
-        w: Value,
-        dep: Time,
-    ) -> Result<Option<Time>, Trap>;
+    fn try_enq(&mut self, t: Tid, q: QueueId, w: Value, dep: Time) -> Result<Option<Time>, Trap>;
 
     /// Attempts to dequeue; returns `None` if the queue is empty.
     ///
@@ -282,13 +294,7 @@ impl World for FunctionalWorld {
         Ok((old, 0))
     }
 
-    fn try_enq(
-        &mut self,
-        t: Tid,
-        q: QueueId,
-        w: Value,
-        _dep: Time,
-    ) -> Result<Option<Time>, Trap> {
+    fn try_enq(&mut self, t: Tid, q: QueueId, w: Value, _dep: Time) -> Result<Option<Time>, Trap> {
         let cap = self.capacity;
         let queue = self
             .queues

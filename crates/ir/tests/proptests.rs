@@ -3,9 +3,7 @@
 
 use proptest::prelude::*;
 
-use phloem_ir::{
-    eval_binop, BinOp, FunctionalWorld, MemState, QueueId, Tid, Value, World,
-};
+use phloem_ir::{eval_binop, BinOp, FunctionalWorld, MemState, QueueId, Tid, Value, World};
 
 proptest! {
     /// Queues deliver exactly the enqueued values, in order, and respect

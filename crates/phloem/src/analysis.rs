@@ -126,8 +126,7 @@ impl Walker {
         let loop_of = |v: VarId| self.loop_vars.iter().rev().find(|(lv, _)| *lv == v);
         let kind = match sym {
             Some(s) => {
-                let linear_loop = loop_of(s.root)
-                    .or_else(|| s.lin.and_then(&loop_of));
+                let linear_loop = loop_of(s.root).or_else(|| s.lin.and_then(&loop_of));
                 match linear_loop {
                     Some((_, irregular)) => {
                         if *irregular {
@@ -207,39 +206,33 @@ impl Walker {
                             // var = v + c or c + v keeps the symbolic base;
                             // var = p + q propagates loop-linearity.
                             let sym = match (&**a, &**b) {
-                                (Expr::Var(_), Expr::Const(c)) => self
-                                    .sym_of_leaf(a)
-                                    .zip(c.as_i64().ok())
-                                    .map(|(s, k)| Sym {
+                                (Expr::Var(_), Expr::Const(c)) => {
+                                    self.sym_of_leaf(a).zip(c.as_i64().ok()).map(|(s, k)| Sym {
                                         root: s.root,
                                         off: s.off + k,
                                         tainted: s.tainted,
                                         lin: s.lin,
-                                    }),
-                                (Expr::Const(c), Expr::Var(_)) => self
-                                    .sym_of_leaf(b)
-                                    .zip(c.as_i64().ok())
-                                    .map(|(s, k)| Sym {
+                                    })
+                                }
+                                (Expr::Const(c), Expr::Var(_)) => {
+                                    self.sym_of_leaf(b).zip(c.as_i64().ok()).map(|(s, k)| Sym {
                                         root: s.root,
                                         off: s.off + k,
                                         tainted: s.tainted,
                                         lin: s.lin,
-                                    }),
+                                    })
+                                }
                                 _ => None,
                             };
                             let sa = self.sym_of_leaf(a);
                             let sb = self.sym_of_leaf(b);
                             let tainted = self.leaf_tainted(a) || self.leaf_tainted(b);
-                            let is_active = |v: VarId| {
-                                self.loop_vars.iter().any(|(lv, _)| *lv == v)
-                            };
+                            let is_active =
+                                |v: VarId| self.loop_vars.iter().any(|(lv, _)| *lv == v);
                             let lin = sym.and_then(|s| s.lin).or_else(|| {
-                                [sa, sb]
-                                    .into_iter()
-                                    .flatten()
-                                    .find_map(|s| {
-                                        s.lin.or_else(|| is_active(s.root).then_some(s.root))
-                                    })
+                                [sa, sb].into_iter().flatten().find_map(|s| {
+                                    s.lin.or_else(|| is_active(s.root).then_some(s.root))
+                                })
                             });
                             self.syms.insert(
                                 *var,
@@ -256,9 +249,8 @@ impl Walker {
                             // loop-invariant data (untainted).
                             let sa = self.sym_of_leaf(a);
                             let sb = self.sym_of_leaf(b);
-                            let is_active = |v: VarId| {
-                                self.loop_vars.iter().any(|(lv, _)| *lv == v)
-                            };
+                            let is_active =
+                                |v: VarId| self.loop_vars.iter().any(|(lv, _)| *lv == v);
                             let lin_of = |s: Option<Sym>| {
                                 s.and_then(|s| {
                                     s.lin.or_else(|| is_active(s.root).then_some(s.root))
@@ -286,9 +278,9 @@ impl Walker {
                         _ => {
                             let mut vars = Vec::new();
                             expr.collect_vars(&mut vars);
-                            let tainted = vars.iter().any(|v| {
-                                self.syms.get(v).map(|s| s.tainted).unwrap_or(false)
-                            });
+                            let tainted = vars
+                                .iter()
+                                .any(|v| self.syms.get(v).map(|s| s.tainted).unwrap_or(false));
                             self.syms.insert(
                                 *var,
                                 Sym {
@@ -313,12 +305,15 @@ impl Walker {
                     self.walk(else_body, depth);
                 }
                 Stmt::For {
-                    var, start, end, body, ..
+                    var,
+                    start,
+                    end,
+                    body,
+                    ..
                 } => {
                     // A loop is *irregular* when its trip count is
                     // data-dependent (bounds derived from loads).
-                    let irregular =
-                        self.leaf_tainted(start) || self.leaf_tainted(end);
+                    let irregular = self.leaf_tainted(start) || self.leaf_tainted(end);
                     self.syms.insert(
                         *var,
                         Sym {
@@ -418,11 +413,14 @@ mod tests {
                 f.assign(ngh, ln);
                 let lo = f.load(dist, Expr::var(ngh));
                 f.assign(od, lo);
-                f.if_then(Expr::bin(phloem_ir::BinOp::Gt, Expr::var(od), Expr::var(cd)), |f| {
-                    f.store(dist, Expr::var(ngh), Expr::var(cd));
-                    f.store(nf, Expr::var(len), Expr::var(ngh));
-                    f.assign(len, Expr::add(Expr::var(len), Expr::i64(1)));
-                });
+                f.if_then(
+                    Expr::bin(phloem_ir::BinOp::Gt, Expr::var(od), Expr::var(cd)),
+                    |f| {
+                        f.store(dist, Expr::var(ngh), Expr::var(cd));
+                        f.store(nf, Expr::var(len), Expr::var(ngh));
+                        f.assign(len, Expr::add(Expr::var(len), Expr::i64(1)));
+                    },
+                );
             });
         });
         b.store(nf_len_arr, Expr::i64(0), Expr::var(len));
@@ -440,7 +438,10 @@ mod tests {
         assert_eq!(a.loads[0].kind, AccessKind::Cheap);
         assert_eq!(a.loads[1].kind, AccessKind::Sequential);
         assert_eq!(a.loads[2].kind, AccessKind::Indirect);
-        assert!(a.loads[3].adjacent_secondary, "nodes[v+1] pairs with nodes[v]");
+        assert!(
+            a.loads[3].adjacent_secondary,
+            "nodes[v+1] pairs with nodes[v]"
+        );
         assert_eq!(a.loads[4].kind, AccessKind::Sequential);
         assert_eq!(a.loads[4].depth, 2);
         assert_eq!(a.loads[5].kind, AccessKind::Indirect);

@@ -210,9 +210,7 @@ struct Stager {
 impl Stager {
     fn leaf_stage(&self, e: &Expr) -> u32 {
         match e {
-            Expr::Var(v) if !self.free.contains(v) => {
-                self.var_stage.get(v).copied().unwrap_or(0)
-            }
+            Expr::Var(v) if !self.free.contains(v) => self.var_stage.get(v).copied().unwrap_or(0),
             _ => 0,
         }
     }
@@ -268,12 +266,11 @@ impl Stager {
                                     "a read of a written array cannot run \
                                      before the stage that writes it"
                                 };
-                                self.error.get_or_insert(CompileError::RaceViolation(
-                                    format!(
+                                self.error
+                                    .get_or_insert(CompileError::RaceViolation(format!(
                                         "{what} (load {lid:?}: dep stage {dep}, \
                                          ctrl {ctrl_run}, forced {o})"
-                                    ),
-                                ));
+                                    )));
                             }
                             s = s.max(o);
                         }
@@ -353,7 +350,7 @@ pub(crate) fn max_stage(nodes: &[Node]) -> u32 {
 
 /// Assigns stages in place; returns the stage count (before compaction).
 pub(crate) fn assign_stages(
-    tree: &mut Vec<Node>,
+    tree: &mut [Node],
     params: &[VarId],
     cuts: &[(LoadId, u32)],
 ) -> Result<u32, CompileError> {
@@ -548,11 +545,7 @@ fn atom_present(plan: &Plan, stage: u32, def: Option<VarId>, s: u32) -> bool {
         return true;
     }
     if let Some(v) = def {
-        return plan
-            .uses
-            .get(&v)
-            .map(|u| u.contains(&s))
-            .unwrap_or(false);
+        return plan.uses.get(&v).map(|u| u.contains(&s)).unwrap_or(false);
     }
     false
 }
@@ -686,29 +679,27 @@ impl<'t> Planner<'t> {
         // Register condition uses for all *kept* present ifs in this
         // subtree (dropped ifs were excluded before this call).
         for n in nodes {
-            match n {
-                Node::If {
-                    tag,
-                    cond,
-                    then,
-                    els,
-                    exit,
-                    ..
-                } => {
-                    if !exit
-                        && !self.plan.dropped.contains(&(*tag, s))
-                        && node_present(&self.plan, n, s)
-                    {
-                        if let Some(v) = leaf_var(cond) {
-                            if !var_local(&self.plan, v, s) {
-                                self.plan.uses.entry(v).or_default().insert(s);
-                            }
+            if let Node::If {
+                tag,
+                cond,
+                then,
+                els,
+                exit,
+                ..
+            } = n
+            {
+                if !exit
+                    && !self.plan.dropped.contains(&(*tag, s))
+                    && node_present(&self.plan, n, s)
+                {
+                    if let Some(v) = leaf_var(cond) {
+                        if !var_local(&self.plan, v, s) {
+                            self.plan.uses.entry(v).or_default().insert(s);
                         }
                     }
-                    self.register_if_conds(then, s);
-                    self.register_if_conds(els, s);
                 }
-                _ => {}
+                self.register_if_conds(then, s);
+                self.register_if_conds(els, s);
             }
         }
     }
@@ -726,13 +717,7 @@ impl<'t> Planner<'t> {
         let needs_var = match node {
             Node::For { var, .. } => {
                 let mut found = false;
-                fn scan(
-                    plan: &Plan,
-                    nodes: &[Node],
-                    var: VarId,
-                    s: u32,
-                    found: &mut bool,
-                ) {
+                fn scan(nodes: &[Node], var: VarId, s: u32, found: &mut bool) {
                     for n in nodes {
                         match n {
                             Node::Atom { stmt, stage, .. } => {
@@ -746,16 +731,16 @@ impl<'t> Planner<'t> {
                                 }
                             }
                             Node::If { then, els, .. } => {
-                                scan(plan, then, var, s, found);
-                                scan(plan, els, var, s, found);
+                                scan(then, var, s, found);
+                                scan(els, var, s, found);
                             }
                             Node::For { body, .. } | Node::While { body, .. } => {
-                                scan(plan, body, var, s, found)
+                                scan(body, var, s, found)
                             }
                         }
                     }
                 }
-                scan(&self.plan, body, *var, s, &mut found);
+                scan(body, *var, s, &mut found);
                 found
             }
             _ => false,
@@ -895,13 +880,10 @@ impl<'t> Planner<'t> {
         // arrives on *that* loop's carrier (where the stage blocks after
         // all inner streams drained).
         let mut cur: &[Node] = self.tree;
-        loop {
-            let Some(first) = cur
-                .iter()
-                .find(|n| n.is_loop() && node_present(&self.plan, n, s))
-            else {
-                break;
-            };
+        while let Some(first) = cur
+            .iter()
+            .find(|n| n.is_loop() && node_present(&self.plan, n, s))
+        {
             let tag = first.tag().unwrap();
             match self.plan.modes.get(&(tag, s)) {
                 Some(LoopMode::Transparent) => {
@@ -1034,9 +1016,7 @@ pub(crate) fn plan(
                     for_each_atom_local(then, f);
                     for_each_atom_local(els, f);
                 }
-                Node::For { body, .. } | Node::While { body, .. } => {
-                    for_each_atom_local(body, f)
-                }
+                Node::For { body, .. } | Node::While { body, .. } => for_each_atom_local(body, f),
             }
         }
     }
@@ -1069,11 +1049,7 @@ pub(crate) fn plan(
 pub(crate) fn def_groups(tree: &[Node]) -> HashMap<usize, usize> {
     let mut groups = HashMap::new();
     let mut next_group = 0usize;
-    fn walk(
-        nodes: &[Node],
-        groups: &mut HashMap<usize, usize>,
-        next_group: &mut usize,
-    ) {
+    fn walk(nodes: &[Node], groups: &mut HashMap<usize, usize>, next_group: &mut usize) {
         let mut current: Option<usize> = None;
         for n in nodes {
             match n {
@@ -1116,11 +1092,7 @@ pub(crate) fn partition_comm(
     let mut decided_comm: BTreeSet<(usize, u32)> = BTreeSet::new();
     let mut decided_recomp: BTreeSet<(usize, u32)> = BTreeSet::new();
 
-    let defs: Vec<(usize, DefInfo)> = plan
-        .defs
-        .iter()
-        .map(|(p, d)| (*p, d.clone()))
-        .collect();
+    let defs: Vec<(usize, DefInfo)> = plan.defs.iter().map(|(p, d)| (*p, d.clone())).collect();
     for (pos, d) in &defs {
         let consumers: Vec<u32> = plan
             .uses
@@ -1139,16 +1111,10 @@ pub(crate) fn partition_comm(
                         // rematerialized where the consumer emits that
                         // loop with counted (`for`) structure — CV
                         // streams lose induction variables.
-                        vars.iter().all(|v| {
-                            match plan.loop_of_var.get(v) {
-                                Some(tag) => {
-                                    plan.modes.get(&(*tag, s))
-                                        == Some(&LoopMode::Bounds)
-                                }
-                                None => !plan.loop_vars.contains(v),
-                            }
-                        })
-                            && vars.iter().all(|v| {
+                        vars.iter().all(|v| match plan.loop_of_var.get(v) {
+                            Some(tag) => plan.modes.get(&(*tag, s)) == Some(&LoopMode::Bounds),
+                            None => !plan.loop_vars.contains(v),
+                        }) && vars.iter().all(|v| {
                             plan.is_free(*v)
                                 || plan
                                     .defs_of_var
@@ -1161,7 +1127,7 @@ pub(crate) fn partition_comm(
                                         })
                                     })
                                     .unwrap_or(true)
-                            })
+                        })
                     }
                     _ => false,
                 };

@@ -13,7 +13,7 @@
 use crate::decouple::{next_tag, LoopMode, Node, Plan, DONE};
 use crate::options::CompileError;
 use phloem_ir::{
-    BinOp, BranchId, CtrlHandler, Expr, Function, HandlerEnd, QueueId, Stmt, StageProgram, Ty,
+    BinOp, BranchId, CtrlHandler, Expr, Function, HandlerEnd, QueueId, StageProgram, Stmt, Ty,
     UnOp, VarDecl, VarId,
 };
 
@@ -65,8 +65,7 @@ impl<'p> Emitter<'p> {
     }
 
     fn is_carrier(&self, pos: usize) -> bool {
-        self.plan.done_carrier.get(&self.s) == Some(&pos)
-            || !self.carried_loops(pos).is_empty()
+        self.plan.done_carrier.get(&self.s) == Some(&pos) || !self.carried_loops(pos).is_empty()
     }
 
     /// The CV dispatch targets at a carrier dequeue of `pos`: the loops
@@ -96,11 +95,7 @@ impl<'p> Emitter<'p> {
             let id = self.fresh_branch();
             inner = vec![Stmt::If {
                 id,
-                cond: Expr::bin(
-                    BinOp::Eq,
-                    Expr::var(t),
-                    Expr::i64(next_tag(tag) as i64),
-                ),
+                cond: Expr::bin(BinOp::Eq, Expr::var(t), Expr::i64(next_tag(tag) as i64)),
                 then_body: vec![Stmt::Break { levels }],
                 else_body: inner,
             }];
@@ -292,9 +287,8 @@ impl<'p> Emitter<'p> {
             if self.innermost_emitted_is_bounds() {
                 let src_len = self.src_stack.len();
                 if (*levels as usize) > src_len {
-                    self.error.get_or_insert(CompileError::Internal(
-                        "break beyond loop stack".into(),
-                    ));
+                    self.error
+                        .get_or_insert(CompileError::Internal("break beyond loop stack".into()));
                     return;
                 }
                 let slice = &self.src_stack[src_len - *levels as usize..];

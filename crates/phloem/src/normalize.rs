@@ -153,7 +153,8 @@ impl Normalizer {
                     });
                 }
                 Stmt::While { id, cond, body } => {
-                    let is_const_true = matches!(cond, Expr::Const(v) if v.as_bool().unwrap_or(false));
+                    let is_const_true =
+                        matches!(cond, Expr::Const(v) if v.as_bool().unwrap_or(false));
                     if is_const_true {
                         out.push(Stmt::While {
                             id: *id,

@@ -93,10 +93,7 @@ fn loop_body(stage: &Stage) -> Option<&[Stmt]> {
     };
     // Anything after the loop must be ctrl forwarding (subsumed by the
     // RA's forward_ctrl) into a queue this stage writes inside the loop.
-    if !body[1..]
-        .iter()
-        .all(|s| matches!(s, Stmt::EnqCtrl { .. }))
-    {
+    if !body[1..].iter().all(|s| matches!(s, Stmt::EnqCtrl { .. })) {
         return None;
     }
     Some(inner)
@@ -116,11 +113,7 @@ fn match_stage(stage: &Stage) -> Option<RaMatch> {
         ..
     }, rest @ ..] = inner
     {
-        if q1 == q2
-            && as_var(start) == Some(*lo)
-            && as_var(end) == Some(*hi)
-            && rest.len() <= 1
-        {
+        if q1 == q2 && as_var(start) == Some(*lo) && as_var(end) == Some(*hi) && rest.len() <= 1 {
             if let [Stmt::Assign { var: t, expr }, Stmt::Enq { queue: qo, value }] = &body[..] {
                 if let Some((base, idx)) = as_load(expr) {
                     if idx == *var && as_var(value) == Some(*t) {
@@ -196,10 +189,10 @@ fn match_stage(stage: &Stage) -> Option<RaMatch> {
 fn rewrite_queue(stmts: &mut [Stmt], from: QueueId, to: QueueId) {
     for s in stmts {
         match s {
-            Stmt::Enq { queue, .. } | Stmt::EnqCtrl { queue, .. } | Stmt::Deq { queue, .. } => {
-                if *queue == from {
-                    *queue = to;
-                }
+            Stmt::Enq { queue, .. } | Stmt::EnqCtrl { queue, .. } | Stmt::Deq { queue, .. }
+                if *queue == from =>
+            {
+                *queue = to;
             }
             Stmt::EnqSel { queues, .. } => {
                 for q in queues {

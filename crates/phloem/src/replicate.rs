@@ -61,11 +61,7 @@ fn remap_stmts(stmts: &mut [Stmt], r: usize, stride: u16) {
 
 /// Rewrites enqueues to distributed queues into replica-selecting
 /// enqueues (data values) or broadcasts (control values).
-fn distribute_stmts(
-    stmts: &mut Vec<Stmt>,
-    base: QueueId,
-    all: &[QueueId],
-) {
+fn distribute_stmts(stmts: &mut Vec<Stmt>, base: QueueId, all: &[QueueId]) {
     let mut i = 0;
     while i < stmts.len() {
         match &mut stmts[i] {
@@ -222,8 +218,7 @@ pub fn replicate(template: &Pipeline, spec: &ReplicateSpec) -> Result<Pipeline, 
             // Distribution: producers of distributed queues route by value.
             for q in &spec.distribute {
                 let local = remap_queue(*q, r, stride);
-                let all: Vec<QueueId> =
-                    (0..reps).map(|k| remap_queue(*q, k, stride)).collect();
+                let all: Vec<QueueId> = (0..reps).map(|k| remap_queue(*q, k, stride)).collect();
                 if matches!(stage.kind, StageKind::Ra(_)) {
                     // RAs cannot route; the compiler keeps distribute
                     // boundaries on compute stages.
@@ -268,9 +263,7 @@ pub fn replicate(template: &Pipeline, spec: &ReplicateSpec) -> Result<Pipeline, 
                             expr: Expr::add(Expr::var(cnt), Expr::i64(1)),
                         });
                         h.end = match h.end {
-                            HandlerEnd::BreakLoops(n) => {
-                                HandlerEnd::BreakWhen(cnt, reps as i64, n)
-                            }
+                            HandlerEnd::BreakLoops(n) => HandlerEnd::BreakWhen(cnt, reps as i64, n),
                             HandlerEnd::FinishStage => HandlerEnd::FinishWhen(cnt, reps as i64),
                             other => other,
                         };
@@ -343,7 +336,13 @@ mod tests {
             body: vec![],
             end: HandlerEnd::BreakLoops(1),
         }];
-        p.add_stage(StageProgram { func: s1.build(), handlers }, 0);
+        p.add_stage(
+            StageProgram {
+                func: s1.build(),
+                handlers,
+            },
+            0,
+        );
         p
     }
 

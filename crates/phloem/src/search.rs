@@ -67,10 +67,7 @@ pub struct SearchReport {
 /// Enumerates all legal pipelines from combinations of the top-k
 /// candidate points (sizes 1 ..= max_stages-1). Returns `(cuts,
 /// pipeline)` pairs for the combinations that compile.
-pub fn enumerate_pipelines(
-    func: &Function,
-    opts: &SearchOptions,
-) -> Vec<(Vec<LoadId>, Pipeline)> {
+pub fn enumerate_pipelines(func: &Function, opts: &SearchOptions) -> Vec<(Vec<LoadId>, Pipeline)> {
     let a = analyze(func);
     let cand: Vec<LoadId> = a.candidates().into_iter().take(opts.top_k).collect();
     let mut out = Vec::new();
@@ -103,24 +100,27 @@ pub fn search(
 ) -> SearchReport {
     let pipelines = enumerate_pipelines(func, opts);
     assert!(!pipelines.is_empty(), "no candidate pipeline compiles");
-    let results: Vec<parking_lot::Mutex<Option<f64>>> =
-        (0..pipelines.len()).map(|_| parking_lot::Mutex::new(None)).collect();
+    let results: Vec<std::sync::Mutex<Option<f64>>> = (0..pipelines.len())
+        .map(|_| std::sync::Mutex::new(None))
+        .collect();
     let workers = opts.workers.max(1);
     let next = std::sync::atomic::AtomicUsize::new(0);
-    crossbeam::thread::scope(|scope| {
+    std::thread::scope(|scope| {
         for _ in 0..workers.min(pipelines.len()) {
-            scope.spawn(|_| loop {
+            scope.spawn(|| loop {
                 let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
                 if i >= pipelines.len() {
                     break;
                 }
                 let r = profile(&pipelines[i].1);
-                *results[i].lock() = r;
+                *results[i].lock().expect("profiling mutex") = r;
             });
         }
-    })
-    .expect("profiling threads");
-    let results: Vec<Option<f64>> = results.into_iter().map(|m| m.into_inner()).collect();
+    });
+    let results: Vec<Option<f64>> = results
+        .into_iter()
+        .map(|m| m.into_inner().expect("profiling mutex"))
+        .collect();
 
     let mut candidates = Vec::with_capacity(pipelines.len());
     let mut best: Option<(usize, f64)> = None;
@@ -194,7 +194,7 @@ mod tests {
         let report = search(&f, &SearchOptions::default(), |p| {
             let mut mem = MemState::new();
             mem.alloc_i64(ArrayDecl::i32("a"), (0..64).map(|i| (i * 7) % 64));
-            mem.alloc_i64(ArrayDecl::i32("b"), (0..64).map(|i| i));
+            mem.alloc_i64(ArrayDecl::i32("b"), 0..64);
             mem.alloc(ArrayDecl::i64("out"), 1);
             mem.alloc_i64(ArrayDecl::i32("len"), [64]);
             let run = interp::run_pipeline(p, mem, &[], 24).ok()?;

@@ -174,12 +174,25 @@ fn full_pipeline_has_papers_structure() {
     let (_, _, _, pipe) = pipeline_result(&g, &cuts, PassConfig::all());
     // 4 stages total where the two middle ones became chained RAs:
     // fetch-fringe -> RA(nodes, INDIRECT) -> RA(edges, SCAN) -> update.
-    assert_eq!(pipe.total_stages(), 4, "{}", phloem_ir::pretty::pipeline_to_string(&pipe));
-    assert_eq!(pipe.ra_stages(), 2, "{}", phloem_ir::pretty::pipeline_to_string(&pipe));
+    assert_eq!(
+        pipe.total_stages(),
+        4,
+        "{}",
+        phloem_ir::pretty::pipeline_to_string(&pipe)
+    );
+    assert_eq!(
+        pipe.ra_stages(),
+        2,
+        "{}",
+        phloem_ir::pretty::pipeline_to_string(&pipe)
+    );
     let kinds: Vec<&StageKind> = pipe.stages.iter().map(|s| &s.kind).collect();
     assert!(matches!(kinds[0], StageKind::Compute));
     let (StageKind::Ra(ra1), StageKind::Ra(ra2)) = (kinds[1], kinds[2]) else {
-        panic!("middle stages must be RAs: {}", phloem_ir::pretty::pipeline_to_string(&pipe));
+        panic!(
+            "middle stages must be RAs: {}",
+            phloem_ir::pretty::pipeline_to_string(&pipe)
+        );
     };
     assert_eq!(ra1.mode, phloem_ir::RaMode::Indirect);
     assert_eq!(ra2.mode, phloem_ir::RaMode::Scan);

@@ -234,7 +234,10 @@ impl MemHierarchy {
         // Allocate a new stream entry (round-robin by line).
         let slot = (line % 8) as usize;
         if self.streams[core][slot].last_line + 1 != line {
-            self.streams[core][slot] = StreamEntry { last_line: line, run: 1 };
+            self.streams[core][slot] = StreamEntry {
+                last_line: line,
+                run: 1,
+            };
         }
     }
 }

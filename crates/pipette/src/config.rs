@@ -1,5 +1,6 @@
 //! Machine configuration (Table III of the paper).
 
+use crate::scheduler::SchedulerKind;
 use phloem_ir::UopClass;
 use serde::{Deserialize, Serialize};
 
@@ -71,6 +72,10 @@ pub struct MachineConfig {
     /// Host overhead, in cycles, to launch a pipeline invocation (used
     /// between program phases / fringe rounds).
     pub launch_overhead: u64,
+    /// How the simulator schedules stage threads. Does not affect
+    /// simulated cycles (both kinds are bit-identical); `Polling` is
+    /// the slower reference model kept for differential testing.
+    pub scheduler: SchedulerKind,
 }
 
 impl MachineConfig {
@@ -109,6 +114,7 @@ impl MachineConfig {
             prefetch: true,
             prefetch_degree: 2,
             launch_overhead: 300,
+            scheduler: SchedulerKind::EventDriven,
         }
     }
 

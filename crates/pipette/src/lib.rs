@@ -53,10 +53,13 @@ pub mod cache;
 pub mod config;
 pub mod energy;
 pub mod machine;
+mod queue;
+mod scheduler;
 pub mod stats;
+mod timing;
 
 pub use cache::{CacheStats, HitLevel, MemHierarchy};
 pub use config::{CacheParams, MachineConfig};
 pub use energy::{EnergyBreakdown, EnergyModel};
-pub use machine::{Machine, RunOutcome, Session};
-pub use stats::{CycleBreakdown, RunStats, ThreadStats};
+pub use machine::{Machine, RunOutcome, SchedulerKind, Session};
+pub use stats::{CycleBreakdown, QueueStats, RunStats, ThreadStats};

@@ -1,435 +1,27 @@
-//! The Pipette machine: a cycle-level timing [`World`] plus a
-//! cooperative SMT scheduler.
+//! Simulation sessions: pipeline invocation, statistics roll-up, and
+//! energy accounting.
 //!
-//! ## Timing model
+//! The machine is split across three modules:
 //!
-//! Each stage (or RA) runs as a hardware thread driven by the shared
-//! [`StepInterp`] from `phloem-ir`. The model captures the phenomena the
-//! paper's results hinge on:
+//! * [`crate::timing`] — the cycle-level [`phloem_ir::World`]
+//!   implementation (cores, caches, branch prediction, timed queues);
+//! * [`crate::queue`] — hardware FIFO state and occupancy accounting;
+//! * [`crate::scheduler`] — the event-driven SMT scheduler that drives
+//!   the stage interpreters.
 //!
-//! * **Bounded instruction window per thread** (ROB partitioned among
-//!   active SMT threads): in-order dispatch, out-of-order completion,
-//!   in-order retirement — dependent cache misses serialize while
-//!   independent ones overlap up to the window and MSHR limits.
-//! * **Shared issue bandwidth** (6 uops/cycle/core across SMT threads).
-//! * **Branch misprediction penalties** from a 2-bit predictor, so
-//!   data-dependent branches serialize execution.
-//! * **Hardware queues** with blocking enq/deq, bounded depth, 1-cycle
-//!   operations through the register file, and an inter-core delivery
-//!   penalty.
-//! * **Reference accelerators** as dedicated FSM threads: no core issue
-//!   bandwidth, fixed op latency, limited outstanding accesses.
-//! * **Cache hierarchy + DRAM bandwidth** shared by threads and RAs.
+//! This module owns the user-facing [`Session`]/[`Machine`] API.
 
-use crate::branch::BranchPredictor;
-use crate::cache::{HitLevel, MemHierarchy};
+use crate::cache::MemHierarchy;
 use crate::config::MachineConfig;
 use crate::energy::{EnergyBreakdown, EnergyModel};
-use crate::stats::{RunStats, ThreadStats};
-use phloem_ir::{
-    bind_params, ArrayId, BinOp, BranchId, MemState, Pipeline, QueueId, StageKind, StageSpec,
-    StepInterp, StepResult, Tid, Time, Trap, UopClass, Value, World,
-};
-use std::collections::BTreeMap;
-use std::collections::VecDeque;
+use crate::scheduler;
+pub use crate::scheduler::SchedulerKind;
+use crate::stats::RunStats;
+use crate::timing::{build_interps, TimingWorld};
+use phloem_ir::{MemState, Pipeline, StageKind, Time, Trap, Value};
 
 /// Per-thread step budget for timed runs.
 pub const DEFAULT_BUDGET: u64 = 4_000_000_000;
-
-#[derive(Clone, Debug)]
-struct QueueEntry {
-    value: Value,
-    ready: Time,
-    core: usize,
-}
-
-#[derive(Clone, Debug)]
-struct HwQueue {
-    entries: VecDeque<QueueEntry>,
-    cap: usize,
-    /// Completion times of past dequeues; slot for entry `k` frees at
-    /// `deq_ring[(k - cap) % cap]`.
-    deq_ring: Vec<Time>,
-    enq_count: u64,
-    deq_count: u64,
-}
-
-impl HwQueue {
-    fn new(cap: usize) -> HwQueue {
-        HwQueue {
-            entries: VecDeque::with_capacity(cap),
-            cap,
-            deq_ring: vec![0; cap],
-            enq_count: 0,
-            deq_count: 0,
-        }
-    }
-
-    fn slot_free_time(&self) -> Time {
-        if self.enq_count >= self.cap as u64 {
-            self.deq_ring[((self.enq_count - self.cap as u64) % self.cap as u64) as usize]
-        } else {
-            0
-        }
-    }
-}
-
-#[derive(Debug)]
-struct ThreadTiming {
-    core: usize,
-    is_ra: bool,
-    window: Vec<Time>,
-    wpos: usize,
-    last_retire: Time,
-    cursor: Time,
-    flow: Time,
-    /// Outstanding long-miss limit (fill-buffer share), per thread so the
-    /// accounting stays time-coherent.
-    mshr: Vec<Time>,
-    mshr_pos: usize,
-    predictor: BranchPredictor,
-    stats: ThreadStats,
-}
-
-#[derive(Debug, Default)]
-struct CoreTiming {
-    issue: BTreeMap<Time, u64>,
-}
-
-#[derive(Clone, Copy)]
-enum Attr {
-    Normal,
-    Queue,
-}
-
-struct TimingWorld<'a> {
-    cfg: &'a MachineConfig,
-    hier: &'a mut MemHierarchy,
-    mem: &'a mut MemState,
-    queues: Vec<HwQueue>,
-    threads: Vec<ThreadTiming>,
-    cores: Vec<CoreTiming>,
-    base: Time,
-    ops_since_prune: u64,
-}
-
-impl<'a> TimingWorld<'a> {
-    fn thread(&mut self, t: Tid) -> &mut ThreadTiming {
-        &mut self.threads[t.0 as usize]
-    }
-
-    fn alloc_issue(&mut self, core: usize, want: Time) -> Time {
-        let width = self.cfg.issue_width;
-        let map = &mut self.cores[core].issue;
-        let mut t = want;
-        loop {
-            let e = map.entry(t).or_insert(0);
-            if *e < width {
-                *e += 1;
-                return t;
-            }
-            t += 1;
-        }
-    }
-
-    fn prune_issue_maps(&mut self) {
-        let floor = self
-            .threads
-            .iter()
-            .map(|t| t.cursor)
-            .min()
-            .unwrap_or(self.base);
-        for core in &mut self.cores {
-            core.issue = core.issue.split_off(&floor);
-        }
-    }
-
-    /// Computes the issue time of one op for thread `t` whose inputs are
-    /// ready at `dep`, attributing any stall per `attr`.
-    fn issue_at(&mut self, t: Tid, dep: Time, attr: Attr) -> Time {
-        self.ops_since_prune += 1;
-        if self.ops_since_prune >= 1 << 17 {
-            self.ops_since_prune = 0;
-            self.prune_issue_maps();
-        }
-        let ti = t.0 as usize;
-        let (core, is_ra, window_floor, cursor, flow) = {
-            let th = &self.threads[ti];
-            // RA engines are FSMs: their bookkeeping ops are not bounded
-            // by an instruction window, only their outstanding loads are
-            // (see `load`).
-            let wf = if th.is_ra {
-                self.base
-            } else {
-                th.window[th.wpos]
-            };
-            (th.core, th.is_ra, wf, th.cursor, th.flow)
-        };
-        // RA engines are sequential FSMs: steps are strictly in order.
-        // OOO cores execute out of order (bounded by the window), so no
-        // cursor floor there — but see `last_qop` for queue operations.
-        let want = if is_ra {
-            dep.max(window_floor).max(self.base).max(flow).max(cursor)
-        } else {
-            dep.max(window_floor).max(self.base).max(flow)
-        };
-        let t_issue = if is_ra {
-            want
-        } else {
-            self.alloc_issue(core, want)
-        };
-        let th = &mut self.threads[ti];
-        let gap = t_issue.saturating_sub(cursor.max(self.base));
-        if gap > 0 {
-            match attr {
-                Attr::Queue => th.stats.queue_stall_cycles += gap,
-                Attr::Normal => {
-                    if dep <= flow && flow > cursor {
-                        th.stats.frontend_stall_cycles += gap;
-                    } else {
-                        th.stats.backend_stall_cycles += gap;
-                    }
-                }
-            }
-        }
-        th.cursor = th.cursor.max(t_issue);
-        t_issue
-    }
-
-    /// Retires one op completing at `completion`.
-    fn complete(&mut self, t: Tid, completion: Time) {
-        let th = self.thread(t);
-        th.stats.finish_time = th.stats.finish_time.max(completion);
-        if th.is_ra {
-            // The concurrency ring is only advanced by loads (below).
-            return;
-        }
-        let retire = completion.max(th.last_retire);
-        th.last_retire = retire;
-        let pos = th.wpos;
-        th.window[pos] = retire;
-        th.wpos = (pos + 1) % th.window.len();
-    }
-
-    /// Applies the RA outstanding-access limit to a load issued at `ti`,
-    /// returning the constrained issue time.
-    fn ra_load_slot(&mut self, t: Tid, ti_want: Time, lat: u64) -> Time {
-        let th = self.thread(t);
-        let floor = th.window[th.wpos];
-        let ti = ti_want.max(floor);
-        let pos = th.wpos;
-        th.window[pos] = ti + lat;
-        th.wpos = (pos + 1) % th.window.len();
-        ti
-    }
-
-    fn op_latency(&self, t: Tid, class: UopClass) -> u64 {
-        if self.threads[t.0 as usize].is_ra {
-            self.cfg.ra_op_latency
-        } else {
-            self.cfg.uop_latency(class)
-        }
-    }
-
-    fn mem_access(&mut self, t: Tid, array: ArrayId, index: i64, dep: Time) -> Result<(u64, Time), Trap> {
-        let addr = self.mem.addr(array, index)?;
-        let t_probe = self.issue_at(t, dep, Attr::Normal);
-        let core = self.threads[t.0 as usize].core;
-        let (lat, level) = self.hier.access(core, addr, t_probe);
-        let _ = core;
-        // Long misses contend for the thread's miss-buffer share.
-        let t_issue = if matches!(level, HitLevel::L3 | HitLevel::Mem) {
-            let th = &mut self.threads[t.0 as usize];
-            let floor = th.mshr[th.mshr_pos];
-            let ti = t_probe.max(floor);
-            let pos = th.mshr_pos;
-            th.mshr[pos] = ti + lat;
-            th.mshr_pos = (pos + 1) % th.mshr.len();
-            ti
-        } else {
-            t_probe
-        };
-        Ok((lat, t_issue))
-    }
-}
-
-impl World for TimingWorld<'_> {
-    fn uop(&mut self, t: Tid, class: UopClass, dep: Time) -> Time {
-        let lat = self.op_latency(t, class);
-        let ti = self.issue_at(t, dep, Attr::Normal);
-        let tc = ti + lat;
-        self.complete(t, tc);
-        self.thread(t).stats.uops += 1;
-        tc
-    }
-
-    fn branch(&mut self, t: Tid, site: BranchId, taken: bool, cond_ready: Time) -> Time {
-        let ti = self.issue_at(t, cond_ready, Attr::Normal);
-        let tc = ti + 1;
-        self.complete(t, tc);
-        let penalty = self.cfg.mispredict_penalty;
-        let th = self.thread(t);
-        th.stats.branches += 1;
-        if th.is_ra {
-            // RA FSM sequencing has no speculation.
-            return th.flow;
-        }
-        if th.predictor.mispredicted(site, taken) {
-            th.stats.mispredicts += 1;
-            let resume = tc + penalty;
-            th.stats.frontend_stall_cycles += penalty;
-            th.flow = th.flow.max(resume);
-        }
-        th.flow
-    }
-
-    fn load(
-        &mut self,
-        t: Tid,
-        array: ArrayId,
-        index: i64,
-        dep: Time,
-    ) -> Result<(Value, Time), Trap> {
-        let v = self.mem.load(array, index)?;
-        let (lat, mut ti) = self.mem_access(t, array, index, dep)?;
-        if self.threads[t.0 as usize].is_ra {
-            ti = self.ra_load_slot(t, ti, lat);
-        }
-        let tc = ti + lat;
-        self.complete(t, tc);
-        self.thread(t).stats.loads += 1;
-        Ok((v, tc))
-    }
-
-    fn store(
-        &mut self,
-        t: Tid,
-        array: ArrayId,
-        index: i64,
-        value: Value,
-        dep: Time,
-    ) -> Result<Time, Trap> {
-        self.mem.store(array, index, value)?;
-        let (_lat, ti) = self.mem_access(t, array, index, dep)?;
-        // Stores drain through the store buffer: retirement is fast.
-        let tc = ti + 1;
-        self.complete(t, tc);
-        self.thread(t).stats.stores += 1;
-        Ok(tc)
-    }
-
-    fn atomic_rmw(
-        &mut self,
-        t: Tid,
-        op: BinOp,
-        array: ArrayId,
-        index: i64,
-        value: Value,
-        dep: Time,
-    ) -> Result<(Value, Time), Trap> {
-        let old = self.mem.load(array, index)?;
-        let new = phloem_ir::eval_binop(op, old, value)?;
-        self.mem.store(array, index, new)?;
-        let (lat, ti) = self.mem_access(t, array, index, dep)?;
-        // Atomics pay the access round trip plus locked-RMW overhead
-        // (~Skylake `lock xadd` cost).
-        let tc = ti + lat + 16;
-        self.complete(t, tc);
-        let th = self.thread(t);
-        th.stats.loads += 1;
-        th.stats.stores += 1;
-        Ok((old, tc))
-    }
-
-    fn try_enq(
-        &mut self,
-        t: Tid,
-        q: QueueId,
-        w: Value,
-        dep: Time,
-    ) -> Result<Option<Time>, Trap> {
-        let qi = q.0 as usize;
-        if qi >= self.queues.len() {
-            return Err(Trap::BadId(format!("queue {}", q.0)));
-        }
-        if self.queues[qi].entries.len() >= self.queues[qi].cap {
-            return Ok(None);
-        }
-        let slot_free = self.queues[qi].slot_free_time();
-        let cursor = self.threads[t.0 as usize].cursor;
-        let is_ra = self.threads[t.0 as usize].is_ra;
-        let waited = slot_free.saturating_sub(dep.max(cursor));
-        let lat = self.op_latency(t, UopClass::QueuePush);
-        // RA engines "launch memory requests in parallel but deliver
-        // loads in order": the FSM issues the enqueue at its own pace and
-        // the entry becomes ready when the data arrives.
-        let ti = if is_ra {
-            self.issue_at(t, slot_free, Attr::Queue)
-        } else {
-            self.issue_at(t, dep.max(slot_free), Attr::Queue)
-        };
-        let tc = (ti + lat).max(if is_ra { dep } else { 0 });
-        self.complete(t, tc);
-        let core = self.threads[t.0 as usize].core;
-        {
-            let th = self.thread(t);
-            th.stats.enqs += 1;
-            th.stats.queue_stall_cycles += waited.saturating_sub(ti.saturating_sub(cursor));
-        }
-        let queue = &mut self.queues[qi];
-        queue.entries.push_back(QueueEntry {
-            value: w,
-            ready: tc,
-            core,
-        });
-        queue.enq_count += 1;
-        Ok(Some(tc))
-    }
-
-    fn try_deq(&mut self, t: Tid, q: QueueId, dep: Time) -> Result<Option<(Value, Time)>, Trap> {
-        let qi = q.0 as usize;
-        if qi >= self.queues.len() {
-            return Err(Trap::BadId(format!("queue {}", q.0)));
-        }
-        if self.queues[qi].entries.is_empty() {
-            return Ok(None);
-        }
-        let entry = self.queues[qi].entries.pop_front().expect("nonempty");
-        let th_core = self.threads[t.0 as usize].core;
-        let avail = if entry.core == th_core {
-            entry.ready
-        } else {
-            entry.ready + self.cfg.inter_core_queue_latency
-        };
-        let lat = self.op_latency(t, UopClass::QueuePop);
-        let cursor = self.threads[t.0 as usize].cursor;
-        let waited = avail.saturating_sub(dep.max(cursor) + lat);
-        let ti = self.issue_at(t, dep.max(avail.saturating_sub(lat)), Attr::Queue);
-        let tc = (ti + lat).max(avail);
-        self.complete(t, tc);
-        {
-            let th = self.thread(t);
-            th.stats.deqs += 1;
-            let _ = waited; // already folded into the Attr::Queue gap
-        }
-        let queue = &mut self.queues[qi];
-        let pos = (queue.deq_count % queue.cap as u64) as usize;
-        queue.deq_ring[pos] = tc;
-        queue.deq_count += 1;
-        if std::env::var("TRACE_DEQ").is_ok() {
-            eprintln!("deq t{} q{} ti={} avail={} tc={} dep={}", t.0, q.0, ti, avail, tc, dep);
-        }
-        Ok(Some((entry.value, tc)))
-    }
-
-    fn mem(&self) -> &MemState {
-        self.mem
-    }
-
-    fn mem_mut(&mut self) -> &mut MemState {
-        self.mem
-    }
-}
 
 /// A persistent simulation session: cache state, memory, and accumulated
 /// statistics survive across pipeline invocations, so host-driven
@@ -485,6 +77,22 @@ impl Session {
     /// # Errors
     /// Traps on malformed pipelines, runtime errors, or deadlock.
     pub fn run(&mut self, pipeline: &Pipeline, params: &[(&str, Value)]) -> Result<Time, Trap> {
+        self.run_with(pipeline, params, self.cfg.scheduler)
+    }
+
+    /// Like [`Session::run`] with an explicit scheduler. Simulated
+    /// cycles are identical for every [`SchedulerKind`]; `Polling` is
+    /// the reference model for differential tests and host-throughput
+    /// baselines.
+    ///
+    /// # Errors
+    /// See [`Session::run`].
+    pub fn run_with(
+        &mut self,
+        pipeline: &Pipeline,
+        params: &[(&str, Value)],
+        scheduler: SchedulerKind,
+    ) -> Result<Time, Trap> {
         // The queue budget is per core ("16 queues max"); replicated
         // pipelines get one set per core.
         pipeline.check(
@@ -502,132 +110,24 @@ impl Session {
         let base = self.now + self.cfg.launch_overhead;
         let nstages = pipeline.stages.len();
 
-        // Threads per core determine window partitioning.
-        let mut compute_per_core = vec![0usize; self.cfg.cores];
-        for s in &pipeline.stages {
-            if matches!(s.kind, StageKind::Compute) {
-                compute_per_core[s.core] += 1;
-            }
-        }
-        let threads: Vec<ThreadTiming> = pipeline
-            .stages
-            .iter()
-            .map(|s| {
-                let is_ra = matches!(s.kind, StageKind::Ra(_));
-                let window = if is_ra {
-                    self.cfg.ra_concurrency
-                } else {
-                    self.cfg.window_per_thread(compute_per_core[s.core])
-                };
-                ThreadTiming {
-                    core: s.core,
-                    is_ra,
-                    window: vec![base; window.max(1)],
-                    wpos: 0,
-                    last_retire: base,
-                    cursor: base,
-                    flow: base,
-                    mshr: vec![base; self.cfg.mshrs.max(1)],
-                    mshr_pos: 0,
-                    predictor: BranchPredictor::new(),
-                    stats: ThreadStats {
-                        name: s.program.func.name.clone(),
-                        is_ra,
-                        finish_time: base,
-                        ..Default::default()
-                    },
-                }
-            })
-            .collect();
-
-        let mut world = TimingWorld {
-            cfg: &self.cfg,
-            hier: &mut self.hier,
-            mem: &mut self.mem,
-            queues: (0..pipeline.num_queues.max(1))
-                .map(|_| HwQueue::new(self.cfg.queue_capacity))
-                .collect(),
-            threads,
-            cores: (0..self.cfg.cores)
-                .map(|_| CoreTiming {
-                    issue: BTreeMap::new(),
-                })
-                .collect(),
+        let mut world = TimingWorld::new(
+            &self.cfg,
+            &mut self.hier,
+            &mut self.mem,
+            pipeline,
             base,
-            ops_since_prune: 0,
-        };
-
-        let mut interps: Vec<StepInterp<'_>> = pipeline
-            .stages
-            .iter()
-            .enumerate()
-            .map(|(i, s)| {
-                let bound = bind_params(&s.program.func, params);
-                StepInterp::new(
-                    StageSpec {
-                        func: &s.program.func,
-                        handlers: &s.program.handlers,
-                    },
-                    Tid(i as u32),
-                    &bound,
-                )
-                .with_budget(DEFAULT_BUDGET)
-            })
-            .collect();
+            scheduler,
+        );
+        let mut interps = build_interps(pipeline, params, DEFAULT_BUDGET);
         let is_compute: Vec<bool> = pipeline
             .stages
             .iter()
             .map(|s| matches!(s.kind, StageKind::Compute))
             .collect();
 
-        const SLICE: u32 = 128;
-        loop {
-            let mut progressed = false;
-            let mut compute_live = false;
-            for (i, interp) in interps.iter_mut().enumerate() {
-                if interp.is_finished() {
-                    continue;
-                }
-                if is_compute[i] {
-                    compute_live = true;
-                }
-                let mut n = 0;
-                loop {
-                    match interp.step(&mut world)? {
-                        StepResult::Progress => {
-                            progressed = true;
-                            n += 1;
-                            if n >= SLICE {
-                                break;
-                            }
-                        }
-                        StepResult::Blocked(_) => break,
-                        StepResult::Finished => {
-                            progressed = true;
-                            break;
-                        }
-                    }
-                }
-            }
-            if !compute_live {
-                break;
-            }
-            if !progressed {
-                let blocked: Vec<String> = interps
-                    .iter()
-                    .zip(&is_compute)
-                    .filter(|(it, _)| !it.is_finished())
-                    .map(|(it, c)| format!("{}{}", it.name(), if *c { "" } else { " (RA)" }))
-                    .collect();
-                return Err(Trap::Deadlock(format!(
-                    "pipeline `{}` stalled; unfinished stages: {blocked:?}",
-                    pipeline.name
-                )));
-            }
-        }
+        scheduler::run(&mut world, &mut interps, &is_compute, pipeline, scheduler)?;
 
-        // Makespan: last completion among compute threads (idle blocked
-        // RAs do not extend the run).
+        // Makespan: last completion among the pipeline's threads.
         let end = world
             .threads
             .iter()
@@ -636,6 +136,7 @@ impl Session {
             .unwrap_or(base)
             .max(base);
         let thread_states = std::mem::take(&mut world.threads);
+        let queue_states = std::mem::take(&mut world.queues);
         drop(interps);
         drop(world);
 
@@ -643,6 +144,7 @@ impl Session {
         let mut invocation = RunStats {
             cycles: end,
             threads: Vec::with_capacity(nstages),
+            queues: queue_states.into_iter().map(|q| q.stats).collect(),
             cache: self.hier.stats,
             energy: EnergyBreakdown::default(),
             invocations: 1,
@@ -691,6 +193,7 @@ impl Session {
 pub struct Machine;
 
 /// Result of [`Machine::run_once`].
+#[derive(Debug)]
 pub struct RunOutcome {
     /// Final memory.
     pub mem: MemState,

@@ -1,0 +1,372 @@
+//! The event-driven SMT scheduler.
+//!
+//! ## From polling to wakeups
+//!
+//! The original scheduler scanned every unfinished thread each round and
+//! re-stepped it even when it was still blocked on the same queue — for
+//! a pipeline with one hot stage and several drained ones, most `step`
+//! calls were fruitless polls. This scheduler keeps each thread in one
+//! of three states:
+//!
+//! * **Ready** — will run a slice at its position in the round scan;
+//! * **Waiting(reason)** — parked on the wait-list of the queue named by
+//!   its [`BlockReason`]; *never stepped* until a queue event wakes it;
+//! * **Finished** — the stage program terminated.
+//!
+//! Every successful enqueue wakes the waiters of that queue's
+//! empty-list, every successful dequeue wakes its full-list (see
+//! [`QueueEvent`]). Events are drained after *every* slice, so a thread
+//! woken by an earlier-indexed thread still runs within the same round —
+//! exactly when the polling scheduler would have reached it.
+//!
+//! ## Cycle-exactness invariant
+//!
+//! Simulated cycle counts are bit-identical to the polling scheduler's:
+//!
+//! 1. A blocked `try_enq`/`try_deq` returns before touching timing state
+//!    (see `timing.rs`), so a fruitless poll is a timing no-op.
+//! 2. A parked thread is skipped only while the awaited queue cannot
+//!    have changed in its favour (no enqueue since it found the queue
+//!    empty / no dequeue since it found it full); the skipped polls are
+//!    exactly the no-ops of (1).
+//! 3. All other `World` calls happen in the identical order: the round
+//!    scan is index-ordered, slices are [`SLICE`]-bounded as before, and
+//!    wakeups only clear the skip condition — they never reorder.
+//!
+//! The per-thread `stall_polls` counter records re-polls of a parked
+//! thread with no intervening event; by construction it stays zero
+//! here, while the polling scheduler would have counted one per parked
+//! thread per round. `tests/properties.rs` asserts both the zero and
+//! the cycle-exactness against a reference polling implementation.
+
+use crate::queue::QueueEvent;
+use crate::timing::{TimingWorld, WAIT_EMPTY, WAIT_FULL};
+use phloem_ir::{BlockReason, Pipeline, QueueId, StageProgram, StepInterp, StepResult, Stmt, Trap};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+
+/// Maximum atoms a thread executes before yielding to the next one
+/// (preserves the SMT interleaving granularity of the seed model).
+pub(crate) const SLICE: u32 = 128;
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum ThreadState {
+    Ready,
+    Waiting(BlockReason),
+    Finished,
+}
+
+/// Which scheduling strategy drives the stage interpreters.
+///
+/// Both produce **bit-identical simulated cycles** (blocked queue polls
+/// have no timing side effects); they differ only in host work and in
+/// the `stall_polls` counter. `Polling` is the seed simulator's full
+/// host model — its round-robin re-polling loop *and* its map-based
+/// issue tracker — kept as the reference implementation for
+/// differential tests and host-throughput baselines
+/// (`BENCH_simspeed.json`).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SchedulerKind {
+    /// Wait-list based: blocked threads are parked and only re-stepped
+    /// after an event on the awaited queue. `stall_polls` stays zero.
+    #[default]
+    EventDriven,
+    /// The seed model: round-robin re-polling of every unfinished
+    /// thread (every fruitless re-poll increments `stall_polls`) over
+    /// the seed's map-based per-cycle issue tracker.
+    Polling,
+}
+
+/// Runs all stage interpreters to completion of the compute stages.
+///
+/// # Errors
+/// Propagates traps; reports deadlock (with the wait cycle) when a full
+/// round makes no progress while compute stages remain.
+pub(crate) fn run(
+    world: &mut TimingWorld<'_>,
+    interps: &mut [StepInterp<'_>],
+    is_compute: &[bool],
+    pipeline: &Pipeline,
+    kind: SchedulerKind,
+) -> Result<(), Trap> {
+    let n = interps.len();
+    let nq = world.queues.len();
+    let mut state: Vec<ThreadState> = interps
+        .iter()
+        .map(|it| {
+            if it.is_finished() {
+                ThreadState::Finished
+            } else {
+                ThreadState::Ready
+            }
+        })
+        .collect();
+    let mut wait_empty: Vec<Vec<usize>> = vec![Vec::new(); nq];
+    let mut wait_full: Vec<Vec<usize>> = vec![Vec::new(); nq];
+    let mut woken = vec![false; n];
+    // Scratch buffer for draining the world's event log without
+    // re-allocating every slice.
+    let mut events: Vec<QueueEvent> = Vec::new();
+
+    loop {
+        let mut progressed = false;
+        let mut compute_live = false;
+        for i in 0..n {
+            if state[i] == ThreadState::Finished {
+                continue;
+            }
+            if is_compute[i] {
+                compute_live = true;
+            }
+            let was_parked = matches!(state[i], ThreadState::Waiting(_));
+            if was_parked && kind == SchedulerKind::EventDriven {
+                // Parked: the awaited queue has not changed in this
+                // thread's favour, so a poll would be a timing no-op.
+                // (Re-stepping here is what `stall_polls` counts in
+                // polling mode.)
+                continue;
+            }
+            let was_woken = std::mem::replace(&mut woken[i], false);
+            let (steps, outcome) = interps[i].run_slice(world, SLICE)?;
+            if steps > 0 {
+                progressed = true;
+            }
+            match outcome {
+                StepResult::Finished => {
+                    progressed = true;
+                    state[i] = ThreadState::Finished;
+                }
+                StepResult::Blocked(BlockReason::Budget) => {
+                    // Slice preemption: still runnable next round.
+                    state[i] = ThreadState::Ready;
+                }
+                StepResult::Blocked(b) => {
+                    if was_parked && steps == 0 {
+                        // Polling mode only: fruitless re-poll of an
+                        // already-blocked thread.
+                        world.threads[i].stats.stall_polls += 1;
+                    }
+                    let reparked = was_parked && steps == 0 && state[i] == ThreadState::Waiting(b);
+                    state[i] = ThreadState::Waiting(b);
+                    if !reparked {
+                        match b {
+                            BlockReason::QueueFull(q) => {
+                                wait_full[q.0 as usize].push(i);
+                                world.wait_flags[q.0 as usize] |= WAIT_FULL;
+                            }
+                            BlockReason::QueueEmpty(q) => {
+                                wait_empty[q.0 as usize].push(i);
+                                world.wait_flags[q.0 as usize] |= WAIT_EMPTY;
+                            }
+                            BlockReason::Budget => unreachable!("matched above"),
+                        }
+                    }
+                    if was_woken && steps == 0 {
+                        // Woken, but another thread claimed the entry or
+                        // slot first.
+                        world.threads[i].stats.spurious_wakeups += 1;
+                    }
+                }
+                StepResult::Progress => unreachable!("run_slice never returns bare Progress"),
+            }
+            // Wake waiters of every queue this slice touched (including,
+            // possibly, thread `i` itself if it both fed and drained the
+            // same queue). The world only logs events for queues whose
+            // wait flag is set, so this loop is empty on most slices.
+            world.drain_events_into(&mut events);
+            for ev in events.drain(..) {
+                let (waiters, flag) = match ev {
+                    QueueEvent::Enq(q) => (&mut wait_empty[q.0 as usize], WAIT_EMPTY),
+                    QueueEvent::Deq(q) => (&mut wait_full[q.0 as usize], WAIT_FULL),
+                };
+                for j in waiters.drain(..) {
+                    state[j] = ThreadState::Ready;
+                    woken[j] = true;
+                    world.threads[j].stats.wakeups += 1;
+                }
+                let q = match ev {
+                    QueueEvent::Enq(q) | QueueEvent::Deq(q) => q.0 as usize,
+                };
+                world.wait_flags[q] &= !flag;
+            }
+        }
+        if !compute_live {
+            return Ok(());
+        }
+        if !progressed {
+            return Err(deadlock_trap(world, interps, &state, pipeline));
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Deadlock diagnostics
+// ---------------------------------------------------------------------
+
+/// The queues a stage enqueues into / dequeues from (program body plus
+/// control-value handlers; RA stages are covered because their FSM is
+/// expressed as a stage program too).
+fn queue_dirs(program: &StageProgram) -> (BTreeSet<QueueId>, BTreeSet<QueueId>) {
+    let mut enq = BTreeSet::new();
+    let mut deq = BTreeSet::new();
+    {
+        let mut visit = |s: &Stmt| match s {
+            Stmt::Enq { queue, .. } | Stmt::EnqCtrl { queue, .. } => {
+                enq.insert(*queue);
+            }
+            Stmt::EnqSel { queues, .. } => {
+                enq.extend(queues.iter().copied());
+            }
+            Stmt::Deq { queue, .. } => {
+                deq.insert(*queue);
+            }
+            _ => {}
+        };
+        for s in &program.func.body {
+            s.for_each(&mut visit);
+        }
+        for h in &program.handlers {
+            for s in &h.body {
+                s.for_each(&mut visit);
+            }
+        }
+    }
+    for h in &program.handlers {
+        deq.insert(h.queue);
+    }
+    (enq, deq)
+}
+
+/// Builds the deadlock trap: each blocked stage with its reason and the
+/// queue's occupancy, plus the wait cycle (stage -> blocked-on queue ->
+/// stage owning the other end) when one exists.
+fn deadlock_trap(
+    world: &TimingWorld<'_>,
+    interps: &[StepInterp<'_>],
+    state: &[ThreadState],
+    pipeline: &Pipeline,
+) -> Trap {
+    let qdesc = |q: QueueId| {
+        let hq = &world.queues[q.0 as usize];
+        let fill = if hq.is_full() {
+            "full"
+        } else if hq.is_empty() {
+            "empty"
+        } else {
+            "partial"
+        };
+        format!("q{} {} {}/{}", q.0, fill, hq.len(), hq.capacity())
+    };
+    let dirs: Vec<_> = pipeline
+        .stages
+        .iter()
+        .map(|s| queue_dirs(&s.program))
+        .collect();
+    let blocked: Vec<(usize, BlockReason)> = state
+        .iter()
+        .enumerate()
+        .filter_map(|(i, s)| match s {
+            ThreadState::Waiting(b) => Some((i, *b)),
+            _ => None,
+        })
+        .collect();
+
+    // Edges: a blocked stage waits on the *live* stages that could
+    // relieve it — the other end of the queue it is blocked on.
+    let relievers = |reason: BlockReason| -> Vec<usize> {
+        let Some(q) = reason.queue() else {
+            return Vec::new();
+        };
+        (0..interps.len())
+            .filter(|&j| state[j] != ThreadState::Finished)
+            .filter(|&j| match reason {
+                BlockReason::QueueEmpty(_) => dirs[j].0.contains(&q),
+                BlockReason::QueueFull(_) => dirs[j].1.contains(&q),
+                BlockReason::Budget => false,
+            })
+            .collect()
+    };
+
+    // DFS for a wait cycle among the blocked stages.
+    let cycle = find_cycle(&blocked, &relievers);
+    let cycle_str = match cycle {
+        Some(path) => {
+            let mut s = String::from("wait cycle: ");
+            for (k, &i) in path.iter().enumerate() {
+                let reason = blocked
+                    .iter()
+                    .find(|(j, _)| *j == i)
+                    .map(|(_, b)| *b)
+                    .expect("cycle nodes are blocked");
+                let edge = match reason {
+                    BlockReason::QueueFull(q) => format!("enq {}", qdesc(q)),
+                    BlockReason::QueueEmpty(q) => format!("deq {}", qdesc(q)),
+                    BlockReason::Budget => String::new(),
+                };
+                s.push_str(&format!("`{}` --[{}]--> ", interps[i].name(), edge));
+                if k + 1 == path.len() {
+                    s.push_str(&format!("`{}`", interps[path[0]].name()));
+                }
+            }
+            s
+        }
+        None => String::from(
+            "no wait cycle (starvation: a blocked stage's counterpart stages have finished)",
+        ),
+    };
+
+    let details: Vec<String> = blocked
+        .iter()
+        .map(|&(i, b)| {
+            let what = match b {
+                BlockReason::QueueFull(q) => format!("enq blocked, {}", qdesc(q)),
+                BlockReason::QueueEmpty(q) => format!("deq blocked, {}", qdesc(q)),
+                BlockReason::Budget => "preempted".to_string(),
+            };
+            let ra = if world.threads[i].is_ra { " (RA)" } else { "" };
+            format!("`{}`{}: {}", interps[i].name(), ra, what)
+        })
+        .collect();
+    Trap::Deadlock(format!(
+        "pipeline `{}` deadlocked; {}; blocked stages: {}",
+        pipeline.name,
+        cycle_str,
+        details.join("; ")
+    ))
+}
+
+/// Finds a cycle in the wait graph, returned as the list of stage
+/// indices along it (each waits on the next, last waits on the first).
+fn find_cycle(
+    blocked: &[(usize, BlockReason)],
+    relievers: &dyn Fn(BlockReason) -> Vec<usize>,
+) -> Option<Vec<usize>> {
+    let reason_of = |i: usize| blocked.iter().find(|(j, _)| *j == i).map(|(_, b)| *b);
+    for &(start, _) in blocked {
+        // DFS with an explicit path; only blocked stages can be part of
+        // a cycle (a runnable stage would have made progress).
+        let mut path: Vec<usize> = vec![start];
+        let mut iters: Vec<Vec<usize>> = vec![reason_of(start).map(relievers).unwrap_or_default()];
+        let mut visited = BTreeSet::new();
+        visited.insert(start);
+        while let Some(frontier) = iters.last_mut() {
+            let Some(next) = frontier.pop() else {
+                path.pop();
+                iters.pop();
+                continue;
+            };
+            if let Some(pos) = path.iter().position(|&p| p == next) {
+                return Some(path[pos..].to_vec());
+            }
+            if !visited.insert(next) {
+                continue;
+            }
+            let Some(r) = reason_of(next) else {
+                continue; // not blocked: dead end for cycle purposes
+            };
+            path.push(next);
+            iters.push(relievers(r));
+        }
+    }
+    None
+}

@@ -27,14 +27,95 @@ pub struct ThreadStats {
     pub enqs: u64,
     /// Queue dequeues.
     pub deqs: u64,
-    /// Cycles lost blocked on full/empty queues.
+    /// Cycles lost blocked on full/empty queues (sum of the full/empty
+    /// splits below).
     pub queue_stall_cycles: u64,
+    /// Cycles lost waiting for a slot in a full downstream queue.
+    pub queue_full_stall_cycles: u64,
+    /// Cycles lost waiting for data in an empty upstream queue.
+    pub queue_empty_stall_cycles: u64,
     /// Cycles lost to backend stalls (memory deps, window-full).
     pub backend_stall_cycles: u64,
     /// Cycles lost to frontend causes (misprediction penalties).
     pub frontend_stall_cycles: u64,
+    /// Fruitless re-polls of a blocked thread with no intervening event
+    /// on the awaited queue. The event-driven scheduler parks blocked
+    /// threads on wait-lists, so this is structurally zero; a polling
+    /// scheduler would accumulate one per thread per scan round.
+    pub stall_polls: u64,
+    /// Times this thread was moved from a wait-list back to the ready
+    /// set by a queue event.
+    pub wakeups: u64,
+    /// Wakeups that re-blocked without progress (the awaited entry or
+    /// slot was claimed by another thread first).
+    pub spurious_wakeups: u64,
     /// Time of the thread's last completed operation.
     pub finish_time: Time,
+}
+
+/// Occupancy and traffic counters for one hardware queue.
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct QueueStats {
+    /// Configured depth.
+    pub capacity: usize,
+    /// Successful enqueues.
+    pub enqs: u64,
+    /// Successful dequeues.
+    pub deqs: u64,
+    /// Highest occupancy observed.
+    pub max_occupancy: usize,
+    /// `occupancy_hist[k]` counts enq/deq operations that left the queue
+    /// holding `k` entries (length `capacity + 1`).
+    pub occupancy_hist: Vec<u64>,
+}
+
+impl QueueStats {
+    /// Creates zeroed stats for a queue of the given depth.
+    pub fn new(capacity: usize) -> QueueStats {
+        QueueStats {
+            capacity,
+            occupancy_hist: vec![0; capacity + 1],
+            ..Default::default()
+        }
+    }
+
+    /// Records the occupancy left behind by one enq/deq.
+    pub fn record(&mut self, occupancy: usize) {
+        self.max_occupancy = self.max_occupancy.max(occupancy);
+        if let Some(slot) = self.occupancy_hist.get_mut(occupancy) {
+            *slot += 1;
+        }
+    }
+
+    /// Operation-weighted mean occupancy.
+    pub fn mean_occupancy(&self) -> f64 {
+        let samples: u64 = self.occupancy_hist.iter().sum();
+        if samples == 0 {
+            return 0.0;
+        }
+        let weighted: u64 = self
+            .occupancy_hist
+            .iter()
+            .enumerate()
+            .map(|(k, c)| k as u64 * c)
+            .sum();
+        weighted as f64 / samples as f64
+    }
+
+    /// Merges another queue's counters into this one (positional roll-up
+    /// across invocations).
+    pub fn merge(&mut self, other: &QueueStats) {
+        self.capacity = self.capacity.max(other.capacity);
+        self.enqs += other.enqs;
+        self.deqs += other.deqs;
+        self.max_occupancy = self.max_occupancy.max(other.max_occupancy);
+        if self.occupancy_hist.len() < other.occupancy_hist.len() {
+            self.occupancy_hist.resize(other.occupancy_hist.len(), 0);
+        }
+        for (mine, theirs) in self.occupancy_hist.iter_mut().zip(&other.occupancy_hist) {
+            *mine += theirs;
+        }
+    }
 }
 
 /// The Fig. 10 cycle-breakdown categories, in core-cycle units summed
@@ -66,6 +147,9 @@ pub struct RunStats {
     /// Per-thread counters (one entry per stage of the last pipeline;
     /// accumulated by stage index across invocations in a session).
     pub threads: Vec<ThreadStats>,
+    /// Per-queue occupancy/traffic counters (queue-id indexed;
+    /// accumulated across invocations in a session).
+    pub queues: Vec<QueueStats>,
     /// Cache hierarchy counters.
     pub cache: CacheStats,
     /// Energy totals.
@@ -129,9 +213,21 @@ impl RunStats {
             mine.enqs += theirs.enqs;
             mine.deqs += theirs.deqs;
             mine.queue_stall_cycles += theirs.queue_stall_cycles;
+            mine.queue_full_stall_cycles += theirs.queue_full_stall_cycles;
+            mine.queue_empty_stall_cycles += theirs.queue_empty_stall_cycles;
             mine.backend_stall_cycles += theirs.backend_stall_cycles;
             mine.frontend_stall_cycles += theirs.frontend_stall_cycles;
+            mine.stall_polls += theirs.stall_polls;
+            mine.wakeups += theirs.wakeups;
+            mine.spurious_wakeups += theirs.spurious_wakeups;
             mine.finish_time = mine.finish_time.max(theirs.finish_time);
+        }
+        if self.queues.len() < other.queues.len() {
+            self.queues
+                .resize_with(other.queues.len(), QueueStats::default);
+        }
+        for (mine, theirs) in self.queues.iter_mut().zip(&other.queues) {
+            mine.merge(theirs);
         }
     }
 }

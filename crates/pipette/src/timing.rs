@@ -1,0 +1,579 @@
+//! The cycle-level timing [`World`]: per-thread instruction windows,
+//! shared issue bandwidth, branch prediction, the cache hierarchy, and
+//! timed hardware queues.
+//!
+//! ## Timing model
+//!
+//! Each stage (or RA) runs as a hardware thread driven by the shared
+//! [`StepInterp`](phloem_ir::StepInterp) from `phloem-ir`. The model
+//! captures the phenomena the paper's results hinge on:
+//!
+//! * **Bounded instruction window per thread** (ROB partitioned among
+//!   active SMT threads): in-order dispatch, out-of-order completion,
+//!   in-order retirement — dependent cache misses serialize while
+//!   independent ones overlap up to the window and MSHR limits.
+//! * **Shared issue bandwidth** (6 uops/cycle/core across SMT threads).
+//! * **Branch misprediction penalties** from a 2-bit predictor, so
+//!   data-dependent branches serialize execution.
+//! * **Hardware queues** with blocking enq/deq, bounded depth, 1-cycle
+//!   operations through the register file, and an inter-core delivery
+//!   penalty.
+//! * **Reference accelerators** as dedicated FSM threads: no core issue
+//!   bandwidth, fixed op latency, limited outstanding accesses.
+//! * **Cache hierarchy + DRAM bandwidth** shared by threads and RAs.
+//!
+//! ## Blocked operations have no timing side effects
+//!
+//! [`World::try_enq`] and [`World::try_deq`] return `Ok(None)` *before*
+//! touching any timing state when the queue is full/empty. The
+//! event-driven scheduler relies on this: skipping a re-poll of a
+//! blocked thread cannot change simulated time, because the poll it
+//! skips would have been a pure no-op. Every *successful* queue
+//! operation is appended to the [`QueueEvent`] log the scheduler drains
+//! to wake waiters.
+
+use crate::branch::BranchPredictor;
+use crate::cache::{HitLevel, MemHierarchy};
+use crate::config::MachineConfig;
+use crate::queue::{HwQueue, QueueEntry, QueueEvent};
+use crate::scheduler::SchedulerKind;
+use crate::stats::ThreadStats;
+use phloem_ir::{
+    ArrayId, BinOp, BranchId, MemState, QueueId, StageKind, StageSpec, StepInterp, Tid, Time, Trap,
+    UopClass, Value, World,
+};
+use std::collections::BTreeMap;
+
+#[derive(Debug)]
+pub(crate) struct ThreadTiming {
+    pub(crate) core: usize,
+    pub(crate) is_ra: bool,
+    window: Vec<Time>,
+    wpos: usize,
+    last_retire: Time,
+    cursor: Time,
+    flow: Time,
+    /// Outstanding long-miss limit (fill-buffer share), per thread so the
+    /// accounting stays time-coherent.
+    mshr: Vec<Time>,
+    mshr_pos: usize,
+    predictor: BranchPredictor,
+    pub(crate) stats: ThreadStats,
+}
+
+/// Per-core issue-bandwidth tracker: micro-ops issued per cycle, as a
+/// flat array indexed by cycle-since-invocation-base. Every issue time
+/// is `>= base` (see [`TimingWorld::issue_at`]) and a `TimingWorld`
+/// lives for one invocation, so the array spans exactly the invocation
+/// and one byte per core-cycle replaces the seed model's per-op
+/// `BTreeMap` node churn (its hottest host path). The map variant is
+/// kept behind [`SchedulerKind::Polling`] as the seed-faithful
+/// reference, so differential tests can verify the flat tracker is
+/// bit-exact.
+#[derive(Debug, Default)]
+pub(crate) struct CoreTiming {
+    /// `issued[t - base]` = micro-ops issued in cycle `t` (fast path).
+    issued: Vec<u8>,
+    /// Seed-reference tracker (used only in `Polling` mode).
+    issue_map: BTreeMap<Time, u64>,
+}
+
+/// Stall attribution for [`TimingWorld::issue_at`].
+#[derive(Clone, Copy)]
+enum Attr {
+    Normal,
+    /// Waiting for a slot in a full downstream queue.
+    QueueFull,
+    /// Waiting for data from an empty (or late) upstream queue.
+    QueueEmpty,
+}
+
+pub(crate) struct TimingWorld<'a> {
+    cfg: &'a MachineConfig,
+    hier: &'a mut MemHierarchy,
+    mem: &'a mut MemState,
+    pub(crate) queues: Vec<HwQueue>,
+    pub(crate) threads: Vec<ThreadTiming>,
+    cores: Vec<CoreTiming>,
+    base: Time,
+    /// True in [`SchedulerKind::Polling`] mode: use the seed model's
+    /// host-side issue tracker ([`Self::alloc_issue_map`]).
+    reference_host: bool,
+    /// Op counter driving the reference tracker's periodic pruning.
+    ops_since_prune: u64,
+    /// Successful queue operations since the scheduler last drained;
+    /// used to wake threads parked on wait-lists. Only operations on
+    /// queues some thread is actually parked on (per
+    /// [`TimingWorld::wait_flags`]) are logged, so the log stays tiny.
+    events: Vec<QueueEvent>,
+    /// Per-queue waiter flags maintained by the scheduler
+    /// ([`WAIT_EMPTY`] / [`WAIT_FULL`] bits). Purely a host-side
+    /// fast-path filter for event logging; no effect on timing.
+    pub(crate) wait_flags: Vec<u8>,
+    /// Cached `TRACE_DEQ` env toggle (checked once per invocation).
+    trace_deq: bool,
+}
+
+/// Bit in [`TimingWorld::wait_flags`]: a thread is parked on this queue
+/// being empty (wake it on enqueue).
+pub(crate) const WAIT_EMPTY: u8 = 1;
+/// Bit in [`TimingWorld::wait_flags`]: a thread is parked on this queue
+/// being full (wake it on dequeue).
+pub(crate) const WAIT_FULL: u8 = 2;
+
+impl<'a> TimingWorld<'a> {
+    /// Builds the timing world for one pipeline invocation starting at
+    /// cycle `base`. `stages` describes each hardware thread (core,
+    /// kind, name); window partitioning follows the per-core compute
+    /// thread count.
+    pub(crate) fn new(
+        cfg: &'a MachineConfig,
+        hier: &'a mut MemHierarchy,
+        mem: &'a mut MemState,
+        pipeline: &phloem_ir::Pipeline,
+        base: Time,
+        kind: SchedulerKind,
+    ) -> TimingWorld<'a> {
+        let mut compute_per_core = vec![0usize; cfg.cores];
+        for s in &pipeline.stages {
+            if matches!(s.kind, StageKind::Compute) {
+                compute_per_core[s.core] += 1;
+            }
+        }
+        let threads: Vec<ThreadTiming> = pipeline
+            .stages
+            .iter()
+            .map(|s| {
+                let is_ra = matches!(s.kind, StageKind::Ra(_));
+                let window = if is_ra {
+                    cfg.ra_concurrency
+                } else {
+                    cfg.window_per_thread(compute_per_core[s.core])
+                };
+                ThreadTiming {
+                    core: s.core,
+                    is_ra,
+                    window: vec![base; window.max(1)],
+                    wpos: 0,
+                    last_retire: base,
+                    cursor: base,
+                    flow: base,
+                    mshr: vec![base; cfg.mshrs.max(1)],
+                    mshr_pos: 0,
+                    predictor: BranchPredictor::new(),
+                    stats: ThreadStats {
+                        name: s.program.func.name.clone(),
+                        is_ra,
+                        finish_time: base,
+                        ..Default::default()
+                    },
+                }
+            })
+            .collect();
+        let nq = pipeline.num_queues.max(1) as usize;
+        TimingWorld {
+            cfg,
+            hier,
+            mem,
+            queues: (0..nq).map(|_| HwQueue::new(cfg.queue_capacity)).collect(),
+            threads,
+            cores: (0..cfg.cores).map(|_| CoreTiming::default()).collect(),
+            base,
+            reference_host: kind == SchedulerKind::Polling,
+            ops_since_prune: 0,
+            events: Vec::new(),
+            wait_flags: vec![0; nq],
+            trace_deq: std::env::var("TRACE_DEQ").is_ok(),
+        }
+    }
+
+    /// Moves the pending queue-event log into `buf` (scheduler wakeup
+    /// source); both buffers keep their capacity across calls.
+    pub(crate) fn drain_events_into(&mut self, buf: &mut Vec<QueueEvent>) {
+        debug_assert!(buf.is_empty());
+        std::mem::swap(&mut self.events, buf);
+    }
+
+    fn thread(&mut self, t: Tid) -> &mut ThreadTiming {
+        &mut self.threads[t.0 as usize]
+    }
+
+    /// Allocates the earliest issue slot `>= want` on `core` with spare
+    /// issue bandwidth. Both trackers implement the same first-fit
+    /// policy, so they return identical times; the flat array is the
+    /// fast path, the `BTreeMap` the seed-faithful reference.
+    fn alloc_issue(&mut self, core: usize, want: Time) -> Time {
+        if self.reference_host {
+            return self.alloc_issue_map(core, want);
+        }
+        debug_assert!(self.cfg.issue_width <= u8::MAX as u64);
+        let width = self.cfg.issue_width.min(u8::MAX as u64) as u8;
+        let issued = &mut self.cores[core].issued;
+        let mut slot = (want - self.base) as usize;
+        if slot >= issued.len() {
+            issued.resize(slot + 64, 0);
+        }
+        loop {
+            if issued[slot] < width {
+                issued[slot] += 1;
+                return self.base + slot as Time;
+            }
+            slot += 1;
+            if slot >= issued.len() {
+                issued.resize(slot + 64, 0);
+            }
+        }
+    }
+
+    /// The seed model's issue tracker: one map node per busy cycle,
+    /// pruned periodically below the laggard thread's cursor.
+    fn alloc_issue_map(&mut self, core: usize, want: Time) -> Time {
+        self.ops_since_prune += 1;
+        if self.ops_since_prune >= 1 << 17 {
+            self.ops_since_prune = 0;
+            let floor = self
+                .threads
+                .iter()
+                .map(|t| t.cursor)
+                .min()
+                .unwrap_or(self.base);
+            for c in &mut self.cores {
+                c.issue_map = c.issue_map.split_off(&floor);
+            }
+        }
+        let width = self.cfg.issue_width;
+        let map = &mut self.cores[core].issue_map;
+        let mut t = want;
+        loop {
+            let e = map.entry(t).or_insert(0);
+            if *e < width {
+                *e += 1;
+                return t;
+            }
+            t += 1;
+        }
+    }
+
+    /// Computes the issue time of one op for thread `t` whose inputs are
+    /// ready at `dep`, attributing any stall per `attr`.
+    fn issue_at(&mut self, t: Tid, dep: Time, attr: Attr) -> Time {
+        let ti = t.0 as usize;
+        let (core, is_ra, window_floor, cursor, flow) = {
+            let th = &self.threads[ti];
+            // RA engines are FSMs: their bookkeeping ops are not bounded
+            // by an instruction window, only their outstanding loads are
+            // (see `load`).
+            let wf = if th.is_ra {
+                self.base
+            } else {
+                th.window[th.wpos]
+            };
+            (th.core, th.is_ra, wf, th.cursor, th.flow)
+        };
+        // RA engines are sequential FSMs: steps are strictly in order.
+        // OOO cores execute out of order (bounded by the window), so no
+        // cursor floor there — but see `last_qop` for queue operations.
+        let want = if is_ra {
+            dep.max(window_floor).max(self.base).max(flow).max(cursor)
+        } else {
+            dep.max(window_floor).max(self.base).max(flow)
+        };
+        let t_issue = if is_ra {
+            want
+        } else {
+            self.alloc_issue(core, want)
+        };
+        let th = &mut self.threads[ti];
+        let gap = t_issue.saturating_sub(cursor.max(self.base));
+        if gap > 0 {
+            match attr {
+                Attr::QueueFull => {
+                    th.stats.queue_stall_cycles += gap;
+                    th.stats.queue_full_stall_cycles += gap;
+                }
+                Attr::QueueEmpty => {
+                    th.stats.queue_stall_cycles += gap;
+                    th.stats.queue_empty_stall_cycles += gap;
+                }
+                Attr::Normal => {
+                    if dep <= flow && flow > cursor {
+                        th.stats.frontend_stall_cycles += gap;
+                    } else {
+                        th.stats.backend_stall_cycles += gap;
+                    }
+                }
+            }
+        }
+        th.cursor = th.cursor.max(t_issue);
+        t_issue
+    }
+
+    /// Retires one op completing at `completion`.
+    fn complete(&mut self, t: Tid, completion: Time) {
+        let th = self.thread(t);
+        th.stats.finish_time = th.stats.finish_time.max(completion);
+        if th.is_ra {
+            // The concurrency ring is only advanced by loads (below).
+            return;
+        }
+        let retire = completion.max(th.last_retire);
+        th.last_retire = retire;
+        let pos = th.wpos;
+        th.window[pos] = retire;
+        th.wpos = (pos + 1) % th.window.len();
+    }
+
+    /// Applies the RA outstanding-access limit to a load issued at `ti`,
+    /// returning the constrained issue time.
+    fn ra_load_slot(&mut self, t: Tid, ti_want: Time, lat: u64) -> Time {
+        let th = self.thread(t);
+        let floor = th.window[th.wpos];
+        let ti = ti_want.max(floor);
+        let pos = th.wpos;
+        th.window[pos] = ti + lat;
+        th.wpos = (pos + 1) % th.window.len();
+        ti
+    }
+
+    fn op_latency(&self, t: Tid, class: UopClass) -> u64 {
+        if self.threads[t.0 as usize].is_ra {
+            self.cfg.ra_op_latency
+        } else {
+            self.cfg.uop_latency(class)
+        }
+    }
+
+    fn mem_access(
+        &mut self,
+        t: Tid,
+        array: ArrayId,
+        index: i64,
+        dep: Time,
+    ) -> Result<(u64, Time), Trap> {
+        let addr = self.mem.addr(array, index)?;
+        let t_probe = self.issue_at(t, dep, Attr::Normal);
+        let core = self.threads[t.0 as usize].core;
+        let (lat, level) = self.hier.access(core, addr, t_probe);
+        let _ = core;
+        // Long misses contend for the thread's miss-buffer share.
+        let t_issue = if matches!(level, HitLevel::L3 | HitLevel::Mem) {
+            let th = &mut self.threads[t.0 as usize];
+            let floor = th.mshr[th.mshr_pos];
+            let ti = t_probe.max(floor);
+            let pos = th.mshr_pos;
+            th.mshr[pos] = ti + lat;
+            th.mshr_pos = (pos + 1) % th.mshr.len();
+            ti
+        } else {
+            t_probe
+        };
+        Ok((lat, t_issue))
+    }
+}
+
+impl World for TimingWorld<'_> {
+    fn uop(&mut self, t: Tid, class: UopClass, dep: Time) -> Time {
+        let lat = self.op_latency(t, class);
+        let ti = self.issue_at(t, dep, Attr::Normal);
+        let tc = ti + lat;
+        self.complete(t, tc);
+        self.thread(t).stats.uops += 1;
+        tc
+    }
+
+    fn branch(&mut self, t: Tid, site: BranchId, taken: bool, cond_ready: Time) -> Time {
+        let ti = self.issue_at(t, cond_ready, Attr::Normal);
+        let tc = ti + 1;
+        self.complete(t, tc);
+        let penalty = self.cfg.mispredict_penalty;
+        let th = self.thread(t);
+        th.stats.branches += 1;
+        if th.is_ra {
+            // RA FSM sequencing has no speculation.
+            return th.flow;
+        }
+        if th.predictor.mispredicted(site, taken) {
+            th.stats.mispredicts += 1;
+            let resume = tc + penalty;
+            th.stats.frontend_stall_cycles += penalty;
+            th.flow = th.flow.max(resume);
+        }
+        th.flow
+    }
+
+    fn load(
+        &mut self,
+        t: Tid,
+        array: ArrayId,
+        index: i64,
+        dep: Time,
+    ) -> Result<(Value, Time), Trap> {
+        let v = self.mem.load(array, index)?;
+        let (lat, mut ti) = self.mem_access(t, array, index, dep)?;
+        if self.threads[t.0 as usize].is_ra {
+            ti = self.ra_load_slot(t, ti, lat);
+        }
+        let tc = ti + lat;
+        self.complete(t, tc);
+        self.thread(t).stats.loads += 1;
+        Ok((v, tc))
+    }
+
+    fn store(
+        &mut self,
+        t: Tid,
+        array: ArrayId,
+        index: i64,
+        value: Value,
+        dep: Time,
+    ) -> Result<Time, Trap> {
+        self.mem.store(array, index, value)?;
+        let (_lat, ti) = self.mem_access(t, array, index, dep)?;
+        // Stores drain through the store buffer: retirement is fast.
+        let tc = ti + 1;
+        self.complete(t, tc);
+        self.thread(t).stats.stores += 1;
+        Ok(tc)
+    }
+
+    fn atomic_rmw(
+        &mut self,
+        t: Tid,
+        op: BinOp,
+        array: ArrayId,
+        index: i64,
+        value: Value,
+        dep: Time,
+    ) -> Result<(Value, Time), Trap> {
+        let old = self.mem.load(array, index)?;
+        let new = phloem_ir::eval_binop(op, old, value)?;
+        self.mem.store(array, index, new)?;
+        let (lat, ti) = self.mem_access(t, array, index, dep)?;
+        // Atomics pay the access round trip plus locked-RMW overhead
+        // (~Skylake `lock xadd` cost).
+        let tc = ti + lat + 16;
+        self.complete(t, tc);
+        let th = self.thread(t);
+        th.stats.loads += 1;
+        th.stats.stores += 1;
+        Ok((old, tc))
+    }
+
+    fn try_enq(&mut self, t: Tid, q: QueueId, w: Value, dep: Time) -> Result<Option<Time>, Trap> {
+        let qi = q.0 as usize;
+        if qi >= self.queues.len() {
+            return Err(Trap::BadId(format!("queue {}", q.0)));
+        }
+        if self.queues[qi].is_full() {
+            return Ok(None);
+        }
+        let slot_free = self.queues[qi].slot_free_time();
+        let cursor = self.threads[t.0 as usize].cursor;
+        let is_ra = self.threads[t.0 as usize].is_ra;
+        let waited = slot_free.saturating_sub(dep.max(cursor));
+        let lat = self.op_latency(t, UopClass::QueuePush);
+        // RA engines "launch memory requests in parallel but deliver
+        // loads in order": the FSM issues the enqueue at its own pace and
+        // the entry becomes ready when the data arrives.
+        let ti = if is_ra {
+            self.issue_at(t, slot_free, Attr::QueueFull)
+        } else {
+            self.issue_at(t, dep.max(slot_free), Attr::QueueFull)
+        };
+        let tc = (ti + lat).max(if is_ra { dep } else { 0 });
+        self.complete(t, tc);
+        let core = self.threads[t.0 as usize].core;
+        {
+            let th = self.thread(t);
+            th.stats.enqs += 1;
+            let extra = waited.saturating_sub(ti.saturating_sub(cursor));
+            th.stats.queue_stall_cycles += extra;
+            th.stats.queue_full_stall_cycles += extra;
+        }
+        self.queues[qi].push(QueueEntry {
+            value: w,
+            ready: tc,
+            core,
+        });
+        if self.wait_flags[qi] & WAIT_EMPTY != 0 {
+            self.events.push(QueueEvent::Enq(q));
+        }
+        Ok(Some(tc))
+    }
+
+    fn try_deq(&mut self, t: Tid, q: QueueId, dep: Time) -> Result<Option<(Value, Time)>, Trap> {
+        let qi = q.0 as usize;
+        if qi >= self.queues.len() {
+            return Err(Trap::BadId(format!("queue {}", q.0)));
+        }
+        if self.queues[qi].is_empty() {
+            return Ok(None);
+        }
+        let (entry_ready, entry_core) = {
+            let entry = self.queues[qi].front().expect("nonempty");
+            (entry.ready, entry.core)
+        };
+        let th_core = self.threads[t.0 as usize].core;
+        let avail = if entry_core == th_core {
+            entry_ready
+        } else {
+            entry_ready + self.cfg.inter_core_queue_latency
+        };
+        let lat = self.op_latency(t, UopClass::QueuePop);
+        let cursor = self.threads[t.0 as usize].cursor;
+        let waited = avail.saturating_sub(dep.max(cursor) + lat);
+        let ti = self.issue_at(t, dep.max(avail.saturating_sub(lat)), Attr::QueueEmpty);
+        let tc = (ti + lat).max(avail);
+        self.complete(t, tc);
+        {
+            let th = self.thread(t);
+            th.stats.deqs += 1;
+            let _ = waited; // already folded into the Attr::QueueEmpty gap
+        }
+        let entry = self.queues[qi].pop(tc);
+        if self.wait_flags[qi] & WAIT_FULL != 0 {
+            self.events.push(QueueEvent::Deq(q));
+        }
+        if self.trace_deq {
+            eprintln!(
+                "deq t{} q{} ti={} avail={} tc={} dep={}",
+                t.0, q.0, ti, avail, tc, dep
+            );
+        }
+        Ok(Some((entry.value, tc)))
+    }
+
+    fn mem(&self) -> &MemState {
+        self.mem
+    }
+
+    fn mem_mut(&mut self) -> &mut MemState {
+        self.mem
+    }
+}
+
+/// Builds the interpreters for a pipeline's stages (one hardware thread
+/// per stage), each with the standard step budget.
+pub(crate) fn build_interps<'p>(
+    pipeline: &'p phloem_ir::Pipeline,
+    params: &[(&str, Value)],
+    budget: u64,
+) -> Vec<StepInterp<'p>> {
+    pipeline
+        .stages
+        .iter()
+        .enumerate()
+        .map(|(i, s)| {
+            let bound = phloem_ir::bind_params(&s.program.func, params);
+            StepInterp::new(
+                StageSpec {
+                    func: &s.program.func,
+                    handlers: &s.program.handlers,
+                },
+                Tid(i as u32),
+                &bound,
+            )
+            .with_budget(budget)
+        })
+        .collect()
+}

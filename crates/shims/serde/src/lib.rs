@@ -1,0 +1,22 @@
+//! Offline stand-in for the real `serde` crate.
+//!
+//! The build environment for this repository has no access to crates.io,
+//! so external dependencies are replaced by minimal in-tree shims (see
+//! `crates/shims/README.md`). Workspace code only uses serde for
+//! `#[derive(Serialize, Deserialize)]` markers — nothing serializes
+//! through serde's data model (JSON emission is hand-rolled in
+//! `phloem-bench`) — so the traits here are empty and the derives expand
+//! to inert impls. Swapping back to real serde is a one-line change in
+//! the workspace manifest.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// No-op stand-in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// No-op stand-in for `serde::Deserialize`.
+pub trait Deserialize<'de>: Sized {}
+
+/// No-op stand-in for `serde::de::DeserializeOwned`.
+pub trait DeserializeOwned: for<'de> Deserialize<'de> {}
+impl<T> DeserializeOwned for T where T: for<'de> Deserialize<'de> {}

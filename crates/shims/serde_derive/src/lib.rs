@@ -1,0 +1,102 @@
+//! No-op `#[derive(Serialize, Deserialize)]` macros for the offline
+//! serde shim. Each derive emits an inert trait impl for the annotated
+//! type (handling generic parameters conservatively via a blanket-free
+//! textual expansion), so code written against real serde keeps
+//! compiling unchanged.
+
+use proc_macro::{TokenStream, TokenTree};
+
+/// Extracts the type name following `struct`/`enum` and a best-effort
+/// list of generic parameter idents (lifetimes and types; bounds and
+/// defaults are ignored since the emitted impls carry no obligations).
+fn parse_item(input: TokenStream) -> Option<(String, Vec<String>)> {
+    let mut iter = input.into_iter().peekable();
+    while let Some(tt) = iter.next() {
+        if let TokenTree::Ident(id) = &tt {
+            let kw = id.to_string();
+            if kw == "struct" || kw == "enum" {
+                let name = match iter.next()? {
+                    TokenTree::Ident(n) => n.to_string(),
+                    _ => return None,
+                };
+                // Collect generic parameter names from `<...>` if present.
+                let mut generics = Vec::new();
+                if matches!(iter.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+                    iter.next();
+                    let mut depth = 1usize;
+                    let mut expect_param = true;
+                    while let Some(tt) = iter.next() {
+                        match tt {
+                            TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                            TokenTree::Punct(p) if p.as_char() == '>' => {
+                                depth -= 1;
+                                if depth == 0 {
+                                    break;
+                                }
+                            }
+                            TokenTree::Punct(p) if p.as_char() == ',' && depth == 1 => {
+                                expect_param = true;
+                            }
+                            TokenTree::Punct(p) if p.as_char() == '\'' && depth == 1 => {
+                                if expect_param {
+                                    if let Some(TokenTree::Ident(n)) = iter.next() {
+                                        generics.push(format!("'{n}"));
+                                        expect_param = false;
+                                    }
+                                }
+                            }
+                            TokenTree::Ident(n) if depth == 1 && expect_param => {
+                                let s = n.to_string();
+                                if s == "const" {
+                                    continue; // const generics: keep the next ident
+                                }
+                                generics.push(s);
+                                expect_param = false;
+                            }
+                            _ => {}
+                        }
+                    }
+                }
+                return Some((name, generics));
+            }
+        }
+    }
+    None
+}
+
+fn impl_for(trait_path: &str, input: TokenStream, with_lifetime: bool) -> TokenStream {
+    let Some((name, generics)) = parse_item(input) else {
+        return TokenStream::new();
+    };
+    let mut impl_params: Vec<String> = Vec::new();
+    if with_lifetime {
+        impl_params.push("'de".to_string());
+    }
+    impl_params.extend(generics.iter().cloned());
+    let impl_generics = if impl_params.is_empty() {
+        String::new()
+    } else {
+        format!("<{}>", impl_params.join(", "))
+    };
+    let ty_generics = if generics.is_empty() {
+        String::new()
+    } else {
+        format!("<{}>", generics.join(", "))
+    };
+    let lifetime_arg = if with_lifetime { "<'de>" } else { "" };
+    format!("impl{impl_generics} {trait_path}{lifetime_arg} for {name}{ty_generics} {{}}")
+        .parse()
+        .unwrap_or_default()
+}
+
+/// No-op `Serialize` derive.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    impl_for("::serde::Serialize", input, false)
+}
+
+/// No-op `Deserialize` derive.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    impl_for("::serde::Deserialize", input, true)
+}

@@ -35,10 +35,7 @@ use std::collections::HashMap;
 /// Propagates parse and lowering errors (as strings).
 pub fn compile(src: &str, formats: &[(&str, Format)]) -> Result<Kernel, String> {
     let assign = parse(src).map_err(|e| e.to_string())?;
-    let fm: HashMap<String, Format> = formats
-        .iter()
-        .map(|(n, f)| (n.to_string(), *f))
-        .collect();
+    let fm: HashMap<String, Format> = formats.iter().map(|(n, f)| (n.to_string(), *f)).collect();
     lower(&assign, &fm).map_err(|e| e.to_string())
 }
 

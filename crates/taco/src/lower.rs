@@ -182,10 +182,8 @@ pub fn lower(
                         )))
                     }
                 },
-                Factor::Scalar(s) => {
-                    if !scalars.contains(s) {
-                        scalars.push(s.clone());
-                    }
+                Factor::Scalar(s) if !scalars.contains(s) => {
+                    scalars.push(s.clone());
                 }
                 _ => {}
             }
@@ -415,7 +413,6 @@ pub fn lower(
         params,
     })
 }
-
 
 /// Multiplication with unit-constant folding (keeps generated inner
 /// loops lean enough for reference-accelerator extraction).

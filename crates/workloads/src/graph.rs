@@ -70,7 +70,10 @@ impl Graph {
 
     /// The maximum degree.
     pub fn max_degree(&self) -> usize {
-        (0..self.num_vertices).map(|v| self.degree(v)).max().unwrap_or(0)
+        (0..self.num_vertices)
+            .map(|v| self.degree(v))
+            .max()
+            .unwrap_or(0)
     }
 
     /// Checks CSR invariants: monotone offsets, in-range neighbor ids,
@@ -255,7 +258,7 @@ pub fn collaboration(communities: usize, seed: u64) -> Graph {
     let mut sizes = Vec::with_capacity(communities);
     let mut n = 0usize;
     for _ in 0..communities {
-        let s = rng.gen_range(2..=9);
+        let s = rng.gen_range(2usize..=9);
         sizes.push(s);
         n += s;
     }

@@ -18,8 +18,8 @@ pub mod graph;
 pub mod matrix;
 
 pub use catalog::{
-    spmm_test_matrices, spmm_training_matrices, taco_test_matrices, test_graphs,
-    training_graphs, GraphInput, MatrixInput, Scale,
+    spmm_test_matrices, spmm_training_matrices, taco_test_matrices, test_graphs, training_graphs,
+    GraphInput, MatrixInput, Scale,
 };
 pub use graph::Graph;
 pub use matrix::{DenseMatrix, SparseMatrix};

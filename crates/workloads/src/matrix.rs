@@ -226,11 +226,7 @@ mod tests {
 
     #[test]
     fn spmv_oracle_on_identityish() {
-        let m = SparseMatrix::from_rows(
-            2,
-            2,
-            vec![vec![(0, 2.0)], vec![(1, 3.0)]],
-        );
+        let m = SparseMatrix::from_rows(2, 2, vec![vec![(0, 2.0)], vec![(1, 3.0)]]);
         assert_eq!(m.spmv(&[1.0, 1.0]), vec![2.0, 3.0]);
     }
 

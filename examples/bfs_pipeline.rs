@@ -22,8 +22,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     for (what, passes) in [
         ("pass 1 only: add queues", PassConfig::queues_only()),
-        ("passes 1-2 + CV + DCE + handlers", PassConfig::with_handlers()),
-        ("all passes (with reference accelerators)", PassConfig::all()),
+        (
+            "passes 1-2 + CV + DCE + handlers",
+            PassConfig::with_handlers(),
+        ),
+        (
+            "all passes (with reference accelerators)",
+            PassConfig::all(),
+        ),
     ] {
         let opts = CompileOptions {
             passes,

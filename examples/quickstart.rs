@@ -45,7 +45,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 1. Parse serial C.
     let funcs = compile_c(BFS_C)?;
     let kernel = &funcs[0].func;
-    println!("parsed `{}` (#pragma phloem: {})\n", kernel.name, funcs[0].pragmas.phloem);
+    println!(
+        "parsed `{}` (#pragma phloem: {})\n",
+        kernel.name, funcs[0].pragmas.phloem
+    );
 
     // 2. Compile to a 4-stage pipeline with the static cost model.
     let pipeline = compile_static(kernel, 4, &CompileOptions::default())?;
@@ -68,7 +71,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let mut len = 1i64;
         let mut d = 1i64;
         while len > 0 {
-            session.mem_mut().store(arrays.fringe_len, 0, Value::I64(len))?;
+            session
+                .mem_mut()
+                .store(arrays.fringe_len, 0, Value::I64(len))?;
             session.run(&pipe, &[("cur_dist", Value::I64(d))])?;
             len = session.mem().load(arrays.out_len, 0)?.as_i64()?;
             for k in 0..len {

@@ -24,7 +24,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         passes: phloem_compiler::PassConfig::with_handlers(), // no RA
         ..Default::default()
     };
-    let single = phloem_compiler::decouple_with_cuts(&kernel, &[loads[2], loads[4], loads[5]], &opts)?;
+    let single =
+        phloem_compiler::decouple_with_cuts(&kernel, &[loads[2], loads[4], loads[5]], &opts)?;
     println!(
         "single pipeline: {} compute stages, {} queues",
         single.compute_stages(),
@@ -50,13 +51,20 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Fig. 14-style measurement.
     let g = graph::road_network(120, 3);
-    println!("graph: {} vertices, {} edges", g.num_vertices, g.num_edges());
+    println!(
+        "graph: {} vertices, {} edges",
+        g.num_vertices,
+        g.num_edges()
+    );
     let cfg1 = MachineConfig::paper_1core();
     let cfg4 = MachineConfig::paper_multicore(4);
     let serial = bfs::run(&Variant::Serial, &g, 0, &cfg1, "road");
     let dp = bfs::run(&Variant::DataParallel(16), &g, 0, &cfg4, "road");
     let rep = run_bfs_replicated(RepVariant::Phloem, &g, 0, &cfg4, "road");
-    println!("serial (1 core, 1 thread): {:>10} cycles  1.00x", serial.cycles);
+    println!(
+        "serial (1 core, 1 thread): {:>10} cycles  1.00x",
+        serial.cycles
+    );
     println!(
         "data-parallel (16 threads): {:>9} cycles  {:.2}x",
         dp.cycles,

@@ -72,8 +72,8 @@ fn c_compiled_bfs_runs_correctly_on_the_machine() {
     // Compare with a functional serial round.
     let (mut mem2, arrays2) = bfs::build_mem(&g, 0, 1);
     mem2.store(arrays2.fringe_len, 0, Value::I64(1)).unwrap();
-    let serial = interp::run_serial(&funcs[0].func, mem2, &[("cur_dist", Value::I64(1))])
-        .expect("serial");
+    let serial =
+        interp::run_serial(&funcs[0].func, mem2, &[("cur_dist", Value::I64(1))]).expect("serial");
     assert_eq!(
         run.mem.i64_vec(arrays.dist),
         serial.mem.i64_vec(arrays2.dist)
@@ -133,7 +133,11 @@ fn explicit_cut_combinations_stay_functionally_correct() {
     let kernel = bfs::kernel();
     let opts = phloem_compiler::search::SearchOptions::default();
     let pipes = phloem_compiler::search::enumerate_pipelines(&kernel, &opts);
-    assert!(pipes.len() >= 10, "expected a rich candidate set, got {}", pipes.len());
+    assert!(
+        pipes.len() >= 10,
+        "expected a rich candidate set, got {}",
+        pipes.len()
+    );
     let g = graph::power_law(300, 3, 1);
     // Serial reference for one round.
     let (mut mem, arrays) = bfs::build_mem(&g, 0, 1);

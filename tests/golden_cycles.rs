@@ -1,0 +1,89 @@
+//! Golden simulated-cycle regression tests.
+//!
+//! The scheduler refactor (polling -> event-driven) must not change the
+//! timing model: these tests pin the exact cycle counts produced by the
+//! seed implementation on deterministic workloads, through both small
+//! single-core pipelines and replicated multicore ones. Any divergence
+//! means the scheduler changed *simulated time*, not just host time.
+//!
+//! To re-capture after an intentional timing-model change:
+//! `GOLDEN_PRINT=1 cargo test --test golden_cycles -- --nocapture`
+
+use phloem_benchsuite::fig14::{run_bfs_replicated, RepVariant};
+use phloem_benchsuite::{bfs, spmm, Variant};
+use phloem_workloads::{graph, matrix};
+use pipette_sim::MachineConfig;
+
+/// `(label, cycles)` pinned from the seed timing model.
+const GOLDEN: &[(&str, u64)] = &[
+    ("bfs/phloem/power_law_500", 17610),
+    ("bfs/manual/power_law_500", 18395),
+    ("bfs/replicated/collab_200", 20176),
+    ("spmm/phloem/rnd_40", 101241),
+    ("spmm/manual/rnd_40", 114958),
+    ("spmm/dp4/rnd_40", 32102),
+];
+
+fn measure_all() -> Vec<(&'static str, u64)> {
+    let cfg1 = MachineConfig::paper_1core();
+    let cfg4 = MachineConfig::paper_multicore(4);
+    let mut out = Vec::new();
+
+    let g = graph::power_law(500, 3, 3);
+    out.push((
+        "bfs/phloem/power_law_500",
+        bfs::run(&Variant::phloem(), &g, 0, &cfg1, "power_law_500").cycles,
+    ));
+    out.push((
+        "bfs/manual/power_law_500",
+        bfs::run(&Variant::Manual, &g, 0, &cfg1, "power_law_500").cycles,
+    ));
+
+    let gr = graph::collaboration(200, 2);
+    out.push((
+        "bfs/replicated/collab_200",
+        run_bfs_replicated(RepVariant::Phloem, &gr, 0, &cfg4, "collab_200").cycles,
+    ));
+
+    let a = matrix::random_square(40, 3.0, 1);
+    let bt = a.transpose();
+    out.push((
+        "spmm/phloem/rnd_40",
+        spmm::run(&Variant::phloem(), &a, &bt, &cfg1, "rnd_40").cycles,
+    ));
+    out.push((
+        "spmm/manual/rnd_40",
+        spmm::run(&Variant::Manual, &a, &bt, &cfg1, "rnd_40").cycles,
+    ));
+    out.push((
+        "spmm/dp4/rnd_40",
+        spmm::run(&Variant::DataParallel(4), &a, &bt, &cfg1, "rnd_40").cycles,
+    ));
+    out
+}
+
+#[test]
+fn cycle_counts_match_the_seed_model_exactly() {
+    let got = measure_all();
+    if std::env::var("GOLDEN_PRINT").is_ok() {
+        for (label, cycles) in &got {
+            println!("    (\"{label}\", {cycles}),");
+        }
+        return;
+    }
+    assert_eq!(got.len(), GOLDEN.len());
+    for ((label, cycles), (glabel, golden)) in got.iter().zip(GOLDEN) {
+        assert_eq!(label, glabel);
+        assert_eq!(
+            cycles, golden,
+            "{label}: simulated cycles diverged from the seed timing model"
+        );
+    }
+}
+
+#[test]
+fn repeated_runs_are_deterministic() {
+    let a = measure_all();
+    let b = measure_all();
+    assert_eq!(a, b, "simulation is not deterministic across runs");
+}

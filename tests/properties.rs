@@ -41,15 +41,17 @@ fn spec_strategy() -> impl Strategy<Value = KernelSpec> {
         1i64..4,
         any::<u64>(),
     )
-        .prop_map(|(n, filter, parity, write_c, inner, span, seed)| KernelSpec {
-            n,
-            filter,
-            parity,
-            write_c,
-            inner,
-            span,
-            seed,
-        })
+        .prop_map(
+            |(n, filter, parity, write_c, inner, span, seed)| KernelSpec {
+                n,
+                filter,
+                parity,
+                write_c,
+                inner,
+                span,
+                seed,
+            },
+        )
 }
 
 fn build_kernel(spec: &KernelSpec) -> Function {
@@ -121,7 +123,10 @@ fn build_mem(spec: &KernelSpec) -> MemState {
         ArrayDecl::i32("A"),
         (0..spec.n).map(|_| (next() % (m as u64 - 8)) as i64),
     );
-    mem.alloc_i64(ArrayDecl::i32("B"), (0..m as i64).map(|_| (next() % 100) as i64));
+    mem.alloc_i64(
+        ArrayDecl::i32("B"),
+        (0..m as i64).map(|_| (next() % 100) as i64),
+    );
     mem.alloc(ArrayDecl::i32("C"), m);
     mem.alloc(ArrayDecl::i64("out"), 2);
     mem
@@ -168,6 +173,61 @@ proptest! {
                 cuts,
                 passes.label()
             );
+        }
+    }
+
+    /// Scheduler order must never change simulated time: the
+    /// event-driven scheduler and the reference polling scheduler are
+    /// required to produce bit-identical cycle counts, stall
+    /// attributions, and queue occupancy traces on arbitrary kernels.
+    /// Only the host-side work may differ — event-driven never blindly
+    /// re-polls a parked thread (`stall_polls == 0`), while polling
+    /// does whenever a thread ever blocked.
+    #[test]
+    fn scheduler_kind_does_not_change_cycles(spec in spec_strategy()) {
+        use pipette_sim::{MachineConfig, SchedulerKind, Session};
+        let kernel = build_kernel(&spec);
+        let mem = build_mem(&spec);
+        let opts = CompileOptions::default();
+        let analysis = phloem_compiler::analyze(&kernel);
+        let cuts: Vec<_> = analysis.candidates().into_iter().take(2).collect();
+        let Ok(pipe) = decouple_with_cuts(&kernel, &cuts, &opts) else { return Ok(()); };
+        let params = [("n", Value::I64(spec.n as i64))];
+        let run = |kind: SchedulerKind| {
+            let mut s = Session::new(MachineConfig::paper_1core(), mem.clone());
+            s.run_with(&pipe, &params, kind).unwrap();
+            let (m, stats) = s.finish();
+            (m, stats)
+        };
+        let (em, ev) = run(SchedulerKind::EventDriven);
+        let (pm, po) = run(SchedulerKind::Polling);
+        prop_assert!(em.same_contents(&pm));
+        prop_assert_eq!(ev.cycles, po.cycles);
+        prop_assert_eq!(ev.threads.len(), po.threads.len());
+        for (e, p) in ev.threads.iter().zip(&po.threads) {
+            prop_assert_eq!(e.finish_time, p.finish_time);
+            prop_assert_eq!(e.queue_stall_cycles, p.queue_stall_cycles);
+            prop_assert_eq!(e.queue_full_stall_cycles, p.queue_full_stall_cycles);
+            prop_assert_eq!(e.queue_empty_stall_cycles, p.queue_empty_stall_cycles);
+            prop_assert_eq!(e.backend_stall_cycles, p.backend_stall_cycles);
+            prop_assert_eq!(e.frontend_stall_cycles, p.frontend_stall_cycles);
+            // The whole point of the event-driven core: no blind re-polls.
+            prop_assert_eq!(e.stall_polls, 0);
+        }
+        prop_assert_eq!(ev.queues.len(), po.queues.len());
+        for (e, p) in ev.queues.iter().zip(&po.queues) {
+            prop_assert_eq!(e.enqs, p.enqs);
+            prop_assert_eq!(e.deqs, p.deqs);
+            prop_assert_eq!(&e.occupancy_hist, &p.occupancy_hist);
+        }
+        // Wakeup accounting is host-side but tracks the same simulated
+        // queue events, so it must agree between the two schedulers.
+        // (Polling may additionally report stall_polls > 0 — fruitless
+        // re-polls of threads parked across a round boundary — which is
+        // exactly the work the event-driven scheduler eliminates.)
+        for (e, p) in ev.threads.iter().zip(&po.threads) {
+            prop_assert_eq!(e.wakeups, p.wakeups);
+            prop_assert_eq!(e.spurious_wakeups, p.spurious_wakeups);
         }
     }
 

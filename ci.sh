@@ -17,6 +17,9 @@ cargo test -q
 echo "==> cargo test --workspace -q"
 cargo test --workspace -q
 
+echo "==> simspeed --smoke (scheduler x engine cycle/atom equality)"
+cargo run --release -q -p phloem-bench --bin simspeed -- --smoke
+
 echo "==> cargo clippy --workspace --all-targets -- -D warnings"
 cargo clippy --workspace --all-targets -q -- -D warnings
 

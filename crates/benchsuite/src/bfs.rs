@@ -22,7 +22,7 @@ use phloem_ir::{
     Pipeline, QueueId, RaConfig, RaMode, StageProgram, Value,
 };
 use phloem_workloads::Graph;
-use pipette_sim::{MachineConfig, Session};
+use pipette_sim::{CompiledPipeline, MachineConfig, Session};
 
 const DONE: u32 = 0;
 const NEXT: u32 = 1;
@@ -364,6 +364,10 @@ pub fn run(
     let pipeline = pipeline_for(variant, g.num_vertices, cfg).expect("BFS pipeline construction");
     let (mem, arrays) = build_mem(g, root, threads);
     let mut session = Session::new(cfg.clone(), mem);
+    // Lower stage programs once: the flat engine would otherwise
+    // recompile the same pipeline every round.
+    let compiled =
+        CompiledPipeline::new(&pipeline).unwrap_or_else(|e| panic!("BFS {}: {e}", variant.label()));
     let mut len = 1i64;
     let mut cur_dist = 1i64;
     let mut rounds = 0;
@@ -373,7 +377,7 @@ pub fn run(
             .store(arrays.fringe_len, 0, Value::I64(len))
             .unwrap();
         session
-            .run(&pipeline, &[("cur_dist", Value::I64(cur_dist))])
+            .run_compiled(&pipeline, &compiled, &[("cur_dist", Value::I64(cur_dist))])
             .unwrap_or_else(|e| panic!("BFS {} round {rounds}: {e}", variant.label()));
         // Gather next fringe (host work, free — pointer swap in the paper).
         let n = g.num_vertices;

@@ -18,7 +18,7 @@ use phloem_ir::{
     Pipeline, QueueId, RaConfig, RaMode, StageProgram, Value,
 };
 use phloem_workloads::Graph;
-use pipette_sim::{MachineConfig, Session};
+use pipette_sim::{CompiledPipeline, MachineConfig, Session};
 
 const DONE: u32 = 0;
 const NEXT: u32 = 1;
@@ -383,6 +383,8 @@ pub fn run(variant: &Variant, g: &Graph, cfg: &MachineConfig, input: &str) -> Me
     let pipeline = pipeline_for(variant, segment(g), cfg).expect("CC pipeline");
     let (mem, arrays) = build_mem(g, threads);
     let mut session = Session::new(cfg.clone(), mem);
+    let compiled =
+        CompiledPipeline::new(&pipeline).unwrap_or_else(|e| panic!("CC {}: {e}", variant.label()));
     let mut len = g.num_vertices as i64;
     let mut rounds = 0;
     while len > 0 {
@@ -391,7 +393,7 @@ pub fn run(variant: &Variant, g: &Graph, cfg: &MachineConfig, input: &str) -> Me
             .store(arrays.fringe_len, 0, Value::I64(len))
             .unwrap();
         session
-            .run(&pipeline, &[])
+            .run_compiled(&pipeline, &compiled, &[])
             .unwrap_or_else(|e| panic!("CC {} round {rounds}: {e}", variant.label()));
         let seg = segment(g);
         let mut next = Vec::new();

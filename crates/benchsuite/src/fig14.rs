@@ -22,7 +22,7 @@ use phloem_ir::{
     RaConfig, RaMode, StageProgram, Stmt, Value, VarId,
 };
 use phloem_workloads::Graph;
-use pipette_sim::{MachineConfig, Session};
+use pipette_sim::{CompiledPipeline, MachineConfig, Session};
 
 const DONE: u32 = 0;
 
@@ -507,6 +507,8 @@ pub fn run_cc_replicated(
     let (mem, arrays) = crate::cc::build_mem(g, replicas);
     let seg = crate::cc::segment(g);
     let mut session = Session::new(cfg.clone(), mem);
+    let compiled =
+        CompiledPipeline::new(&pipeline).unwrap_or_else(|e| panic!("cc-rep compile: {e}"));
     let mut len = g.num_vertices as i64;
     let mut rounds = 0;
     while len > 0 {
@@ -515,7 +517,7 @@ pub fn run_cc_replicated(
             .store(arrays.fringe_len, 0, Value::I64(len))
             .unwrap();
         session
-            .run(&pipeline, &[("seg", Value::I64(seg as i64))])
+            .run_compiled(&pipeline, &compiled, &[("seg", Value::I64(seg as i64))])
             .unwrap_or_else(|e| panic!("cc-rep round {rounds}: {e}"));
         let mut next = Vec::new();
         for t in 0..replicas {

@@ -14,7 +14,7 @@ use phloem_ir::{
     Pipeline, QueueId, RaConfig, RaMode, StageProgram, Value,
 };
 use phloem_workloads::Graph;
-use pipette_sim::{MachineConfig, Session};
+use pipette_sim::{CompiledPipeline, MachineConfig, Session};
 
 const DONE: u32 = 0;
 const NEXT: u32 = 1;
@@ -452,6 +452,8 @@ pub fn run(variant: &Variant, g: &Graph, cfg: &MachineConfig, input: &str) -> Me
     let pipeline = pipeline_for(variant, segment(g), cfg).expect("radii pipeline");
     let (mem, arrays) = build_mem(g, threads);
     let mut session = Session::new(cfg.clone(), mem);
+    let compiled = CompiledPipeline::new(&pipeline)
+        .unwrap_or_else(|e| panic!("radii {}: {e}", variant.label()));
     let mut len = sources(g).len() as i64;
     let mut round = 1i64;
     while len > 0 {
@@ -460,7 +462,7 @@ pub fn run(variant: &Variant, g: &Graph, cfg: &MachineConfig, input: &str) -> Me
             .store(arrays.fringe_len, 0, Value::I64(len))
             .unwrap();
         session
-            .run(&pipeline, &[("round", Value::I64(round))])
+            .run_compiled(&pipeline, &compiled, &[("round", Value::I64(round))])
             .unwrap_or_else(|e| panic!("radii {} round {round}: {e}", variant.label()));
         let seg = segment(g);
         let mut next = Vec::new();

@@ -1,0 +1,793 @@
+//! The flat bytecode interpreter.
+//!
+//! [`FlatInterp`] executes a [`BytecodeProgram`] (see [`crate::bytecode`])
+//! with a program counter and a flat register file instead of the
+//! [`crate::StepInterp`] frame stack. It makes exactly the same
+//! [`World`] calls in the same order with the same arguments as the tree
+//! interpreter would for the same program, so simulated cycles,
+//! statistics, and memory state are bit-identical across engines — a
+//! property pinned by differential tests. Only host-side work differs:
+//! no frame-stack push/pop per atom, no recursive expression walk, no
+//! statement dispatch on the structured AST.
+//!
+//! The hot entry point is [`FlatInterp::run_slice`]: it executes a whole
+//! scheduler slice inside a single dispatch loop, keeping the program
+//! counter, control-flow time, and step counter in locals across atoms
+//! (the tree interpreter re-enters its frame machinery per atom).
+//! Interpreter state is written back once per slice, not once per atom.
+//!
+//! Step accounting matches the tree interpreter exactly: every atom
+//! attempt on an unfinished program counts against the budget (including
+//! blocked retries and the final step that discovers termination), and a
+//! program with an empty body is born finished.
+
+use crate::bytecode::{BytecodeProgram, Instr, Opd};
+use crate::expr::{QueueId, VarId};
+use crate::stmt::HandlerEnd;
+use crate::value::{eval_binop, eval_unop, Trap, Value};
+use crate::world::{BlockReason, StepResult, Tid, Time, UopClass, World};
+
+/// One register slot: a value and its readiness time, kept adjacent so
+/// the common read-value-and-time access touches one location.
+#[derive(Clone, Copy, Debug)]
+struct Slot {
+    v: Value,
+    t: Time,
+}
+
+/// Program-counter interpreter for one compiled stage program.
+pub struct FlatInterp<'p> {
+    prog: &'p BytecodeProgram,
+    tid: Tid,
+    /// Register file: variables (slots `0..nvars`), then temporaries and
+    /// loop state.
+    slots: Vec<Slot>,
+    flow_time: Time,
+    pc: u32,
+    /// Dispatch records: the pc of the dequeue instruction that jumped
+    /// into each currently-active handler.
+    ret_stack: Vec<u32>,
+    finished: bool,
+    /// A select-enqueue whose queue choice has been made (and its
+    /// select micro-op issued) but whose enqueue is still blocked.
+    pending_enq_sel: Option<(Value, Time, QueueId)>,
+    steps: u64,
+    budget: u64,
+}
+
+impl<'p> FlatInterp<'p> {
+    /// Creates an interpreter for a compiled stage program running as
+    /// hardware thread `tid`, with the given parameter bindings.
+    ///
+    /// # Panics
+    /// Panics if a parameter id is out of range (call
+    /// [`crate::Function::validate`] before compiling).
+    pub fn new(prog: &'p BytecodeProgram, tid: Tid, params: &[(VarId, Value)]) -> FlatInterp<'p> {
+        let nslots = prog.nslots as usize;
+        let mut slots = vec![
+            Slot {
+                v: Value::I64(0),
+                t: 0
+            };
+            nslots
+        ];
+        for (slot, zero) in slots.iter_mut().zip(&prog.var_zero) {
+            slot.v = *zero;
+        }
+        for (var, val) in params {
+            assert!(var.0 < prog.nvars, "param id {} out of range", var.0);
+            slots[var.0 as usize].v = *val;
+        }
+        FlatInterp {
+            prog,
+            tid,
+            slots,
+            flow_time: 0,
+            pc: 0,
+            ret_stack: Vec::new(),
+            finished: prog.body_empty,
+            pending_enq_sel: None,
+            steps: 0,
+            budget: u64::MAX,
+        }
+    }
+
+    /// Limits the number of interpreter steps (guards against runaway
+    /// loops in generated code); exceeding it traps.
+    pub fn with_budget(mut self, budget: u64) -> Self {
+        self.budget = budget;
+        self
+    }
+
+    /// True once the stage program has terminated.
+    pub fn is_finished(&self) -> bool {
+        self.finished
+    }
+
+    /// Steps executed so far.
+    pub fn steps(&self) -> u64 {
+        self.steps
+    }
+
+    /// Name of the stage (diagnostics).
+    pub fn name(&self) -> &str {
+        self.prog.name()
+    }
+
+    /// Current value of a variable (for reading scalar results).
+    pub fn var(&self, v: VarId) -> Value {
+        self.slots[v.0 as usize].v
+    }
+
+    /// The thread's control-flow readiness time (diagnostics).
+    pub fn flow_time(&self) -> Time {
+        self.flow_time
+    }
+
+    /// Reads an operand with the tree interpreter's timing rules.
+    /// `flow` is the caller's (local) control-flow time.
+    #[inline]
+    fn read(&self, o: Opd, flow: Time) -> (Value, Time) {
+        match o {
+            Opd::Const(i) => (self.prog.consts[i as usize], flow),
+            Opd::Var(i) => {
+                let s = self.slots[i as usize];
+                (s.v, s.t.max(flow))
+            }
+            Opd::Tmp(i) => {
+                let s = self.slots[i as usize];
+                (s.v, s.t)
+            }
+        }
+    }
+
+    #[inline]
+    fn set(&mut self, slot: u32, v: Value, t: Time) {
+        self.slots[slot as usize] = Slot { v, t };
+    }
+
+    /// Resolves a handler's `break N` relative to the dispatching
+    /// dequeue site, mirroring the tree interpreter's `pop_loops`;
+    /// returns the pc to continue at.
+    fn break_target(&self, deq_pc: u32, levels: u32) -> Result<u32, Trap> {
+        if levels == 0 {
+            return Ok(deq_pc);
+        }
+        let Instr::Deq { breaks, .. } = &self.prog.code[deq_pc as usize] else {
+            unreachable!("dispatch record points at a non-deq instruction");
+        };
+        match breaks.get(levels as usize - 1) {
+            Some(t) => Ok(*t),
+            None => Err(Trap::Malformed(format!(
+                "break {levels} crosses a handler or function boundary"
+            ))),
+        }
+    }
+
+    /// Executes one atom: runs free instructions until an atom-ending
+    /// instruction completes (or blocks). See [`StepResult`].
+    ///
+    /// # Errors
+    /// Propagates runtime traps (bounds, control-value misuse, budget).
+    pub fn step<W: World + ?Sized>(&mut self, world: &mut W) -> Result<StepResult, Trap> {
+        match self.run_slice(world, 1)? {
+            (_, StepResult::Blocked(BlockReason::Budget)) => Ok(StepResult::Progress),
+            (_, r) => Ok(r),
+        }
+    }
+
+    /// Runs up to `max` progress-making atoms in one dispatch-loop
+    /// activation, stopping early if the thread blocks or finishes;
+    /// returns the number of atoms executed and the stop condition
+    /// (`Blocked(BlockReason::Budget)` when the slice was exhausted with
+    /// the thread still runnable). The [`World`] call sequence is
+    /// exactly what `max` consecutive [`Self::step`] calls would make.
+    ///
+    /// # Errors
+    /// Propagates runtime traps (bounds, control-value misuse, budget).
+    pub fn run_slice<W: World + ?Sized>(
+        &mut self,
+        world: &mut W,
+        max: u32,
+    ) -> Result<(u32, StepResult), Trap> {
+        if self.finished {
+            return Ok((0, StepResult::Finished));
+        }
+        let prog = self.prog;
+        let tid = self.tid;
+        let mut pc = self.pc;
+        let mut flow = self.flow_time;
+        let mut steps = self.steps;
+        let mut n: u32 = 0;
+        let result = 'slice: loop {
+            steps += 1;
+            if steps > self.budget {
+                self.pc = pc;
+                self.flow_time = flow;
+                self.steps = steps;
+                return Err(Trap::OpBudgetExceeded(self.budget));
+            }
+            // One atom: free instructions fall through; an atom-ending
+            // instruction `break`s (progress) or `break 'slice`s
+            // (blocked / finished).
+            loop {
+                match &prog.code[pc as usize] {
+                    // ----- free instructions: fall through in the atom -----
+                    Instr::Un { op, a, dst } => {
+                        let (op, a, dst) = (*op, *a, *dst);
+                        let (va, ta) = self.read(a, flow);
+                        let res = eval_unop(op, va)?;
+                        let class = if matches!(va, Value::F64(_)) {
+                            UopClass::FpAlu
+                        } else {
+                            UopClass::IntAlu
+                        };
+                        let t = world.uop(tid, class, ta);
+                        self.set(dst, res, t);
+                        pc += 1;
+                    }
+                    Instr::Bin { op, a, b, dst } => {
+                        let (op, a, b, dst) = (*op, *a, *b, *dst);
+                        let (va, ta) = self.read(a, flow);
+                        let (vb, tb) = self.read(b, flow);
+                        let res = eval_binop(op, va, vb)?;
+                        let class = UopClass::for_binop(op, va, vb);
+                        let t = world.uop(tid, class, ta.max(tb));
+                        self.set(dst, res, t);
+                        pc += 1;
+                    }
+                    Instr::Load { array, index, dst } => {
+                        let (array, index, dst) = (*array, *index, *dst);
+                        let (vi, ti) = self.read(index, flow);
+                        let idx = vi.as_i64()?;
+                        let (v, t) = world.load(tid, array, idx, ti)?;
+                        self.set(dst, v, t);
+                        pc += 1;
+                    }
+                    Instr::Jump(target) => {
+                        pc = *target;
+                    }
+                    Instr::ForEnter {
+                        start,
+                        end,
+                        cur,
+                        lim,
+                    } => {
+                        let (start, end, cur, lim) = (*start, *end, *cur, *lim);
+                        let (vs, ts) = self.read(start, flow);
+                        let (ve, te) = self.read(end, flow);
+                        let c = vs.as_i64()?;
+                        let l = ve.as_i64()?;
+                        self.set(cur, Value::I64(c), ts);
+                        self.set(lim, Value::I64(l), te);
+                        pc += 1;
+                    }
+                    // ----- atom-ending instructions -----
+                    Instr::Assign { var, src } => {
+                        let (var, src) = (*var, *src);
+                        let (v, t) = self.read(src, flow);
+                        self.set(var, v, t);
+                        pc += 1;
+                        break;
+                    }
+                    Instr::UnA { op, a, var } => {
+                        let (op, a, var) = (*op, *a, *var);
+                        let (va, ta) = self.read(a, flow);
+                        let res = eval_unop(op, va)?;
+                        let class = if matches!(va, Value::F64(_)) {
+                            UopClass::FpAlu
+                        } else {
+                            UopClass::IntAlu
+                        };
+                        let t = world.uop(tid, class, ta);
+                        self.set(var, res, t);
+                        pc += 1;
+                        break;
+                    }
+                    Instr::BinA { op, a, b, var } => {
+                        let (op, a, b, var) = (*op, *a, *b, *var);
+                        let (va, ta) = self.read(a, flow);
+                        let (vb, tb) = self.read(b, flow);
+                        let res = eval_binop(op, va, vb)?;
+                        let class = UopClass::for_binop(op, va, vb);
+                        let t = world.uop(tid, class, ta.max(tb));
+                        self.set(var, res, t);
+                        pc += 1;
+                        break;
+                    }
+                    Instr::LoadA { array, index, var } => {
+                        let (array, index, var) = (*array, *index, *var);
+                        let (vi, ti) = self.read(index, flow);
+                        let idx = vi.as_i64()?;
+                        let (v, t) = world.load(tid, array, idx, ti)?;
+                        self.set(var, v, t);
+                        pc += 1;
+                        break;
+                    }
+                    Instr::Store {
+                        array,
+                        index,
+                        value,
+                    } => {
+                        let (array, index, value) = (*array, *index, *value);
+                        let (vi, ti) = self.read(index, flow);
+                        let (vv, tv) = self.read(value, flow);
+                        world.store(tid, array, vi.as_i64()?, vv, ti.max(tv))?;
+                        pc += 1;
+                        break;
+                    }
+                    Instr::AtomicRmw {
+                        op,
+                        array,
+                        index,
+                        value,
+                        old,
+                    } => {
+                        let (op, array, index, value, old) = (*op, *array, *index, *value, *old);
+                        let (vi, ti) = self.read(index, flow);
+                        let (vv, tv) = self.read(value, flow);
+                        let (prev, t) =
+                            world.atomic_rmw(tid, op, array, vi.as_i64()?, vv, ti.max(tv))?;
+                        if let Some(o) = old {
+                            self.set(o, prev, t);
+                        }
+                        pc += 1;
+                        break;
+                    }
+                    Instr::Enq { queue, value } => {
+                        let (queue, value) = (*queue, *value);
+                        // Re-reading the operand on a blocked retry is
+                        // pure: its micro-ops ran before this instruction
+                        // and the registers are untouched while blocked.
+                        let (v, t) = self.read(value, flow);
+                        match world.try_enq(tid, queue, v, t)? {
+                            Some(_) => {
+                                pc += 1;
+                                break;
+                            }
+                            None => {
+                                break 'slice (
+                                    n,
+                                    StepResult::Blocked(BlockReason::QueueFull(queue)),
+                                );
+                            }
+                        }
+                    }
+                    Instr::EnqSel {
+                        queues,
+                        select,
+                        value,
+                    } => {
+                        let (v, t, qsel) = match self.pending_enq_sel.take() {
+                            Some(p) => p,
+                            None => {
+                                let (sv, st) = self.read(*select, flow);
+                                let (v, vt) = self.read(*value, flow);
+                                let count = queues.len() as i64;
+                                let idx = sv.as_i64()?.rem_euclid(count) as usize;
+                                // Selecting the queue costs one ALU op.
+                                let t_sel = world.uop(tid, UopClass::IntAlu, st);
+                                (v, vt.max(t_sel), queues[idx])
+                            }
+                        };
+                        match world.try_enq(tid, qsel, v, t)? {
+                            Some(_) => {
+                                pc += 1;
+                                break;
+                            }
+                            None => {
+                                self.pending_enq_sel = Some((v, t, qsel));
+                                break 'slice (
+                                    n,
+                                    StepResult::Blocked(BlockReason::QueueFull(qsel)),
+                                );
+                            }
+                        }
+                    }
+                    Instr::EnqCtrl { queue, ctrl } => {
+                        let (queue, ctrl) = (*queue, *ctrl);
+                        match world.try_enq(tid, queue, Value::Ctrl(ctrl), flow)? {
+                            Some(_) => {
+                                pc += 1;
+                                break;
+                            }
+                            None => {
+                                break 'slice (
+                                    n,
+                                    StepResult::Blocked(BlockReason::QueueFull(queue)),
+                                );
+                            }
+                        }
+                    }
+                    Instr::Deq { var, queue, .. } => {
+                        let (var, queue) = (*var, *queue);
+                        match world.try_deq(tid, queue, flow)? {
+                            None => {
+                                break 'slice (
+                                    n,
+                                    StepResult::Blocked(BlockReason::QueueEmpty(queue)),
+                                );
+                            }
+                            Some((w, t)) => {
+                                if let Value::Ctrl(tag) = w {
+                                    if let Some(h) = prog.find_handler(queue, tag) {
+                                        let t_jump = world.uop(tid, UopClass::CtrlJump, t);
+                                        flow = flow.max(t_jump);
+                                        if let Some(bind) = h.bind {
+                                            self.set(bind, w, t_jump);
+                                        }
+                                        // The pc stays on the deq in the
+                                        // record: Resume retries it.
+                                        self.ret_stack.push(pc);
+                                        pc = h.entry;
+                                        break;
+                                    }
+                                }
+                                self.set(var, w, t);
+                                pc += 1;
+                                break;
+                            }
+                        }
+                    }
+                    Instr::IfBranch { id, cond, else_t } => {
+                        let (id, cond, else_t) = (*id, *cond, *else_t);
+                        let (v, t) = self.read(cond, flow);
+                        let taken = v.as_bool()?;
+                        let resume = world.branch(tid, id, taken, t);
+                        flow = flow.max(resume);
+                        pc = if taken { pc + 1 } else { else_t };
+                        break;
+                    }
+                    Instr::WhileBranch { id, cond, exit } => {
+                        let (id, cond, exit) = (*id, *cond, *exit);
+                        let (v, t) = self.read(cond, flow);
+                        let taken = v.as_bool()?;
+                        let resume = world.branch(tid, id, taken, t);
+                        flow = flow.max(resume);
+                        pc = if taken { pc + 1 } else { exit };
+                        break;
+                    }
+                    Instr::BinIf {
+                        op,
+                        a,
+                        b,
+                        id,
+                        else_t,
+                    } => {
+                        let (op, a, b, id, else_t) = (*op, *a, *b, *id, *else_t);
+                        let (va, ta) = self.read(a, flow);
+                        let (vb, tb) = self.read(b, flow);
+                        let res = eval_binop(op, va, vb)?;
+                        let class = UopClass::for_binop(op, va, vb);
+                        let t_cmp = world.uop(tid, class, ta.max(tb));
+                        let taken = res.as_bool()?;
+                        let resume = world.branch(tid, id, taken, t_cmp);
+                        flow = flow.max(resume);
+                        pc = if taken { pc + 1 } else { else_t };
+                        break;
+                    }
+                    Instr::BinWhile { op, a, b, id, exit } => {
+                        let (op, a, b, id, exit) = (*op, *a, *b, *id, *exit);
+                        let (va, ta) = self.read(a, flow);
+                        let (vb, tb) = self.read(b, flow);
+                        let res = eval_binop(op, va, vb)?;
+                        let class = UopClass::for_binop(op, va, vb);
+                        let t_cmp = world.uop(tid, class, ta.max(tb));
+                        let taken = res.as_bool()?;
+                        let resume = world.branch(tid, id, taken, t_cmp);
+                        flow = flow.max(resume);
+                        pc = if taken { pc + 1 } else { exit };
+                        break;
+                    }
+                    Instr::ForTest {
+                        id,
+                        var,
+                        cur,
+                        lim,
+                        exit,
+                    } => {
+                        let (id, var, cur, lim, exit) = (*id, *var, *cur, *lim, *exit);
+                        let body = pc + 1;
+                        pc = self.for_test(world, id, var, cur, lim, body, exit, &mut flow)?;
+                        break;
+                    }
+                    Instr::ForStep {
+                        id,
+                        var,
+                        cur,
+                        lim,
+                        body,
+                        exit,
+                    } => {
+                        let (id, var, cur, lim, body, exit) = (*id, *var, *cur, *lim, *body, *exit);
+                        // Increment: a 1-cycle loop-carried dependence.
+                        let t =
+                            world.uop(tid, UopClass::IntAlu, self.slots[cur as usize].t.max(flow));
+                        let c = self.slots[cur as usize].v.as_i64()? + 1;
+                        self.set(cur, Value::I64(c), t);
+                        pc = self.for_test(world, id, var, cur, lim, body, exit, &mut flow)?;
+                        break;
+                    }
+                    Instr::BreakJump(target) => {
+                        pc = *target;
+                        break;
+                    }
+                    Instr::HandlerRet(end) => {
+                        let end = *end;
+                        let deq_pc = self
+                            .ret_stack
+                            .pop()
+                            .expect("handler return without a dispatch record");
+                        match end {
+                            HandlerEnd::Resume => pc = deq_pc,
+                            HandlerEnd::BreakLoops(levels) => {
+                                pc = self.break_target(deq_pc, levels)?;
+                            }
+                            HandlerEnd::FinishStage => {
+                                self.finished = true;
+                                break 'slice (n, StepResult::Finished);
+                            }
+                            HandlerEnd::FinishWhen(var, target) => {
+                                if self.slots[var.0 as usize].v.as_i64()? >= target {
+                                    self.finished = true;
+                                    break 'slice (n, StepResult::Finished);
+                                }
+                                pc = deq_pc;
+                            }
+                            HandlerEnd::BreakWhen(var, target, levels) => {
+                                if self.slots[var.0 as usize].v.as_i64()? >= target {
+                                    pc = self.break_target(deq_pc, levels)?;
+                                } else {
+                                    pc = deq_pc;
+                                }
+                            }
+                        }
+                        break;
+                    }
+                    Instr::Halt => {
+                        self.finished = true;
+                        break 'slice (n, StepResult::Finished);
+                    }
+                    Instr::Fault(msg) => {
+                        return Err(Trap::Malformed(msg.to_string()));
+                    }
+                }
+            }
+            // The atom made progress.
+            n += 1;
+            if n >= max {
+                break 'slice (n, StepResult::Blocked(BlockReason::Budget));
+            }
+        };
+        self.pc = pc;
+        self.flow_time = flow;
+        self.steps = steps;
+        Ok(result)
+    }
+
+    /// The shared for-loop exit test + branch + induction-variable
+    /// commit (the tail of both [`Instr::ForTest`] and
+    /// [`Instr::ForStep`]); returns the pc to continue at.
+    #[inline]
+    #[allow(clippy::too_many_arguments)]
+    fn for_test<W: World + ?Sized>(
+        &mut self,
+        world: &mut W,
+        id: crate::expr::BranchId,
+        var: u32,
+        cur: u32,
+        lim: u32,
+        body: u32,
+        exit: u32,
+        flow: &mut Time,
+    ) -> Result<u32, Trap> {
+        let cur_time = self.slots[cur as usize].t;
+        let t_cmp = world.uop(
+            self.tid,
+            UopClass::IntAlu,
+            cur_time.max(self.slots[lim as usize].t).max(*flow),
+        );
+        let c = self.slots[cur as usize].v.as_i64()?;
+        let taken = c < self.slots[lim as usize].v.as_i64()?;
+        let resume = world.branch(self.tid, id, taken, t_cmp);
+        *flow = (*flow).max(resume);
+        if taken {
+            self.set(var, Value::I64(c), cur_time.max(*flow));
+            Ok(body)
+        } else {
+            Ok(exit)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::FunctionBuilder;
+    use crate::bytecode::compile;
+    use crate::expr::Expr;
+    use crate::mem::MemState;
+    use crate::stmt::CtrlHandler;
+    use crate::value::BinOp;
+    use crate::world::FunctionalWorld;
+
+    fn run_to_end(interp: &mut FlatInterp<'_>, world: &mut FunctionalWorld) {
+        loop {
+            match interp.step(world).expect("no trap") {
+                StepResult::Finished => break,
+                StepResult::Progress => {}
+                StepResult::Blocked(b) => panic!("unexpected block: {b:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn sum_loop() {
+        let mut b = FunctionBuilder::new("sum");
+        let sum = b.var_i64("sum");
+        let i = b.var_i64("i");
+        b.assign(sum, Expr::i64(0));
+        b.for_loop(i, Expr::i64(0), Expr::i64(10), |b| {
+            b.assign(sum, Expr::bin(BinOp::Add, Expr::var(sum), Expr::var(i)));
+        });
+        let f = b.build();
+        f.validate().unwrap();
+        let prog = compile(&f, &[]).unwrap();
+        let mut world = FunctionalWorld::new(MemState::new(), 0, 0, 1);
+        let mut interp = FlatInterp::new(&prog, Tid(0), &[]);
+        run_to_end(&mut interp, &mut world);
+        assert_eq!(interp.var(sum), Value::I64(45));
+    }
+
+    #[test]
+    fn nested_break() {
+        let mut b = FunctionBuilder::new("find");
+        let found = b.var_i64("found");
+        let i = b.var_i64("i");
+        let j = b.var_i64("j");
+        b.assign(found, Expr::i64(-1));
+        b.for_loop(i, Expr::i64(0), Expr::i64(5), |b| {
+            b.for_loop(j, Expr::i64(0), Expr::i64(5), |b| {
+                let cond = Expr::eq(
+                    Expr::add(Expr::mul(Expr::var(i), Expr::i64(5)), Expr::var(j)),
+                    Expr::i64(7),
+                );
+                b.if_then(cond, |b| {
+                    b.assign(found, Expr::var(j));
+                    b.break_out(2);
+                });
+            });
+        });
+        let f = b.build();
+        f.validate().unwrap();
+        let prog = compile(&f, &[]).unwrap();
+        let mut world = FunctionalWorld::new(MemState::new(), 0, 0, 1);
+        let mut interp = FlatInterp::new(&prog, Tid(0), &[]);
+        run_to_end(&mut interp, &mut world);
+        assert_eq!(interp.var(found), Value::I64(2));
+    }
+
+    #[test]
+    fn enq_blocks_on_full_queue_and_resumes() {
+        let mut b = FunctionBuilder::new("producer");
+        let i = b.var_i64("i");
+        let q = QueueId(0);
+        b.for_loop(i, Expr::i64(0), Expr::i64(4), |b| {
+            b.enq(q, Expr::var(i));
+        });
+        let f = b.build();
+        let prog = compile(&f, &[]).unwrap();
+        let mut world = FunctionalWorld::new(MemState::new(), 1, 2, 1);
+        let mut interp = FlatInterp::new(&prog, Tid(0), &[]);
+        let mut blocked = false;
+        loop {
+            match interp.step(&mut world).unwrap() {
+                StepResult::Blocked(BlockReason::QueueFull(qq)) => {
+                    assert_eq!(qq, q);
+                    blocked = true;
+                    let (v, _) = world.try_deq(Tid(1), q, 0).unwrap().unwrap();
+                    assert!(matches!(v, Value::I64(_)));
+                }
+                StepResult::Blocked(other) => panic!("unexpected block: {other:?}"),
+                StepResult::Finished => break,
+                StepResult::Progress => {}
+            }
+        }
+        assert!(blocked, "capacity-2 queue must block a 4-element producer");
+    }
+
+    #[test]
+    fn budget_trap() {
+        let mut b = FunctionBuilder::new("spin");
+        let x = b.var_i64("x");
+        b.while_loop(Expr::i64(1), |b| {
+            b.assign(x, Expr::add(Expr::var(x), Expr::i64(1)));
+        });
+        let f = b.build();
+        let prog = compile(&f, &[]).unwrap();
+        let mut world = FunctionalWorld::new(MemState::new(), 0, 0, 1);
+        let mut interp = FlatInterp::new(&prog, Tid(0), &[]).with_budget(100);
+        let err = loop {
+            match interp.step(&mut world) {
+                Ok(_) => {}
+                Err(e) => break e,
+            }
+        };
+        assert!(matches!(err, Trap::OpBudgetExceeded(100)));
+    }
+
+    #[test]
+    fn slice_budget_trap_matches_stepwise_budget_trap() {
+        // The fused slice loop must count budget steps exactly like
+        // repeated single steps (including the trapping attempt).
+        let mut b = FunctionBuilder::new("spin");
+        let x = b.var_i64("x");
+        b.while_loop(Expr::i64(1), |b| {
+            b.assign(x, Expr::add(Expr::var(x), Expr::i64(1)));
+        });
+        let f = b.build();
+        let prog = compile(&f, &[]).unwrap();
+        let mut world = FunctionalWorld::new(MemState::new(), 0, 0, 1);
+        let mut interp = FlatInterp::new(&prog, Tid(0), &[]).with_budget(100);
+        let err = loop {
+            match interp.run_slice(&mut world, 64) {
+                Ok(_) => {}
+                Err(e) => break e,
+            }
+        };
+        assert!(matches!(err, Trap::OpBudgetExceeded(100)));
+        assert_eq!(interp.steps(), 101);
+    }
+
+    #[test]
+    fn ctrl_handler_breaks_inner_loop() {
+        let qin = QueueId(0);
+        let mut b = FunctionBuilder::new("consumer");
+        let x = b.var_i64("x");
+        let sum = b.var_i64("sum");
+        b.while_loop(Expr::i64(1), |b| {
+            b.deq(x, qin);
+            b.assign(sum, Expr::add(Expr::var(sum), Expr::var(x)));
+        });
+        let f = b.build();
+        let handlers = vec![CtrlHandler {
+            queue: qin,
+            ctrl: Some(7),
+            bind: None,
+            body: vec![],
+            end: HandlerEnd::BreakLoops(1),
+        }];
+        let prog = compile(&f, &handlers).unwrap();
+        let mut world = FunctionalWorld::new(MemState::new(), 1, 8, 2);
+        for v in [1, 2, 3] {
+            world.try_enq(Tid(1), qin, Value::I64(v), 0).unwrap();
+        }
+        world.try_enq(Tid(1), qin, Value::Ctrl(7), 0).unwrap();
+        let mut interp = FlatInterp::new(&prog, Tid(0), &[]);
+        loop {
+            match interp.step(&mut world).unwrap() {
+                StepResult::Finished => break,
+                StepResult::Progress => {}
+                StepResult::Blocked(_) => panic!("should not block"),
+            }
+        }
+        assert_eq!(interp.var(sum), Value::I64(6));
+    }
+
+    #[test]
+    fn deq_without_handler_delivers_ctrl_value() {
+        let qin = QueueId(0);
+        let mut b = FunctionBuilder::new("consumer");
+        let x = b.var_i64("x");
+        let saw = b.var_i64("saw_ctrl");
+        b.deq(x, qin);
+        b.assign(saw, Expr::is_ctrl(Expr::var(x)));
+        let f = b.build();
+        let prog = compile(&f, &[]).unwrap();
+        let mut world = FunctionalWorld::new(MemState::new(), 1, 8, 2);
+        world.try_enq(Tid(1), qin, Value::Ctrl(3), 0).unwrap();
+        let mut interp = FlatInterp::new(&prog, Tid(0), &[]);
+        while !matches!(interp.step(&mut world).unwrap(), StepResult::Finished) {}
+        assert_eq!(interp.var(saw), Value::I64(1));
+    }
+}

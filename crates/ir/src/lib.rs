@@ -47,7 +47,9 @@
 #![warn(missing_docs)]
 
 pub mod builder;
+pub mod bytecode;
 pub mod expr;
+pub mod flat;
 pub mod func;
 pub mod interp;
 pub mod mem;
@@ -59,11 +61,13 @@ pub mod value;
 pub mod world;
 
 pub use builder::FunctionBuilder;
+pub use bytecode::{compile, BytecodeProgram, ExecEngine};
 pub use expr::{ArrayId, BranchId, Expr, LoadId, QueueId, VarId};
+pub use flat::FlatInterp;
 pub use func::{ArrayDecl, Function, ValidateError, VarDecl};
 pub use mem::MemState;
 pub use pipeline::{Pipeline, RaConfig, RaMode, Stage, StageKind, StageProgram};
-pub use step::{bind_params, StageSpec, StepInterp};
+pub use step::{bind_params, StageExec, StageSpec, StepInterp};
 pub use stmt::{CtrlHandler, HandlerEnd, Stmt};
 pub use value::{eval_binop, eval_unop, BinOp, Trap, Ty, UnOp, Value};
 pub use world::{BlockReason, FunctionalWorld, OpCounts, StepResult, Tid, Time, UopClass, World};

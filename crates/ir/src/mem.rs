@@ -147,6 +147,45 @@ impl MemState {
         Ok(s.base + idx as u64 * s.decl.elem_bytes as u64)
     }
 
+    /// Reads `a[idx]` and returns its byte address in one array lookup —
+    /// the hot timed-load path needs both, and the separate
+    /// [`Self::load`] + [`Self::addr`] pair pays the id/bounds checks
+    /// twice.
+    ///
+    /// # Errors
+    /// Traps on a bad array id or out-of-bounds index.
+    #[inline]
+    pub fn load_with_addr(&self, a: ArrayId, idx: i64) -> Result<(Value, u64), Trap> {
+        let s = self.store_ref(a)?;
+        if idx < 0 || idx as usize >= s.data.len() {
+            return Err(Trap::OutOfBounds(s.decl.name.clone(), idx, s.data.len()));
+        }
+        let addr = s.base + idx as u64 * s.decl.elem_bytes as u64;
+        Ok((s.data[idx as usize], addr))
+    }
+
+    /// Writes `a[idx] = v` and returns the byte address in one array
+    /// lookup (hot timed-store path; see [`Self::load_with_addr`]).
+    ///
+    /// # Errors
+    /// Traps on a bad array id, out-of-bounds index, or storing a
+    /// control value to memory.
+    #[inline]
+    pub fn store_with_addr(&mut self, a: ArrayId, idx: i64, v: Value) -> Result<u64, Trap> {
+        if let Value::Ctrl(c) = v {
+            return Err(Trap::CtrlAsData(c));
+        }
+        let s = self
+            .arrays
+            .get_mut(a.0 as usize)
+            .ok_or_else(|| Trap::BadId(format!("array {}", a.0)))?;
+        if idx < 0 || idx as usize >= s.data.len() {
+            return Err(Trap::OutOfBounds(s.decl.name.clone(), idx, s.data.len()));
+        }
+        s.data[idx as usize] = v;
+        Ok(s.base + idx as u64 * s.decl.elem_bytes as u64)
+    }
+
     /// Contents of an integer array as `i64`s (for result checking).
     ///
     /// # Panics

@@ -147,7 +147,7 @@ impl<'p> StepInterp<'p> {
         self.env_time[i] = t;
     }
 
-    fn eval(&mut self, world: &mut dyn World, e: &Expr) -> Result<(Value, Time), Trap> {
+    fn eval<W: World + ?Sized>(&mut self, world: &mut W, e: &Expr) -> Result<(Value, Time), Trap> {
         match e {
             Expr::Const(v) => Ok((*v, self.flow_time)),
             Expr::Var(v) => self.read_var(*v),
@@ -217,7 +217,7 @@ impl<'p> StepInterp<'p> {
     ///
     /// # Errors
     /// Propagates runtime traps (bounds, control-value misuse, budget).
-    pub fn step(&mut self, world: &mut dyn World) -> Result<StepResult, Trap> {
+    pub fn step<W: World + ?Sized>(&mut self, world: &mut W) -> Result<StepResult, Trap> {
         if self.finished {
             return Ok(StepResult::Finished);
         }
@@ -408,9 +408,9 @@ impl<'p> StepInterp<'p> {
     ///
     /// # Errors
     /// Propagates runtime traps (bounds, control-value misuse, budget).
-    pub fn run_slice(
+    pub fn run_slice<W: World + ?Sized>(
         &mut self,
-        world: &mut dyn World,
+        world: &mut W,
         max: u32,
     ) -> Result<(u32, StepResult), Trap> {
         let mut n = 0;
@@ -434,7 +434,11 @@ impl<'p> StepInterp<'p> {
         }
     }
 
-    fn exec_atom(&mut self, world: &mut dyn World, stmt: &'p Stmt) -> Result<AtomOutcome, Trap> {
+    fn exec_atom<W: World + ?Sized>(
+        &mut self,
+        world: &mut W,
+        stmt: &'p Stmt,
+    ) -> Result<AtomOutcome, Trap> {
         match stmt {
             Stmt::Assign { var, expr } => {
                 let (v, t) = self.eval(world, expr)?;
@@ -546,6 +550,92 @@ enum AtomOutcome {
     Done,
     Blocked(BlockReason),
     Dispatched,
+}
+
+/// Common interface over the stage-program execution engines
+/// ([`StepInterp`] and [`crate::flat::FlatInterp`]): exactly the surface
+/// a scheduler needs to time-multiplex stages.
+///
+/// Both implementations guarantee the same [`World`] call sequence for
+/// the same program, so a scheduler generic over `StageExec` produces
+/// bit-identical simulated timing with either engine.
+pub trait StageExec {
+    /// Executes one atom. See [`StepResult`] for outcomes.
+    ///
+    /// # Errors
+    /// Propagates runtime traps (bounds, control-value misuse, budget).
+    fn step<W: World + ?Sized>(&mut self, world: &mut W) -> Result<StepResult, Trap>;
+
+    /// True once the stage program has terminated.
+    fn is_finished(&self) -> bool;
+
+    /// Name of the stage (diagnostics).
+    fn name(&self) -> &str;
+
+    /// Runs up to `max` progress-making steps, stopping early if the
+    /// thread blocks or finishes; returns the number of atoms executed
+    /// and the stop condition (`Blocked(BlockReason::Budget)` when the
+    /// slice was exhausted with the thread still runnable). This is the
+    /// scheduler's time-slice primitive.
+    ///
+    /// # Errors
+    /// Propagates runtime traps (bounds, control-value misuse, budget).
+    fn run_slice<W: World + ?Sized>(
+        &mut self,
+        world: &mut W,
+        max: u32,
+    ) -> Result<(u32, StepResult), Trap> {
+        let mut n = 0;
+        loop {
+            match self.step(world)? {
+                StepResult::Progress => {
+                    n += 1;
+                    if n >= max {
+                        return Ok((n, StepResult::Blocked(BlockReason::Budget)));
+                    }
+                }
+                StepResult::Blocked(b) => return Ok((n, StepResult::Blocked(b))),
+                StepResult::Finished => return Ok((n, StepResult::Finished)),
+            }
+        }
+    }
+}
+
+impl StageExec for StepInterp<'_> {
+    fn step<W: World + ?Sized>(&mut self, world: &mut W) -> Result<StepResult, Trap> {
+        StepInterp::step(self, world)
+    }
+
+    fn is_finished(&self) -> bool {
+        StepInterp::is_finished(self)
+    }
+
+    fn name(&self) -> &str {
+        StepInterp::name(self)
+    }
+}
+
+impl StageExec for crate::flat::FlatInterp<'_> {
+    fn step<W: World + ?Sized>(&mut self, world: &mut W) -> Result<StepResult, Trap> {
+        crate::flat::FlatInterp::step(self, world)
+    }
+
+    fn run_slice<W: World + ?Sized>(
+        &mut self,
+        world: &mut W,
+        max: u32,
+    ) -> Result<(u32, StepResult), Trap> {
+        // The fused dispatch loop: locals across the whole slice.
+        crate::flat::FlatInterp::run_slice(self, world, max)
+    }
+
+    fn is_finished(&self) -> bool {
+        crate::flat::FlatInterp::is_finished(self)
+    }
+
+    fn name(&self) -> &str {
+        crate::flat::FlatInterp::name(self)
+    }
 }
 
 /// Resolves named parameter bindings against a function's declarations.

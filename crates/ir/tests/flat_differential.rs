@@ -1,0 +1,554 @@
+//! Differential tests: the flat bytecode engine ([`FlatInterp`]) must be
+//! indistinguishable from the tree-walking oracle ([`StepInterp`]) at
+//! the [`World`] boundary.
+//!
+//! A [`RecordingWorld`] logs every call (operation kind, thread,
+//! arguments, dependence time, and result) and advances a private clock
+//! on each one so returned times are non-trivial — any divergence in
+//! call order, micro-op class, or time plumbing shows up as a log
+//! mismatch. Both engines run the same program in lockstep; every
+//! [`StepResult`] (including `Blocked` reasons), the full call log, the
+//! final memory, and all variable values must agree exactly.
+
+use std::collections::VecDeque;
+
+use phloem_ir::bytecode::compile;
+use phloem_ir::{
+    ArrayDecl, ArrayId, BinOp, BlockReason, BranchId, CtrlHandler, Expr, FlatInterp, Function,
+    FunctionBuilder, HandlerEnd, MemState, QueueId, StageSpec, StepInterp, StepResult, Stmt, Tid,
+    Time, Trap, UopClass, Value, VarId, World,
+};
+use proptest::prelude::*;
+
+/// One logged [`World`] call: kind, inputs, and result.
+#[derive(Clone, Debug, PartialEq)]
+enum Call {
+    Uop(Tid, UopClass, Time, Time),
+    Branch(Tid, BranchId, bool, Time, Time),
+    Load(Tid, ArrayId, i64, Time, Value, Time),
+    Store(Tid, ArrayId, i64, Value, Time, Time),
+    Rmw(Tid, BinOp, ArrayId, i64, Value, Time, Value, Time),
+    Enq(Tid, QueueId, Value, Time, Option<Time>),
+    Deq(Tid, QueueId, Time, Option<(Value, Time)>),
+}
+
+/// A functional world with bounded queues that records every call and
+/// returns a strictly increasing clock as each op's completion time.
+struct RecordingWorld {
+    mem: MemState,
+    queues: Vec<VecDeque<Value>>,
+    capacity: usize,
+    clock: Time,
+    log: Vec<Call>,
+}
+
+impl RecordingWorld {
+    fn new(mem: MemState, nqueues: usize, capacity: usize) -> Self {
+        RecordingWorld {
+            mem,
+            queues: (0..nqueues).map(|_| VecDeque::new()).collect(),
+            capacity,
+            clock: 0,
+            log: Vec::new(),
+        }
+    }
+
+    fn tick(&mut self) -> Time {
+        self.clock += 1;
+        self.clock
+    }
+}
+
+impl World for RecordingWorld {
+    fn uop(&mut self, t: Tid, class: UopClass, dep: Time) -> Time {
+        let done = self.tick().max(dep + 1);
+        self.log.push(Call::Uop(t, class, dep, done));
+        done
+    }
+
+    fn branch(&mut self, t: Tid, site: BranchId, taken: bool, cond_ready: Time) -> Time {
+        let done = self.tick().max(cond_ready + 1);
+        self.log
+            .push(Call::Branch(t, site, taken, cond_ready, done));
+        done
+    }
+
+    fn load(
+        &mut self,
+        t: Tid,
+        array: ArrayId,
+        index: i64,
+        dep: Time,
+    ) -> Result<(Value, Time), Trap> {
+        let v = self.mem.load(array, index)?;
+        let done = self.tick().max(dep + 2);
+        self.log.push(Call::Load(t, array, index, dep, v, done));
+        Ok((v, done))
+    }
+
+    fn store(
+        &mut self,
+        t: Tid,
+        array: ArrayId,
+        index: i64,
+        value: Value,
+        dep: Time,
+    ) -> Result<Time, Trap> {
+        self.mem.store(array, index, value)?;
+        let done = self.tick().max(dep + 2);
+        self.log
+            .push(Call::Store(t, array, index, value, dep, done));
+        Ok(done)
+    }
+
+    fn atomic_rmw(
+        &mut self,
+        t: Tid,
+        op: BinOp,
+        array: ArrayId,
+        index: i64,
+        value: Value,
+        dep: Time,
+    ) -> Result<(Value, Time), Trap> {
+        let old = self.mem.load(array, index)?;
+        let new = phloem_ir::eval_binop(op, old, value)?;
+        self.mem.store(array, index, new)?;
+        let done = self.tick().max(dep + 3);
+        self.log
+            .push(Call::Rmw(t, op, array, index, value, dep, old, done));
+        Ok((old, done))
+    }
+
+    fn try_enq(&mut self, t: Tid, q: QueueId, w: Value, dep: Time) -> Result<Option<Time>, Trap> {
+        let cap = self.capacity;
+        let queue = self
+            .queues
+            .get_mut(q.0 as usize)
+            .ok_or_else(|| Trap::BadId(format!("queue {}", q.0)))?;
+        let res = if queue.len() >= cap {
+            None
+        } else {
+            queue.push_back(w);
+            self.clock += 1;
+            Some(self.clock.max(dep + 1))
+        };
+        self.log.push(Call::Enq(t, q, w, dep, res));
+        Ok(res)
+    }
+
+    fn try_deq(&mut self, t: Tid, q: QueueId, dep: Time) -> Result<Option<(Value, Time)>, Trap> {
+        let queue = self
+            .queues
+            .get_mut(q.0 as usize)
+            .ok_or_else(|| Trap::BadId(format!("queue {}", q.0)))?;
+        let res = match queue.pop_front() {
+            Some(w) => {
+                self.clock += 1;
+                Some((w, self.clock.max(dep + 1)))
+            }
+            None => None,
+        };
+        self.log.push(Call::Deq(t, q, dep, res));
+        Ok(res)
+    }
+
+    fn mem(&self) -> &MemState {
+        &self.mem
+    }
+
+    fn mem_mut(&mut self) -> &mut MemState {
+        &mut self.mem
+    }
+}
+
+const BUDGET: u64 = 200_000;
+
+/// What the external driver does when a single-stage program blocks.
+#[derive(Clone, Copy)]
+enum Unblock {
+    /// Feed `Value::I64(counter)` on empty, drain on full.
+    Data,
+    /// Like `Data`, but every 3rd fed value is `Value::Ctrl(7)`.
+    CtrlEvery3,
+}
+
+/// Runs one program under both engines in lockstep and asserts full
+/// observational equality: per-step results, world call logs, final
+/// memory, and every variable.
+fn assert_engines_agree(
+    f: &Function,
+    handlers: &[CtrlHandler],
+    mem: MemState,
+    nqueues: usize,
+    capacity: usize,
+    unblock: Unblock,
+) {
+    f.validate().expect("test kernel must validate");
+    let prog = compile(f, handlers).expect("compile");
+    let mut wt = RecordingWorld::new(mem.clone(), nqueues, capacity);
+    let mut wf = RecordingWorld::new(mem, nqueues, capacity);
+    let spec = StageSpec { func: f, handlers };
+    let mut tree = StepInterp::new(spec, Tid(0), &[]).with_budget(BUDGET);
+    let mut flat = FlatInterp::new(&prog, Tid(0), &[]).with_budget(BUDGET);
+    let mut fed = 0i64;
+    let mut step = 0u64;
+    loop {
+        step += 1;
+        let rt = tree.step(&mut wt);
+        let rf = flat.step(&mut wf);
+        assert_eq!(rt, rf, "engines diverged at step {step}");
+        match rt {
+            Err(_) => break,
+            Ok(StepResult::Finished) => break,
+            Ok(StepResult::Blocked(BlockReason::QueueFull(q))) => {
+                // Drain one element from both worlds identically.
+                for w in [&mut wt, &mut wf] {
+                    w.queues[q.0 as usize].pop_front().expect("full queue");
+                }
+            }
+            Ok(StepResult::Blocked(BlockReason::QueueEmpty(q))) => {
+                fed += 1;
+                let v = match unblock {
+                    Unblock::CtrlEvery3 if fed % 3 == 0 => Value::Ctrl(7),
+                    _ => Value::I64(fed),
+                };
+                for w in [&mut wt, &mut wf] {
+                    w.queues[q.0 as usize].push_back(v);
+                }
+            }
+            Ok(_) => {}
+        }
+        assert!(step < 4 * BUDGET, "lockstep driver did not terminate");
+    }
+    assert_eq!(wt.log, wf.log, "world call logs diverged");
+    assert!(wt.mem.same_contents(&wf.mem), "final memory diverged");
+    for v in 0..f.vars.len() as u32 {
+        assert_eq!(
+            tree.var(VarId(v)),
+            flat.var(VarId(v)),
+            "variable {v} diverged"
+        );
+    }
+    assert_eq!(tree.steps(), flat.steps(), "step counts diverged");
+    assert_eq!(tree.flow_time(), flat.flow_time(), "flow times diverged");
+}
+
+/// Runs a two-stage producer/consumer pipeline under both engines,
+/// round-robin, and asserts observational equality.
+fn assert_engines_agree_pipeline(
+    stages: &[(&Function, &[CtrlHandler])],
+    mem: MemState,
+    nqueues: usize,
+    capacity: usize,
+) {
+    let progs: Vec<_> = stages
+        .iter()
+        .map(|(f, h)| compile(f, h).expect("compile"))
+        .collect();
+    let mut wt = RecordingWorld::new(mem.clone(), nqueues, capacity);
+    let mut wf = RecordingWorld::new(mem, nqueues, capacity);
+    let mut tree: Vec<_> = stages
+        .iter()
+        .enumerate()
+        .map(|(i, (f, h))| {
+            StepInterp::new(
+                StageSpec {
+                    func: f,
+                    handlers: h,
+                },
+                Tid(i as u32),
+                &[],
+            )
+            .with_budget(BUDGET)
+        })
+        .collect();
+    let mut flat: Vec<_> = progs
+        .iter()
+        .enumerate()
+        .map(|(i, p)| FlatInterp::new(p, Tid(i as u32), &[]).with_budget(BUDGET))
+        .collect();
+    let mut rounds = 0u64;
+    loop {
+        rounds += 1;
+        let mut all_done = true;
+        for i in 0..stages.len() {
+            if tree[i].is_finished() {
+                assert!(flat[i].is_finished(), "finish state diverged on stage {i}");
+                continue;
+            }
+            let rt = tree[i].step(&mut wt);
+            let rf = flat[i].step(&mut wf);
+            assert_eq!(rt, rf, "stage {i} diverged in round {rounds}");
+            if !matches!(rt, Ok(StepResult::Finished)) {
+                all_done = false;
+            }
+        }
+        if all_done {
+            break;
+        }
+        assert!(rounds < 4 * BUDGET, "pipeline did not terminate");
+    }
+    assert_eq!(wt.log, wf.log, "world call logs diverged");
+    assert!(wt.mem.same_contents(&wf.mem), "final memory diverged");
+}
+
+// ---------------------------------------------------------------------
+// Handcrafted scenarios: queues, control values, handlers, blocking.
+// ---------------------------------------------------------------------
+
+/// Producer enqueues 0..n then a control value; consumer accumulates
+/// into memory until its handler breaks the loop. Tiny queue capacity
+/// forces QueueFull and QueueEmpty blocks on both sides.
+#[test]
+fn producer_consumer_with_ctrl_handler() {
+    let q = QueueId(0);
+    let mut mem = MemState::new();
+    mem.alloc_i64(ArrayDecl::i64("out"), [0]);
+
+    let mut pb = FunctionBuilder::new("producer");
+    let i = pb.var_i64("i");
+    pb.for_loop(i, Expr::i64(0), Expr::i64(13), |b| {
+        b.enq(q, Expr::var(i));
+    });
+    pb.enq_ctrl(q, 7);
+    let producer = pb.build();
+
+    let mut cb = FunctionBuilder::new("consumer");
+    let out = cb.array_i64("out");
+    let x = cb.var_i64("x");
+    cb.while_loop(Expr::i64(1), |b| {
+        b.deq(x, q);
+        b.atomic_rmw(BinOp::Add, out, Expr::i64(0), Expr::var(x), None);
+    });
+    let consumer = cb.build();
+    let handlers = vec![CtrlHandler {
+        queue: q,
+        ctrl: Some(7),
+        bind: None,
+        body: vec![],
+        end: HandlerEnd::BreakLoops(1),
+    }];
+
+    assert_engines_agree_pipeline(&[(&producer, &[]), (&consumer, &handlers)], mem, 1, 2);
+}
+
+/// A handler with a non-empty body, a bound control value, and
+/// FinishWhen termination; the dequeue sits inside nested loops so the
+/// handler's break targets cross loop levels.
+#[test]
+fn handler_body_bind_and_finish_when() {
+    let q = QueueId(0);
+    let mut b = FunctionBuilder::new("consumer");
+    let x = b.var_i64("x");
+    let seen = b.var_i64("seen");
+    let cv = b.var_i64("cv");
+    let i = b.var_i64("i");
+    b.for_loop(i, Expr::i64(0), Expr::i64(1000), |b| {
+        b.while_loop(Expr::i64(1), |b| {
+            b.deq(x, q);
+            b.assign(seen, Expr::add(Expr::var(seen), Expr::var(x)));
+        });
+    });
+    let f = b.build();
+    let handlers = vec![
+        CtrlHandler {
+            queue: q,
+            ctrl: Some(7),
+            bind: Some(cv),
+            body: vec![],
+            end: HandlerEnd::FinishWhen(seen, 40),
+        },
+        CtrlHandler {
+            queue: q,
+            ctrl: None,
+            bind: None,
+            body: vec![],
+            end: HandlerEnd::BreakLoops(2),
+        },
+    ];
+    assert_engines_agree(&f, &handlers, MemState::new(), 1, 4, Unblock::CtrlEvery3);
+}
+
+/// A wildcard handler whose end is BreakWhen, exercised alongside an
+/// exact-tag handler that resumes (exact match must win).
+#[test]
+fn handler_precedence_and_break_when() {
+    let q = QueueId(0);
+    let mut b = FunctionBuilder::new("consumer");
+    let x = b.var_i64("x");
+    let seen = b.var_i64("seen");
+    b.while_loop(Expr::i64(1), |b| {
+        b.deq(x, q);
+        b.assign(seen, Expr::add(Expr::var(seen), Expr::i64(1)));
+    });
+    let f = b.build();
+    let handlers = vec![
+        CtrlHandler {
+            queue: q,
+            ctrl: Some(9),
+            bind: None,
+            body: vec![],
+            end: HandlerEnd::Resume,
+        },
+        CtrlHandler {
+            queue: q,
+            ctrl: None,
+            bind: None,
+            body: vec![Stmt::Assign {
+                var: seen,
+                expr: Expr::add(Expr::var(seen), Expr::i64(100)),
+            }],
+            end: HandlerEnd::BreakWhen(seen, 101, 1),
+        },
+    ];
+    assert_engines_agree(&f, &handlers, MemState::new(), 1, 4, Unblock::CtrlEvery3);
+}
+
+/// EnqSel distributes across replicas; a full target queue blocks and
+/// the retry must not re-issue the select micro-op.
+#[test]
+fn enq_sel_blocks_without_reissuing_select() {
+    let qs = [QueueId(0), QueueId(1)];
+    let mut b = FunctionBuilder::new("distributor");
+    let i = b.var_i64("i");
+    b.for_loop(i, Expr::i64(0), Expr::i64(9), |b| {
+        b.enq_sel(
+            qs.to_vec(),
+            Expr::var(i),
+            Expr::mul(Expr::var(i), Expr::i64(3)),
+        );
+    });
+    let f = b.build();
+    assert_engines_agree(&f, &[], MemState::new(), 2, 2, Unblock::Data);
+}
+
+/// Loads, stores, atomics, nested loops, and both if arms, all with
+/// non-trivial dependence times.
+#[test]
+fn memory_and_control_kernel() {
+    let mut mem = MemState::new();
+    mem.alloc_i64(ArrayDecl::i64("a"), (0..16).map(|v| v * 3 % 7));
+    mem.alloc_i64(ArrayDecl::i64("out"), vec![0; 16]);
+
+    let mut b = FunctionBuilder::new("kernel");
+    let a = b.array_i64("a");
+    let out = b.array_i64("out");
+    let i = b.var_i64("i");
+    let j = b.var_i64("j");
+    let x = b.var_i64("x");
+    let old = b.var_i64("old");
+    b.for_loop(i, Expr::i64(0), Expr::i64(16), |b| {
+        let l = b.load(a, Expr::var(i));
+        b.assign(x, l);
+        b.if_else(
+            Expr::lt(Expr::var(x), Expr::i64(3)),
+            |b| {
+                b.for_loop(j, Expr::i64(0), Expr::var(x), |b| {
+                    b.atomic_rmw(BinOp::Add, out, Expr::var(j), Expr::i64(1), Some(old));
+                });
+            },
+            |b| {
+                b.store(out, Expr::var(i), Expr::mul(Expr::var(x), Expr::var(x)));
+            },
+        );
+    });
+    let f = b.build();
+    assert_engines_agree(&f, &[], mem, 0, 0, Unblock::Data);
+}
+
+// ---------------------------------------------------------------------
+// Randomized kernels.
+// ---------------------------------------------------------------------
+
+const ARR_LEN: i64 = 8;
+
+/// Builds a random structured kernel from a flat opcode list. Loops and
+/// ifs nest one level via a fixed inner pattern parameterized by the
+/// operand byte, which is enough to exercise every instruction form.
+fn build_random_kernel(ops: &[(u8, u8)]) -> (Function, MemState) {
+    let mut mem = MemState::new();
+    mem.alloc_i64(ArrayDecl::i64("a"), (0..ARR_LEN).map(|v| (v * 5 + 2) % 9));
+    mem.alloc_i64(ArrayDecl::i64("out"), vec![0; ARR_LEN as usize]);
+    let q = QueueId(0);
+
+    let mut b = FunctionBuilder::new("rand_kernel");
+    let a = b.array_i64("a");
+    let out = b.array_i64("out");
+    let x = b.var_i64("x");
+    let y = b.var_i64("y");
+    let i = b.var_i64("i");
+    let old = b.var_i64("old");
+    let idx = |e: Expr| Expr::bin(BinOp::Rem, e, Expr::i64(ARR_LEN));
+    for &(op, arg) in ops {
+        let k = i64::from(arg);
+        match op % 10 {
+            0 => b.assign(x, Expr::add(Expr::var(x), Expr::i64(k % 5))),
+            1 => b.assign(
+                y,
+                Expr::add(Expr::mul(Expr::var(x), Expr::i64(3)), Expr::var(y)),
+            ),
+            2 => {
+                let l = b.load(a, idx(Expr::var(x)));
+                b.assign(x, l);
+            }
+            3 => b.store(out, idx(Expr::var(y)), Expr::var(x)),
+            4 => b.atomic_rmw(BinOp::Max, out, idx(Expr::var(x)), Expr::var(y), Some(old)),
+            5 => b.for_loop(i, Expr::i64(0), Expr::i64(k % 4 + 1), |b| {
+                b.assign(x, Expr::add(Expr::var(x), Expr::var(i)));
+                if k % 2 == 0 {
+                    b.store(out, idx(Expr::var(i)), Expr::var(x));
+                }
+            }),
+            6 => b.if_else(
+                Expr::lt(Expr::var(x), Expr::i64(k % 20)),
+                |b| b.assign(y, Expr::add(Expr::var(y), Expr::i64(1))),
+                |b| b.assign(x, Expr::bin(BinOp::Rem, Expr::var(x), Expr::i64(17))),
+            ),
+            7 => {
+                // Bounded while: strictly decreasing loop variable.
+                b.assign(i, Expr::i64(k % 6));
+                b.while_loop(Expr::bin(BinOp::Gt, Expr::var(i), Expr::i64(0)), |b| {
+                    b.assign(i, Expr::bin(BinOp::Sub, Expr::var(i), Expr::i64(1)));
+                    b.assign(y, Expr::add(Expr::var(y), Expr::var(i)));
+                });
+            }
+            8 => b.enq(q, Expr::var(x)),
+            _ => b.deq(y, q),
+        }
+    }
+    (b.build(), mem)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Randomized kernels: both engines must agree on every step result,
+    /// every world call (class, args, dependence and completion times),
+    /// final memory, and all variables.
+    #[test]
+    fn engines_agree_on_random_kernels(
+        ops in proptest::collection::vec((any::<u8>(), any::<u8>()), 1..24),
+        cap in 1usize..4,
+    ) {
+        let (f, mem) = build_random_kernel(&ops);
+        assert_engines_agree(&f, &[], mem, 1, cap, Unblock::Data);
+    }
+
+    /// Randomized kernels again, but fed control values (with a wildcard
+    /// handler) so dispatch paths run under random surrounding code.
+    #[test]
+    fn engines_agree_on_random_kernels_with_ctrl(
+        ops in proptest::collection::vec((any::<u8>(), any::<u8>()), 1..16),
+    ) {
+        let (f, mem) = build_random_kernel(&ops);
+        let seen = VarId(1); // `y` in build_random_kernel
+        let handlers = vec![CtrlHandler {
+            queue: QueueId(0),
+            ctrl: None,
+            bind: None,
+            body: vec![],
+            end: HandlerEnd::FinishWhen(seen, i64::MAX),
+        }];
+        assert_engines_agree(&f, &handlers, mem, 1, 2, Unblock::CtrlEvery3);
+    }
+}

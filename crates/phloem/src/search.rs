@@ -100,27 +100,23 @@ pub fn search(
 ) -> SearchReport {
     let pipelines = enumerate_pipelines(func, opts);
     assert!(!pipelines.is_empty(), "no candidate pipeline compiles");
-    let results: Vec<std::sync::Mutex<Option<f64>>> = (0..pipelines.len())
-        .map(|_| std::sync::Mutex::new(None))
-        .collect();
-    let workers = opts.workers.max(1);
-    let next = std::sync::atomic::AtomicUsize::new(0);
+    // Each worker owns a disjoint contiguous slice of the result vector,
+    // so no locking is needed: `chunks_mut` proves the disjointness to
+    // the borrow checker, and scoped threads tie the lifetimes down.
+    let mut results: Vec<Option<f64>> = vec![None; pipelines.len()];
+    let workers = opts.workers.max(1).min(pipelines.len());
+    let chunk = pipelines.len().div_ceil(workers);
     std::thread::scope(|scope| {
-        for _ in 0..workers.min(pipelines.len()) {
-            scope.spawn(|| loop {
-                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                if i >= pipelines.len() {
-                    break;
+        for (w, out) in results.chunks_mut(chunk).enumerate() {
+            let pipelines = &pipelines;
+            let profile = &profile;
+            scope.spawn(move || {
+                for (slot, (_, p)) in out.iter_mut().zip(&pipelines[w * chunk..]) {
+                    *slot = profile(p);
                 }
-                let r = profile(&pipelines[i].1);
-                *results[i].lock().expect("profiling mutex") = r;
             });
         }
     });
-    let results: Vec<Option<f64>> = results
-        .into_iter()
-        .map(|m| m.into_inner().expect("profiling mutex"))
-        .collect();
 
     let mut candidates = Vec::with_capacity(pipelines.len());
     let mut best: Option<(usize, f64)> = None;
@@ -204,5 +200,31 @@ mod tests {
         assert!(report.candidates[report.best].train_cycles.is_some());
         // The chosen pipeline must actually be one of the candidates.
         assert!(report.pipeline.total_stages() >= 1);
+    }
+
+    #[test]
+    fn worker_count_does_not_change_the_result() {
+        let f = kernel();
+        let profile = |p: &Pipeline| {
+            let mut mem = MemState::new();
+            mem.alloc_i64(ArrayDecl::i32("a"), (0..64).map(|i| (i * 7) % 64));
+            mem.alloc_i64(ArrayDecl::i32("b"), 0..64);
+            mem.alloc(ArrayDecl::i64("out"), 1);
+            mem.alloc_i64(ArrayDecl::i32("len"), [64]);
+            let run = interp::run_pipeline(p, mem, &[], 24).ok()?;
+            Some(run.total().total() as f64)
+        };
+        let serial_opts = SearchOptions {
+            workers: 1,
+            ..SearchOptions::default()
+        };
+        let serial = search(&f, &serial_opts, profile);
+        let parallel = search(&f, &SearchOptions::default(), profile);
+        assert_eq!(serial.best, parallel.best);
+        let serial_cycles: Vec<Option<f64>> =
+            serial.candidates.iter().map(|c| c.train_cycles).collect();
+        let parallel_cycles: Vec<Option<f64>> =
+            parallel.candidates.iter().map(|c| c.train_cycles).collect();
+        assert_eq!(serial_cycles, parallel_cycles);
     }
 }

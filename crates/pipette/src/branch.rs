@@ -6,12 +6,20 @@
 //! the paper's introduction describes; loop backedges predict well.
 
 use phloem_ir::BranchId;
-use std::collections::HashMap;
 
-/// One thread's predictor state.
+/// Counter value for a site never seen before: weakly-taken, so loops
+/// start predicted taken.
+const INIT: u8 = 2;
+
+/// One thread's predictor state. Branch sites are numbered densely per
+/// stage function, so the counter table is a flat array indexed by
+/// `BranchId` (grown on demand) — one predict/update per simulated
+/// branch makes this a per-atom host hot path, and the hash-map table
+/// it replaces spent more host time hashing the site id than the whole
+/// 2-bit update costs.
 #[derive(Clone, Debug, Default)]
 pub struct BranchPredictor {
-    counters: HashMap<BranchId, u8>,
+    counters: Vec<u8>,
     /// Dynamic branches predicted.
     pub branches: u64,
     /// Mispredictions.
@@ -28,8 +36,11 @@ impl BranchPredictor {
     /// prediction was wrong.
     pub fn mispredicted(&mut self, site: BranchId, taken: bool) -> bool {
         self.branches += 1;
-        // Initialize weakly-taken: loops start predicted taken.
-        let c = self.counters.entry(site).or_insert(2);
+        let i = site.0 as usize;
+        if i >= self.counters.len() {
+            self.counters.resize(i + 1, INIT);
+        }
+        let c = &mut self.counters[i];
         let predicted_taken = *c >= 2;
         if taken {
             *c = (*c + 1).min(3);

@@ -107,6 +107,43 @@ impl CacheArray {
         self.stamps[base + victim] = self.clock;
     }
 
+    /// Single-scan combination of [`CacheArray::access`] and
+    /// [`CacheArray::insert`]: looks the line up and, in the same pass,
+    /// tracks the victim way (first invalid, else LRU). On hit refreshes
+    /// LRU and returns true; on miss installs the line over the victim
+    /// and returns false. State transitions (including the two clock
+    /// bumps of the access-then-insert pair) are bit-identical to
+    /// calling the two methods back to back, but the set is scanned
+    /// once instead of twice — this is the demand-path hot loop.
+    fn access_or_victim(&mut self, line: u64) -> bool {
+        let set = (line & self.set_mask) as usize;
+        let base = set * self.ways;
+        self.clock += 1;
+        let mut victim = 0;
+        let mut oldest = u64::MAX;
+        let mut have_invalid = false;
+        for w in 0..self.ways {
+            let tag = self.tags[base + w];
+            if tag == line {
+                self.stamps[base + w] = self.clock;
+                return true;
+            }
+            if !have_invalid {
+                if tag == u64::MAX {
+                    have_invalid = true;
+                    victim = w;
+                } else if self.stamps[base + w] < oldest {
+                    oldest = self.stamps[base + w];
+                    victim = w;
+                }
+            }
+        }
+        self.clock += 1;
+        self.tags[base + victim] = line;
+        self.stamps[base + victim] = self.clock;
+        false
+    }
+
     fn contains(&self, line: u64) -> bool {
         let set = (line & self.set_mask) as usize;
         let base = set * self.ways;
@@ -114,10 +151,22 @@ impl CacheArray {
     }
 }
 
-#[derive(Clone, Copy, Debug, Default)]
+/// One tracked stream; `last_line == u64::MAX` marks an empty entry.
+/// (A zeroed default would make a fresh table treat a miss to line 1 as
+/// the continuation of a phantom stream through line 0.)
+#[derive(Clone, Copy, Debug)]
 struct StreamEntry {
     last_line: u64,
     run: u32,
+}
+
+impl Default for StreamEntry {
+    fn default() -> Self {
+        StreamEntry {
+            last_line: u64::MAX,
+            run: 0,
+        }
+    }
 }
 
 /// The full memory hierarchy for one machine.
@@ -180,23 +229,21 @@ impl MemHierarchy {
     /// time `now`; returns `(latency, level)`.
     pub fn access(&mut self, core: usize, addr: u64, now: Time) -> (u64, HitLevel) {
         let line = addr >> LINE_SHIFT;
-        let (lat, level) = if self.l1[core].access(line) {
+        // Each level is probed once: a miss installs the line during the
+        // same set scan (victim tracked alongside the lookup), replacing
+        // the access-then-insert double scan of the old demand path.
+        let (lat, level) = if self.l1[core].access_or_victim(line) {
             self.stats.l1_hits += 1;
             (self.l1_latency, HitLevel::L1)
-        } else if self.l2[core].access(line) {
+        } else if self.l2[core].access_or_victim(line) {
             self.stats.l2_hits += 1;
-            self.l1[core].insert(line);
             (self.l2_latency, HitLevel::L2)
-        } else if self.l3.access(line) {
+        } else if self.l3.access_or_victim(line) {
             self.stats.l3_hits += 1;
-            self.l2[core].insert(line);
-            self.l1[core].insert(line);
             (self.l3_latency, HitLevel::L3)
         } else {
             self.stats.mem_accesses += 1;
-            let lat = self.l3_latency + self.dram_access(line, now);
-            self.fill(core, line);
-            (lat, HitLevel::Mem)
+            (self.l3_latency + self.dram_access(line, now), HitLevel::Mem)
         };
         if self.prefetch && level != HitLevel::L1 {
             self.train_prefetcher(core, line, now);
@@ -210,7 +257,7 @@ impl MemHierarchy {
         let table = &mut self.streams[core];
         let mut matched = false;
         for e in table.iter_mut() {
-            if e.last_line + 1 == line {
+            if e.last_line != u64::MAX && e.last_line + 1 == line {
                 e.last_line = line;
                 e.run = e.run.saturating_add(1);
                 matched = e.run >= 2;
@@ -231,9 +278,11 @@ impl MemHierarchy {
             }
             return;
         }
-        // Allocate a new stream entry (round-robin by line).
+        // Allocate a new stream entry (round-robin by line), unless the
+        // slot already tracks this line's predecessor.
         let slot = (line % 8) as usize;
-        if self.streams[core][slot].last_line + 1 != line {
+        let s = self.streams[core][slot];
+        if s.last_line == u64::MAX || s.last_line + 1 != line {
             self.streams[core][slot] = StreamEntry {
                 last_line: line,
                 run: 1,
@@ -307,6 +356,58 @@ mod tests {
             mem_level < 40,
             "prefetching must absorb many streaming misses, got {mem_level}"
         );
+    }
+
+    #[test]
+    fn fresh_stream_table_does_not_false_match_line_one() {
+        // Regression: with zero-initialised stream entries, a fresh
+        // table made a miss to line 1 look like the continuation of a
+        // phantom stream through line 0, corrupting the table. The
+        // sequence 1, 16, 2 then detected no stream at all: line 1
+        // bumped a phantom entry (instead of allocating slot 1), line 16
+        // clobbered it, and line 2 found no predecessor. With the
+        // u64::MAX sentinel, line 1 allocates its own entry and line 2
+        // extends it into a run, triggering a full-degree prefetch.
+        let mut c = MachineConfig::paper_1core();
+        c.prefetch = true;
+        let mut h = MemHierarchy::new(&c);
+        for line in [1u64, 16, 2] {
+            h.access(0, line * 64, 0);
+        }
+        assert_eq!(
+            h.stats.prefetches, h.prefetch_degree,
+            "line 2 must extend the stream allocated by line 1"
+        );
+    }
+
+    #[test]
+    fn fused_scan_matches_access_then_insert() {
+        // access_or_victim must leave the array in exactly the state of
+        // an access() followed (on miss) by insert(): same tags, same
+        // LRU stamps, same clock. Drive both through a sequence with
+        // re-references, conflict misses, and invalid-way fills.
+        let mut split = CacheArray::new(4, 4);
+        let mut fused = CacheArray::new(4, 4);
+        let mut x = 7u64;
+        for i in 0..4000u64 {
+            // Deterministic mix of streaming and re-referenced lines.
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let line = if i % 3 == 0 { i / 2 } else { x % 97 };
+            let hit_split = {
+                let h = split.access(line);
+                if !h {
+                    split.insert(line);
+                }
+                h
+            };
+            let hit_fused = fused.access_or_victim(line);
+            assert_eq!(hit_split, hit_fused, "hit/miss diverged at op {i}");
+            assert_eq!(split.tags, fused.tags, "tags diverged at op {i}");
+            assert_eq!(split.stamps, fused.stamps, "stamps diverged at op {i}");
+            assert_eq!(split.clock, fused.clock, "clock diverged at op {i}");
+        }
     }
 
     #[test]

@@ -1,7 +1,7 @@
 //! Machine configuration (Table III of the paper).
 
 use crate::scheduler::SchedulerKind;
-use phloem_ir::UopClass;
+use phloem_ir::{ExecEngine, UopClass};
 use serde::{Deserialize, Serialize};
 
 /// Parameters of one cache level.
@@ -76,6 +76,11 @@ pub struct MachineConfig {
     /// simulated cycles (both kinds are bit-identical); `Polling` is
     /// the slower reference model kept for differential testing.
     pub scheduler: SchedulerKind,
+    /// Which execution engine runs stage programs. Does not affect
+    /// simulated cycles (both engines are bit-identical); `Tree` is the
+    /// slower oracle kept for differential testing.
+    #[serde(default)]
+    pub engine: ExecEngine,
 }
 
 impl MachineConfig {
@@ -115,6 +120,7 @@ impl MachineConfig {
             prefetch_degree: 2,
             launch_overhead: 300,
             scheduler: SchedulerKind::EventDriven,
+            engine: ExecEngine::Flat,
         }
     }
 

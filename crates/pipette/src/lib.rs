@@ -61,5 +61,6 @@ mod timing;
 pub use cache::{CacheStats, HitLevel, MemHierarchy};
 pub use config::{CacheParams, MachineConfig};
 pub use energy::{EnergyBreakdown, EnergyModel};
-pub use machine::{Machine, RunOutcome, SchedulerKind, Session};
+pub use machine::{CompiledPipeline, Machine, RunOutcome, SchedulerKind, Session};
+pub use phloem_ir::ExecEngine;
 pub use stats::{CycleBreakdown, QueueStats, RunStats, ThreadStats};

@@ -17,11 +17,34 @@ use crate::energy::{EnergyBreakdown, EnergyModel};
 use crate::scheduler;
 pub use crate::scheduler::SchedulerKind;
 use crate::stats::RunStats;
-use crate::timing::{build_interps, TimingWorld};
-use phloem_ir::{MemState, Pipeline, StageKind, Time, Trap, Value};
+use crate::timing::{build_flat_interps, build_interps, compile_pipeline, TimingWorld};
+use phloem_ir::{ExecEngine, MemState, Pipeline, StageKind, Time, Trap, Value};
 
 /// Per-thread step budget for timed runs.
 pub const DEFAULT_BUDGET: u64 = 4_000_000_000;
+
+/// A pipeline's stage programs lowered to bytecode ahead of time.
+///
+/// When the flat engine is selected, [`Session::run`] lowers every stage
+/// program on each invocation. That cost is negligible for one-shot
+/// runs, but host-driven algorithms invoke the same pipeline once per
+/// round (BFS rounds, PageRank-Delta phases): compile once with
+/// [`CompiledPipeline::new`] and invoke via [`Session::run_compiled`].
+pub struct CompiledPipeline {
+    progs: Vec<phloem_ir::BytecodeProgram>,
+}
+
+impl CompiledPipeline {
+    /// Lowers each stage program of `pipeline` to bytecode.
+    ///
+    /// # Errors
+    /// Traps on malformed stage programs (see [`phloem_ir::compile`]).
+    pub fn new(pipeline: &Pipeline) -> Result<CompiledPipeline, Trap> {
+        Ok(CompiledPipeline {
+            progs: compile_pipeline(pipeline)?,
+        })
+    }
+}
 
 /// A persistent simulation session: cache state, memory, and accumulated
 /// statistics survive across pipeline invocations, so host-driven
@@ -93,6 +116,57 @@ impl Session {
         params: &[(&str, Value)],
         scheduler: SchedulerKind,
     ) -> Result<Time, Trap> {
+        self.run_with_engine(pipeline, params, scheduler, self.cfg.engine)
+    }
+
+    /// Like [`Session::run`] with both the scheduler and the execution
+    /// engine explicit. Simulated cycles, statistics, and memory are
+    /// identical for every scheduler × engine combination; the
+    /// differential tests pin this invariant.
+    ///
+    /// # Errors
+    /// See [`Session::run`].
+    pub fn run_with_engine(
+        &mut self,
+        pipeline: &Pipeline,
+        params: &[(&str, Value)],
+        scheduler: SchedulerKind,
+        engine: ExecEngine,
+    ) -> Result<Time, Trap> {
+        self.run_inner(pipeline, params, scheduler, engine, None)
+    }
+
+    /// Like [`Session::run`], reusing bytecode lowered ahead of time by
+    /// [`CompiledPipeline::new`] (the tree engine has nothing to reuse
+    /// and ignores it, so callers can pass it unconditionally and keep
+    /// the engine dimension). `compiled` must come from an identical
+    /// pipeline.
+    ///
+    /// # Errors
+    /// See [`Session::run`].
+    pub fn run_compiled(
+        &mut self,
+        pipeline: &Pipeline,
+        compiled: &CompiledPipeline,
+        params: &[(&str, Value)],
+    ) -> Result<Time, Trap> {
+        self.run_inner(
+            pipeline,
+            params,
+            self.cfg.scheduler,
+            self.cfg.engine,
+            Some(compiled),
+        )
+    }
+
+    fn run_inner(
+        &mut self,
+        pipeline: &Pipeline,
+        params: &[(&str, Value)],
+        scheduler: SchedulerKind,
+        engine: ExecEngine,
+        compiled: Option<&CompiledPipeline>,
+    ) -> Result<Time, Trap> {
         // The queue budget is per core ("16 queues max"); replicated
         // pipelines get one set per core.
         pipeline.check(
@@ -118,14 +192,30 @@ impl Session {
             base,
             scheduler,
         );
-        let mut interps = build_interps(pipeline, params, DEFAULT_BUDGET);
         let is_compute: Vec<bool> = pipeline
             .stages
             .iter()
             .map(|s| matches!(s.kind, StageKind::Compute))
             .collect();
 
-        scheduler::run(&mut world, &mut interps, &is_compute, pipeline, scheduler)?;
+        match engine {
+            ExecEngine::Tree => {
+                let mut interps = build_interps(pipeline, params, DEFAULT_BUDGET);
+                scheduler::run(&mut world, &mut interps, &is_compute, pipeline, scheduler)?;
+            }
+            ExecEngine::Flat => {
+                let owned;
+                let progs = match compiled {
+                    Some(c) => &c.progs,
+                    None => {
+                        owned = compile_pipeline(pipeline)?;
+                        &owned
+                    }
+                };
+                let mut interps = build_flat_interps(progs, pipeline, params, DEFAULT_BUDGET);
+                scheduler::run(&mut world, &mut interps, &is_compute, pipeline, scheduler)?;
+            }
+        }
 
         // Makespan: last completion among the pipeline's threads.
         let end = world
@@ -137,7 +227,6 @@ impl Session {
             .max(base);
         let thread_states = std::mem::take(&mut world.threads);
         let queue_states = std::mem::take(&mut world.queues);
-        drop(interps);
         drop(world);
 
         // Fold per-thread stats into the session (positional by stage).

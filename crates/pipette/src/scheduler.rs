@@ -41,7 +41,7 @@
 
 use crate::queue::QueueEvent;
 use crate::timing::{TimingWorld, WAIT_EMPTY, WAIT_FULL};
-use phloem_ir::{BlockReason, Pipeline, QueueId, StageProgram, StepInterp, StepResult, Stmt, Trap};
+use phloem_ir::{BlockReason, Pipeline, QueueId, StageExec, StageProgram, StepResult, Stmt, Trap};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeSet;
 
@@ -79,12 +79,16 @@ pub enum SchedulerKind {
 
 /// Runs all stage interpreters to completion of the compute stages.
 ///
+/// Generic over the execution engine ([`StageExec`]): the scheduler only
+/// needs stepping, finish state, and a name, so the same wait-list logic
+/// drives both the tree-walking and the flat bytecode interpreter.
+///
 /// # Errors
 /// Propagates traps; reports deadlock (with the wait cycle) when a full
 /// round makes no progress while compute stages remain.
-pub(crate) fn run(
+pub(crate) fn run<E: StageExec>(
     world: &mut TimingWorld<'_>,
-    interps: &mut [StepInterp<'_>],
+    interps: &mut [E],
     is_compute: &[bool],
     pipeline: &Pipeline,
     kind: SchedulerKind,
@@ -240,9 +244,9 @@ fn queue_dirs(program: &StageProgram) -> (BTreeSet<QueueId>, BTreeSet<QueueId>) 
 /// Builds the deadlock trap: each blocked stage with its reason and the
 /// queue's occupancy, plus the wait cycle (stage -> blocked-on queue ->
 /// stage owning the other end) when one exists.
-fn deadlock_trap(
+fn deadlock_trap<E: StageExec>(
     world: &TimingWorld<'_>,
-    interps: &[StepInterp<'_>],
+    interps: &[E],
     state: &[ThreadState],
     pipeline: &Pipeline,
 ) -> Trap {

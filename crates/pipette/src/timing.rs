@@ -308,19 +308,25 @@ impl<'a> TimingWorld<'a> {
         t_issue
     }
 
-    /// Retires one op completing at `completion`.
-    fn complete(&mut self, t: Tid, completion: Time) {
-        let th = self.thread(t);
+    /// Retires one op completing at `completion`. Returns the thread so
+    /// callers can bump their op counter on the same borrow (one indexed
+    /// lookup instead of two on the per-atom hot path).
+    fn complete(&mut self, t: Tid, completion: Time) -> &mut ThreadTiming {
+        let th = &mut self.threads[t.0 as usize];
         th.stats.finish_time = th.stats.finish_time.max(completion);
-        if th.is_ra {
-            // The concurrency ring is only advanced by loads (below).
-            return;
+        if !th.is_ra {
+            // (RA concurrency rings are only advanced by loads, below.)
+            let retire = completion.max(th.last_retire);
+            th.last_retire = retire;
+            let pos = th.wpos;
+            th.window[pos] = retire;
+            th.wpos = if pos + 1 == th.window.len() {
+                0
+            } else {
+                pos + 1
+            };
         }
-        let retire = completion.max(th.last_retire);
-        th.last_retire = retire;
-        let pos = th.wpos;
-        th.window[pos] = retire;
-        th.wpos = (pos + 1) % th.window.len();
+        th
     }
 
     /// Applies the RA outstanding-access limit to a load issued at `ti`,
@@ -331,7 +337,11 @@ impl<'a> TimingWorld<'a> {
         let ti = ti_want.max(floor);
         let pos = th.wpos;
         th.window[pos] = ti + lat;
-        th.wpos = (pos + 1) % th.window.len();
+        th.wpos = if pos + 1 == th.window.len() {
+            0
+        } else {
+            pos + 1
+        };
         ti
     }
 
@@ -343,18 +353,14 @@ impl<'a> TimingWorld<'a> {
         }
     }
 
-    fn mem_access(
-        &mut self,
-        t: Tid,
-        array: ArrayId,
-        index: i64,
-        dep: Time,
-    ) -> Result<(u64, Time), Trap> {
-        let addr = self.mem.addr(array, index)?;
+    /// Timing for one cache-hierarchy access at `addr` (the bounds check
+    /// and address translation already happened in the fused
+    /// [`MemState::load_with_addr`] / [`MemState::store_with_addr`]
+    /// lookup, so this path cannot trap).
+    fn mem_access(&mut self, t: Tid, addr: u64, dep: Time) -> (u64, Time) {
         let t_probe = self.issue_at(t, dep, Attr::Normal);
         let core = self.threads[t.0 as usize].core;
         let (lat, level) = self.hier.access(core, addr, t_probe);
-        let _ = core;
         // Long misses contend for the thread's miss-buffer share.
         let t_issue = if matches!(level, HitLevel::L3 | HitLevel::Mem) {
             let th = &mut self.threads[t.0 as usize];
@@ -362,31 +368,28 @@ impl<'a> TimingWorld<'a> {
             let ti = t_probe.max(floor);
             let pos = th.mshr_pos;
             th.mshr[pos] = ti + lat;
-            th.mshr_pos = (pos + 1) % th.mshr.len();
+            th.mshr_pos = if pos + 1 == th.mshr.len() { 0 } else { pos + 1 };
             ti
         } else {
             t_probe
         };
-        Ok((lat, t_issue))
+        (lat, t_issue)
     }
 }
-
 impl World for TimingWorld<'_> {
     fn uop(&mut self, t: Tid, class: UopClass, dep: Time) -> Time {
         let lat = self.op_latency(t, class);
         let ti = self.issue_at(t, dep, Attr::Normal);
         let tc = ti + lat;
-        self.complete(t, tc);
-        self.thread(t).stats.uops += 1;
+        self.complete(t, tc).stats.uops += 1;
         tc
     }
 
     fn branch(&mut self, t: Tid, site: BranchId, taken: bool, cond_ready: Time) -> Time {
         let ti = self.issue_at(t, cond_ready, Attr::Normal);
         let tc = ti + 1;
-        self.complete(t, tc);
         let penalty = self.cfg.mispredict_penalty;
-        let th = self.thread(t);
+        let th = self.complete(t, tc);
         th.stats.branches += 1;
         if th.is_ra {
             // RA FSM sequencing has no speculation.
@@ -408,14 +411,13 @@ impl World for TimingWorld<'_> {
         index: i64,
         dep: Time,
     ) -> Result<(Value, Time), Trap> {
-        let v = self.mem.load(array, index)?;
-        let (lat, mut ti) = self.mem_access(t, array, index, dep)?;
+        let (v, addr) = self.mem.load_with_addr(array, index)?;
+        let (lat, mut ti) = self.mem_access(t, addr, dep);
         if self.threads[t.0 as usize].is_ra {
             ti = self.ra_load_slot(t, ti, lat);
         }
         let tc = ti + lat;
-        self.complete(t, tc);
-        self.thread(t).stats.loads += 1;
+        self.complete(t, tc).stats.loads += 1;
         Ok((v, tc))
     }
 
@@ -427,12 +429,11 @@ impl World for TimingWorld<'_> {
         value: Value,
         dep: Time,
     ) -> Result<Time, Trap> {
-        self.mem.store(array, index, value)?;
-        let (_lat, ti) = self.mem_access(t, array, index, dep)?;
+        let addr = self.mem.store_with_addr(array, index, value)?;
+        let (_lat, ti) = self.mem_access(t, addr, dep);
         // Stores drain through the store buffer: retirement is fast.
         let tc = ti + 1;
-        self.complete(t, tc);
-        self.thread(t).stats.stores += 1;
+        self.complete(t, tc).stats.stores += 1;
         Ok(tc)
     }
 
@@ -445,15 +446,14 @@ impl World for TimingWorld<'_> {
         value: Value,
         dep: Time,
     ) -> Result<(Value, Time), Trap> {
-        let old = self.mem.load(array, index)?;
+        let (old, addr) = self.mem.load_with_addr(array, index)?;
         let new = phloem_ir::eval_binop(op, old, value)?;
         self.mem.store(array, index, new)?;
-        let (lat, ti) = self.mem_access(t, array, index, dep)?;
+        let (lat, ti) = self.mem_access(t, addr, dep);
         // Atomics pay the access round trip plus locked-RMW overhead
         // (~Skylake `lock xadd` cost).
         let tc = ti + lat + 16;
-        self.complete(t, tc);
-        let th = self.thread(t);
+        let th = self.complete(t, tc);
         th.stats.loads += 1;
         th.stats.stores += 1;
         Ok((old, tc))
@@ -468,8 +468,10 @@ impl World for TimingWorld<'_> {
             return Ok(None);
         }
         let slot_free = self.queues[qi].slot_free_time();
-        let cursor = self.threads[t.0 as usize].cursor;
-        let is_ra = self.threads[t.0 as usize].is_ra;
+        let (cursor, is_ra) = {
+            let th = &self.threads[t.0 as usize];
+            (th.cursor, th.is_ra)
+        };
         let waited = slot_free.saturating_sub(dep.max(cursor));
         let lat = self.op_latency(t, UopClass::QueuePush);
         // RA engines "launch memory requests in parallel but deliver
@@ -481,15 +483,14 @@ impl World for TimingWorld<'_> {
             self.issue_at(t, dep.max(slot_free), Attr::QueueFull)
         };
         let tc = (ti + lat).max(if is_ra { dep } else { 0 });
-        self.complete(t, tc);
-        let core = self.threads[t.0 as usize].core;
-        {
-            let th = self.thread(t);
+        let core = {
+            let th = self.complete(t, tc);
             th.stats.enqs += 1;
             let extra = waited.saturating_sub(ti.saturating_sub(cursor));
             th.stats.queue_stall_cycles += extra;
             th.stats.queue_full_stall_cycles += extra;
-        }
+            th.core
+        };
         self.queues[qi].push(QueueEntry {
             value: w,
             ready: tc,
@@ -520,16 +521,10 @@ impl World for TimingWorld<'_> {
             entry_ready + self.cfg.inter_core_queue_latency
         };
         let lat = self.op_latency(t, UopClass::QueuePop);
-        let cursor = self.threads[t.0 as usize].cursor;
-        let waited = avail.saturating_sub(dep.max(cursor) + lat);
         let ti = self.issue_at(t, dep.max(avail.saturating_sub(lat)), Attr::QueueEmpty);
         let tc = (ti + lat).max(avail);
-        self.complete(t, tc);
-        {
-            let th = self.thread(t);
-            th.stats.deqs += 1;
-            let _ = waited; // already folded into the Attr::QueueEmpty gap
-        }
+        // (The wait is folded into the Attr::QueueEmpty stall gap.)
+        self.complete(t, tc).stats.deqs += 1;
         let entry = self.queues[qi].pop(tc);
         if self.wait_flags[qi] & WAIT_FULL != 0 {
             self.events.push(QueueEvent::Deq(q));
@@ -552,8 +547,8 @@ impl World for TimingWorld<'_> {
     }
 }
 
-/// Builds the interpreters for a pipeline's stages (one hardware thread
-/// per stage), each with the standard step budget.
+/// Builds the tree-walking interpreters for a pipeline's stages (one
+/// hardware thread per stage), each with the standard step budget.
 pub(crate) fn build_interps<'p>(
     pipeline: &'p phloem_ir::Pipeline,
     params: &[(&str, Value)],
@@ -574,6 +569,41 @@ pub(crate) fn build_interps<'p>(
                 &bound,
             )
             .with_budget(budget)
+        })
+        .collect()
+}
+
+/// Compiles every stage program of a pipeline to bytecode (for
+/// [`phloem_ir::ExecEngine::Flat`]).
+///
+/// # Errors
+/// Propagates compile-time traps (out-of-range ids in unvalidated
+/// programs).
+pub(crate) fn compile_pipeline(
+    pipeline: &phloem_ir::Pipeline,
+) -> Result<Vec<phloem_ir::BytecodeProgram>, Trap> {
+    pipeline
+        .stages
+        .iter()
+        .map(|s| phloem_ir::compile(&s.program.func, &s.program.handlers))
+        .collect()
+}
+
+/// Builds the flat bytecode interpreters for a pipeline's stages,
+/// mirroring [`build_interps`].
+pub(crate) fn build_flat_interps<'p>(
+    progs: &'p [phloem_ir::BytecodeProgram],
+    pipeline: &phloem_ir::Pipeline,
+    params: &[(&str, Value)],
+    budget: u64,
+) -> Vec<phloem_ir::FlatInterp<'p>> {
+    progs
+        .iter()
+        .zip(&pipeline.stages)
+        .enumerate()
+        .map(|(i, (p, s))| {
+            let bound = phloem_ir::bind_params(&s.program.func, params);
+            phloem_ir::FlatInterp::new(p, Tid(i as u32), &bound).with_budget(budget)
         })
         .collect()
 }

@@ -1,32 +1,39 @@
 //! Golden simulated-cycle regression tests.
 //!
-//! The scheduler refactor (polling -> event-driven) must not change the
-//! timing model: these tests pin the exact cycle counts produced by the
-//! seed implementation on deterministic workloads, through both small
-//! single-core pipelines and replicated multicore ones. Any divergence
-//! means the scheduler changed *simulated time*, not just host time.
+//! Infrastructure refactors (polling -> event-driven scheduler, tree ->
+//! bytecode execution engine) must not change the timing model: these
+//! tests pin the exact cycle counts produced by the pinned timing model
+//! on deterministic workloads, through small single-core pipelines,
+//! replicated multicore ones, and both execution engines. Any
+//! divergence means the change altered *simulated time*, not just host
+//! time.
 //!
 //! To re-capture after an intentional timing-model change:
 //! `GOLDEN_PRINT=1 cargo test --test golden_cycles -- --nocapture`
 
 use phloem_benchsuite::fig14::{run_bfs_replicated, RepVariant};
-use phloem_benchsuite::{bfs, spmm, Variant};
+use phloem_benchsuite::{bfs, cc, spmm, Variant};
 use phloem_workloads::{graph, matrix};
-use pipette_sim::MachineConfig;
+use pipette_sim::{ExecEngine, MachineConfig};
 
-/// `(label, cycles)` pinned from the seed timing model.
+/// `(label, cycles)` pinned from the seed timing model (verified
+/// unchanged by the stream-prefetcher sentinel fix on these workloads).
 const GOLDEN: &[(&str, u64)] = &[
     ("bfs/phloem/power_law_500", 17610),
     ("bfs/manual/power_law_500", 18395),
     ("bfs/replicated/collab_200", 20176),
+    ("cc/phloem/power_law_300", 15178),
+    ("cc/manual/power_law_300", 22979),
     ("spmm/phloem/rnd_40", 101241),
     ("spmm/manual/rnd_40", 114958),
     ("spmm/dp4/rnd_40", 32102),
 ];
 
-fn measure_all() -> Vec<(&'static str, u64)> {
-    let cfg1 = MachineConfig::paper_1core();
-    let cfg4 = MachineConfig::paper_multicore(4);
+fn measure_all(engine: ExecEngine) -> Vec<(&'static str, u64)> {
+    let mut cfg1 = MachineConfig::paper_1core();
+    cfg1.engine = engine;
+    let mut cfg4 = MachineConfig::paper_multicore(4);
+    cfg4.engine = engine;
     let mut out = Vec::new();
 
     let g = graph::power_law(500, 3, 3);
@@ -43,6 +50,16 @@ fn measure_all() -> Vec<(&'static str, u64)> {
     out.push((
         "bfs/replicated/collab_200",
         run_bfs_replicated(RepVariant::Phloem, &gr, 0, &cfg4, "collab_200").cycles,
+    ));
+
+    let gc = graph::power_law(300, 3, 3);
+    out.push((
+        "cc/phloem/power_law_300",
+        cc::run(&Variant::phloem(), &gc, &cfg1, "power_law_300").cycles,
+    ));
+    out.push((
+        "cc/manual/power_law_300",
+        cc::run(&Variant::Manual, &gc, &cfg1, "power_law_300").cycles,
     ));
 
     let a = matrix::random_square(40, 3.0, 1);
@@ -64,7 +81,7 @@ fn measure_all() -> Vec<(&'static str, u64)> {
 
 #[test]
 fn cycle_counts_match_the_seed_model_exactly() {
-    let got = measure_all();
+    let got = measure_all(ExecEngine::Flat);
     if std::env::var("GOLDEN_PRINT").is_ok() {
         for (label, cycles) in &got {
             println!("    (\"{label}\", {cycles}),");
@@ -82,8 +99,18 @@ fn cycle_counts_match_the_seed_model_exactly() {
 }
 
 #[test]
+fn tree_engine_matches_flat_engine_exactly() {
+    let flat = measure_all(ExecEngine::Flat);
+    let tree = measure_all(ExecEngine::Tree);
+    assert_eq!(
+        flat, tree,
+        "the bytecode engine changed simulated time vs the tree oracle"
+    );
+}
+
+#[test]
 fn repeated_runs_are_deterministic() {
-    let a = measure_all();
-    let b = measure_all();
+    let a = measure_all(ExecEngine::Flat);
+    let b = measure_all(ExecEngine::Flat);
     assert_eq!(a, b, "simulation is not deterministic across runs");
 }

@@ -231,6 +231,34 @@ proptest! {
         }
     }
 
+    /// The execution engine is a host-side choice: the flat bytecode
+    /// engine and the tree-walking oracle must produce bit-identical
+    /// simulated cycles, statistics, and memory under *both*
+    /// schedulers on arbitrary kernels. (The flat engine only changes
+    /// how fast the host steps a stage, never what the stage does.)
+    #[test]
+    fn exec_engine_does_not_change_cycles(spec in spec_strategy()) {
+        use pipette_sim::{ExecEngine, MachineConfig, SchedulerKind, Session};
+        let kernel = build_kernel(&spec);
+        let mem = build_mem(&spec);
+        let opts = CompileOptions::default();
+        let analysis = phloem_compiler::analyze(&kernel);
+        let cuts: Vec<_> = analysis.candidates().into_iter().take(2).collect();
+        let Ok(pipe) = decouple_with_cuts(&kernel, &cuts, &opts) else { return Ok(()); };
+        let params = [("n", Value::I64(spec.n as i64))];
+        let run = |kind: SchedulerKind, engine: ExecEngine| {
+            let mut s = Session::new(MachineConfig::paper_1core(), mem.clone());
+            s.run_with_engine(&pipe, &params, kind, engine).unwrap();
+            s.finish()
+        };
+        for kind in [SchedulerKind::EventDriven, SchedulerKind::Polling] {
+            let (fm, fs) = run(kind, ExecEngine::Flat);
+            let (tm, ts) = run(kind, ExecEngine::Tree);
+            prop_assert!(fm.same_contents(&tm), "memory diverged under {kind:?}");
+            prop_assert_eq!(fs, ts, "stats diverged under {kind:?}");
+        }
+    }
+
     /// The timed machine computes the same memory as the functional
     /// interpreter (timing must never change semantics).
     #[test]

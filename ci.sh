@@ -20,6 +20,9 @@ cargo test --workspace -q
 echo "==> simspeed --smoke (scheduler x engine cycle/atom equality)"
 cargo run --release -q -p phloem-bench --bin simspeed -- --smoke
 
+echo "==> fuzzdiff --smoke (differential fuzzing, fixed seed)"
+cargo run --release -q -p phloem-bench --bin fuzzdiff -- --smoke
+
 echo "==> cargo clippy --workspace --all-targets -- -D warnings"
 cargo clippy --workspace --all-targets -q -- -D warnings
 

@@ -57,6 +57,7 @@ pub mod pipeline;
 pub mod pretty;
 pub mod step;
 pub mod stmt;
+pub mod validate;
 pub mod value;
 pub mod world;
 
@@ -69,5 +70,6 @@ pub use mem::MemState;
 pub use pipeline::{Pipeline, RaConfig, RaMode, Stage, StageKind, StageProgram};
 pub use step::{bind_params, StageExec, StageSpec, StepInterp};
 pub use stmt::{CtrlHandler, HandlerEnd, Stmt};
+pub use validate::{validate_pipeline, PipelineError, ValidateLimits, Violation};
 pub use value::{eval_binop, eval_unop, BinOp, Trap, Ty, UnOp, Value};
 pub use world::{BlockReason, FunctionalWorld, OpCounts, StepResult, Tid, Time, UopClass, World};

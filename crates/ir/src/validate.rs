@@ -1,0 +1,721 @@
+//! Whole-pipeline validation: queue protocol, control-value discipline,
+//! reference-accelerator liveness, placement budgets, and backward-slice
+//! closure.
+//!
+//! [`Function::validate`](crate::Function::validate) checks one stage
+//! program in isolation; this module checks the *pipeline* — the
+//! invariants that Phloem's slicing passes must preserve but that no
+//! single stage can see:
+//!
+//! * every referenced queue has exactly one consumer stage and (except
+//!   across a `#pragma distribute` boundary, where routing enqueues and
+//!   broadcast control values are fan-in by design) exactly one producer;
+//! * enqueued and dequeued value kinds agree per queue;
+//! * every queue on which a control value can arrive (computed by tag
+//!   propagation through RA forwarding and handler re-enqueues) reaches
+//!   a consumer that can react to it — a registered
+//!   [`CtrlHandler`](crate::CtrlHandler) on that queue, or an inline
+//!   `is_control` check when handlers are ablated — so a CV is never
+//!   silently delivered into a data register;
+//! * reference accelerators sit on live queues (a fed input, a drained
+//!   output), so RA chains cannot silently stall;
+//! * the per-core architectural queue budget holds after replication
+//!   (queues reside with their consumer's core);
+//! * backward-slice closure: no stage reads a register it neither
+//!   defines, dequeues, nor receives as a parameter — the signature of a
+//!   slicing pass that forgot to communicate a value.
+//!
+//! The validator runs after every compiler pass (and before simulation);
+//! violations carry the name of the pass that introduced them, so a
+//! miscompile bisects to a pass automatically.
+
+use crate::expr::{Expr, QueueId, VarId};
+use crate::pipeline::{Pipeline, RaMode, Stage, StageKind};
+use crate::stmt::{HandlerEnd, Stmt};
+use crate::value::{Ty, UnOp, Value};
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+/// Hardware limits the validator checks placement against.
+#[derive(Clone, Copy, Debug)]
+pub struct ValidateLimits {
+    /// Architectural queues available per core ("16 queues max").
+    pub queues_per_core: u16,
+}
+
+impl Default for ValidateLimits {
+    fn default() -> Self {
+        ValidateLimits {
+            queues_per_core: 16,
+        }
+    }
+}
+
+/// A pipeline-level invariant violation.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Violation {
+    /// A queue id at or beyond the pipeline's declared `num_queues`.
+    QueueOutOfRange {
+        /// The offending queue.
+        queue: QueueId,
+        /// Declared queue count.
+        num_queues: u16,
+    },
+    /// A queue some stage enqueues into but no stage dequeues from.
+    NoConsumer {
+        /// The dangling queue.
+        queue: QueueId,
+        /// A stage that enqueues into it.
+        producer: String,
+    },
+    /// A queue some stage dequeues from but no stage feeds.
+    NoProducer {
+        /// The starved queue.
+        queue: QueueId,
+        /// A stage that dequeues from it.
+        consumer: String,
+    },
+    /// More than one stage dequeues from the same queue.
+    MultipleConsumers {
+        /// The shared queue.
+        queue: QueueId,
+        /// Names of all consuming stages.
+        stages: Vec<String>,
+    },
+    /// More than one stage enqueues plain data into the same queue
+    /// (fan-in is only legal for distribute-routing `EnqSel` and
+    /// broadcast control values).
+    MultipleProducers {
+        /// The shared queue.
+        queue: QueueId,
+        /// Names of all producing stages.
+        stages: Vec<String>,
+    },
+    /// Enqueue and dequeue ends of a queue disagree on the value kind.
+    KindMismatch {
+        /// The queue.
+        queue: QueueId,
+        /// Kind on the enqueue side.
+        enq: Ty,
+        /// Kind expected by the dequeue side.
+        deq: Ty,
+    },
+    /// A control-value tag can arrive at a stage that neither registers
+    /// a handler for it nor checks `is_control` inline.
+    UnhandledCtrl {
+        /// The consuming stage.
+        stage: String,
+        /// Queue the tag arrives on.
+        queue: QueueId,
+        /// The unhandled tag.
+        tag: u32,
+    },
+    /// A reference accelerator whose input queue no stage feeds.
+    RaDeadInput {
+        /// The RA stage.
+        stage: String,
+        /// Its input queue.
+        queue: QueueId,
+    },
+    /// A reference accelerator whose output queue no stage drains.
+    RaDeadOutput {
+        /// The RA stage.
+        stage: String,
+        /// Its output queue.
+        queue: QueueId,
+    },
+    /// A core's resident queues exceed the architectural budget.
+    QueueBudget {
+        /// The oversubscribed core.
+        core: usize,
+        /// Queues resident on it.
+        used: usize,
+        /// The per-core budget.
+        budget: u16,
+    },
+    /// A stage reads a register it neither defines, dequeues, nor
+    /// receives as a parameter.
+    UnboundRead {
+        /// The reading stage.
+        stage: String,
+        /// The unbound register's name.
+        var: String,
+    },
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Violation::QueueOutOfRange { queue, num_queues } => {
+                write!(f, "q{} out of range (num_queues = {num_queues})", queue.0)
+            }
+            Violation::NoConsumer { queue, producer } => {
+                write!(f, "q{} has no consumer (fed by `{producer}`)", queue.0)
+            }
+            Violation::NoProducer { queue, consumer } => {
+                write!(f, "q{} has no producer (drained by `{consumer}`)", queue.0)
+            }
+            Violation::MultipleConsumers { queue, stages } => {
+                write!(
+                    f,
+                    "q{} has {} consumers: {}",
+                    queue.0,
+                    stages.len(),
+                    stages.join(", ")
+                )
+            }
+            Violation::MultipleProducers { queue, stages } => {
+                write!(
+                    f,
+                    "q{} has {} plain-enqueue producers (only EnqSel/ctrl fan-in is legal): {}",
+                    queue.0,
+                    stages.len(),
+                    stages.join(", ")
+                )
+            }
+            Violation::KindMismatch { queue, enq, deq } => {
+                write!(f, "q{} carries {enq:?} but is dequeued as {deq:?}", queue.0)
+            }
+            Violation::UnhandledCtrl { stage, queue, tag } => {
+                write!(
+                    f,
+                    "stage `{stage}` can receive ctrl tag {tag} on q{} but has no handler \
+                     for it and no inline is_control check",
+                    queue.0
+                )
+            }
+            Violation::RaDeadInput { stage, queue } => {
+                write!(f, "RA `{stage}`: input q{} is fed by no stage", queue.0)
+            }
+            Violation::RaDeadOutput { stage, queue } => {
+                write!(
+                    f,
+                    "RA `{stage}`: output q{} is drained by no stage",
+                    queue.0
+                )
+            }
+            Violation::QueueBudget { core, used, budget } => {
+                write!(f, "core {core} hosts {used} queues, budget is {budget}")
+            }
+            Violation::UnboundRead { stage, var } => {
+                write!(
+                    f,
+                    "stage `{stage}` reads `{var}` but neither defines nor dequeues it"
+                )
+            }
+        }
+    }
+}
+
+/// A validation failure, tagged with the compiler pass (or tool phase)
+/// that produced the pipeline.
+#[derive(Clone, Debug, PartialEq)]
+pub struct PipelineError {
+    /// Name of the pass after which the violation was detected.
+    pub pass: String,
+    /// The invariant that does not hold.
+    pub violation: Violation,
+}
+
+impl fmt::Display for PipelineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[after pass `{}`] {}", self.pass, self.violation)
+    }
+}
+
+impl std::error::Error for PipelineError {}
+
+/// Per-stage queue usage summary.
+#[derive(Default)]
+struct StageIo {
+    /// Queues this stage enqueues plain data into (`Enq`).
+    enq_plain: BTreeSet<QueueId>,
+    /// Queues this stage enqueues into via any op (`Enq`/`EnqSel`/`EnqCtrl`).
+    enq_any: BTreeSet<QueueId>,
+    /// Data kind enqueued per queue, where statically known.
+    enq_ty: BTreeMap<QueueId, Ty>,
+    /// Queues dequeued (body `Deq` or a registered handler).
+    deq: BTreeSet<QueueId>,
+    /// Data kind dequeued into per queue (from the `Deq` target's decl).
+    deq_ty: BTreeMap<QueueId, Ty>,
+    /// Control tags enqueued per queue (`EnqCtrl`).
+    ctrl_out: BTreeMap<QueueId, BTreeSet<u32>>,
+    /// Whether the stage tests `is_control` inline anywhere.
+    inline_ctrl_check: bool,
+    /// Registers read / written (body + handlers).
+    reads: BTreeSet<VarId>,
+    writes: BTreeSet<VarId>,
+}
+
+fn expr_ty(stage: &Stage, e: &Expr) -> Option<Ty> {
+    let func = &stage.program.func;
+    match e {
+        Expr::Const(Value::I64(_)) => Some(Ty::I64),
+        Expr::Const(Value::F64(_)) => Some(Ty::F64),
+        Expr::Const(Value::Ctrl(_)) => None,
+        Expr::Var(v) => func.vars.get(v.0 as usize).map(|d| d.ty),
+        Expr::Unary(op, a) => match op {
+            UnOp::Neg => expr_ty(stage, a),
+            UnOp::Not | UnOp::BitNot | UnOp::IsCtrl | UnOp::CtrlTag | UnOp::F2I => Some(Ty::I64),
+            UnOp::I2F => Some(Ty::F64),
+        },
+        Expr::Binary(op, a, b) => {
+            use crate::value::BinOp::*;
+            match op {
+                Lt | Le | Gt | Ge | Eq | Ne => Some(Ty::I64),
+                _ => match (expr_ty(stage, a), expr_ty(stage, b)) {
+                    (Some(Ty::F64), _) | (_, Some(Ty::F64)) => Some(Ty::F64),
+                    (Some(Ty::I64), Some(Ty::I64)) => Some(Ty::I64),
+                    _ => None,
+                },
+            }
+        }
+        Expr::Load { array, .. } => func.arrays.get(array.0 as usize).map(|d| d.ty),
+    }
+}
+
+fn expr_reads(e: &Expr, out: &mut BTreeSet<VarId>, inline_ctrl: &mut bool) {
+    match e {
+        Expr::Const(_) => {}
+        Expr::Var(v) => {
+            out.insert(*v);
+        }
+        Expr::Unary(op, a) => {
+            if *op == UnOp::IsCtrl {
+                *inline_ctrl = true;
+            }
+            expr_reads(a, out, inline_ctrl);
+        }
+        Expr::Binary(_, a, b) => {
+            expr_reads(a, out, inline_ctrl);
+            expr_reads(b, out, inline_ctrl);
+        }
+        Expr::Load { index, .. } => expr_reads(index, out, inline_ctrl),
+    }
+}
+
+fn scan_stmts(stage: &Stage, stmts: &[Stmt], io: &mut StageIo) {
+    for s in stmts {
+        s.for_each(&mut |s| {
+            for r in s.header_reads() {
+                io.reads.insert(r);
+            }
+            if let Some(w) = s.write() {
+                io.writes.insert(w);
+            }
+            // `header_reads` already covers every expression position;
+            // re-walk the same expressions only for the `is_control` scan.
+            let mut scan_expr = |e: &Expr| {
+                let mut sink = BTreeSet::new();
+                expr_reads(e, &mut sink, &mut io.inline_ctrl_check);
+            };
+            match s {
+                Stmt::Assign { expr, .. } => scan_expr(expr),
+                Stmt::Store { index, value, .. } | Stmt::AtomicRmw { index, value, .. } => {
+                    scan_expr(index);
+                    scan_expr(value);
+                }
+                Stmt::If { cond, .. } | Stmt::While { cond, .. } => scan_expr(cond),
+                Stmt::For { start, end, .. } => {
+                    scan_expr(start);
+                    scan_expr(end);
+                }
+                Stmt::Enq { queue, value } => {
+                    io.enq_plain.insert(*queue);
+                    io.enq_any.insert(*queue);
+                    if let Some(ty) = expr_ty(stage, value) {
+                        io.enq_ty.entry(*queue).or_insert(ty);
+                    }
+                    scan_expr(value);
+                }
+                Stmt::EnqSel {
+                    queues,
+                    select,
+                    value,
+                } => {
+                    for q in queues {
+                        io.enq_any.insert(*q);
+                        if let Some(ty) = expr_ty(stage, value) {
+                            io.enq_ty.entry(*q).or_insert(ty);
+                        }
+                    }
+                    scan_expr(select);
+                    scan_expr(value);
+                }
+                Stmt::EnqCtrl { queue, ctrl } => {
+                    io.enq_any.insert(*queue);
+                    io.ctrl_out.entry(*queue).or_default().insert(*ctrl);
+                }
+                Stmt::Deq { var, queue } => {
+                    io.deq.insert(*queue);
+                    if let Some(d) = stage.program.func.vars.get(var.0 as usize) {
+                        io.deq_ty.entry(*queue).or_insert(d.ty);
+                    }
+                }
+                Stmt::Break { .. } => {}
+            }
+        });
+    }
+}
+
+fn stage_io(stage: &Stage) -> StageIo {
+    let mut io = StageIo::default();
+    scan_stmts(stage, &stage.program.func.body, &mut io);
+    for h in &stage.program.handlers {
+        io.deq.insert(h.queue);
+        if let Some(b) = h.bind {
+            io.writes.insert(b);
+        }
+        scan_stmts(stage, &h.body, &mut io);
+        match h.end {
+            HandlerEnd::FinishWhen(v, _) | HandlerEnd::BreakWhen(v, _, _) => {
+                io.reads.insert(v);
+            }
+            _ => {}
+        }
+    }
+    io
+}
+
+/// Validates pipeline-level invariants (see the module docs); `pass`
+/// names the compiler pass (or tool phase) whose output is checked and
+/// is reported in any [`PipelineError`].
+///
+/// # Errors
+/// Returns the first violation found.
+pub fn validate_pipeline(
+    pipeline: &Pipeline,
+    limits: &ValidateLimits,
+    pass: &str,
+) -> Result<(), PipelineError> {
+    let err = |violation: Violation| PipelineError {
+        pass: pass.to_string(),
+        violation,
+    };
+    let name = |i: usize| pipeline.stages[i].program.func.name.clone();
+    let ios: Vec<StageIo> = pipeline.stages.iter().map(stage_io).collect();
+
+    // -- Queue discipline: range, one consumer, fan-in rules. ---------
+    let mut producers: BTreeMap<QueueId, Vec<usize>> = BTreeMap::new();
+    let mut plain_producers: BTreeMap<QueueId, Vec<usize>> = BTreeMap::new();
+    let mut consumers: BTreeMap<QueueId, Vec<usize>> = BTreeMap::new();
+    for (i, io) in ios.iter().enumerate() {
+        for &q in io.enq_any.iter().chain(&io.deq) {
+            if q.0 >= pipeline.num_queues {
+                return Err(err(Violation::QueueOutOfRange {
+                    queue: q,
+                    num_queues: pipeline.num_queues,
+                }));
+            }
+        }
+        for &q in &io.enq_any {
+            producers.entry(q).or_default().push(i);
+        }
+        for &q in &io.enq_plain {
+            plain_producers.entry(q).or_default().push(i);
+        }
+        for &q in &io.deq {
+            consumers.entry(q).or_default().push(i);
+        }
+    }
+    for (&q, ps) in &producers {
+        match consumers.get(&q).map(Vec::as_slice) {
+            None | Some([]) => {
+                return Err(err(Violation::NoConsumer {
+                    queue: q,
+                    producer: name(ps[0]),
+                }));
+            }
+            Some([_]) => {}
+            Some(cs) => {
+                return Err(err(Violation::MultipleConsumers {
+                    queue: q,
+                    stages: cs.iter().map(|&i| name(i)).collect(),
+                }));
+            }
+        }
+    }
+    for (&q, cs) in &consumers {
+        if !producers.contains_key(&q) {
+            return Err(err(Violation::NoProducer {
+                queue: q,
+                consumer: name(cs[0]),
+            }));
+        }
+    }
+    for (&q, ps) in &plain_producers {
+        if ps.len() > 1 {
+            return Err(err(Violation::MultipleProducers {
+                queue: q,
+                stages: ps.iter().map(|&i| name(i)).collect(),
+            }));
+        }
+        // A plain enqueuer combined with other (EnqSel/ctrl) producers is
+        // fine — that is exactly the distribute-boundary shape.
+    }
+
+    // -- Value-kind agreement per queue. ------------------------------
+    for (&q, ps) in &producers {
+        let mut enq_ty: Option<Ty> = None;
+        for &p in ps {
+            if let Some(&t) = ios[p].enq_ty.get(&q) {
+                match enq_ty {
+                    None => enq_ty = Some(t),
+                    Some(prev) if prev != t => {
+                        return Err(err(Violation::KindMismatch {
+                            queue: q,
+                            enq: prev,
+                            deq: t,
+                        }));
+                    }
+                    Some(_) => {}
+                }
+            }
+        }
+        if let (Some(et), Some(cs)) = (enq_ty, consumers.get(&q)) {
+            for &c in cs {
+                if let Some(&dt) = ios[c].deq_ty.get(&q) {
+                    if dt != et {
+                        return Err(err(Violation::KindMismatch {
+                            queue: q,
+                            enq: et,
+                            deq: dt,
+                        }));
+                    }
+                }
+            }
+        }
+    }
+
+    // -- Control-value tag propagation and handler coverage. ----------
+    // Seed: explicit EnqCtrl sites, plus Scan RAs' end-of-range tag.
+    let mut tags: BTreeMap<QueueId, BTreeSet<u32>> = BTreeMap::new();
+    for (i, io) in ios.iter().enumerate() {
+        for (&q, ts) in &io.ctrl_out {
+            tags.entry(q).or_default().extend(ts);
+        }
+        if let StageKind::Ra(cfg) = &pipeline.stages[i].kind {
+            if cfg.mode == RaMode::Scan {
+                if let Some(t) = cfg.scan_end_ctrl {
+                    tags.entry(cfg.out_queue).or_default().insert(t);
+                }
+            }
+        }
+    }
+    // Fixpoint: RAs with `forward_ctrl` copy input tags to the output;
+    // handlers whose body re-enqueues the bound CV forward the tags they
+    // match (exact handlers their own tag, wildcards everything no exact
+    // handler on the same stage+queue claims).
+    loop {
+        let mut changed = false;
+        let mut add = |tags: &mut BTreeMap<QueueId, BTreeSet<u32>>, q: QueueId, t: u32| {
+            if tags.entry(q).or_default().insert(t) {
+                changed = true;
+            }
+        };
+        for stage in &pipeline.stages {
+            if let StageKind::Ra(cfg) = &stage.kind {
+                if cfg.forward_ctrl {
+                    let arriving: Vec<u32> = tags
+                        .get(&cfg.in_queue)
+                        .map(|s| s.iter().copied().collect())
+                        .unwrap_or_default();
+                    for t in arriving {
+                        add(&mut tags, cfg.out_queue, t);
+                    }
+                }
+            }
+            let exact: BTreeSet<(QueueId, u32)> = stage
+                .program
+                .handlers
+                .iter()
+                .filter_map(|h| h.ctrl.map(|t| (h.queue, t)))
+                .collect();
+            for h in &stage.program.handlers {
+                let Some(bind) = h.bind else { continue };
+                let forwards: Vec<QueueId> = h
+                    .body
+                    .iter()
+                    .filter_map(|s| match s {
+                        Stmt::Enq {
+                            queue,
+                            value: Expr::Var(v),
+                        } if *v == bind => Some(*queue),
+                        _ => None,
+                    })
+                    .collect();
+                if forwards.is_empty() {
+                    continue;
+                }
+                let arriving: Vec<u32> = tags
+                    .get(&h.queue)
+                    .map(|s| s.iter().copied().collect())
+                    .unwrap_or_default();
+                for t in arriving {
+                    let matched = match h.ctrl {
+                        Some(ht) => ht == t,
+                        None => !exact.contains(&(h.queue, t)),
+                    };
+                    if matched {
+                        for &q in &forwards {
+                            add(&mut tags, q, t);
+                        }
+                    }
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    for (&q, ts) in &tags {
+        let Some(cs) = consumers.get(&q) else {
+            continue; // already reported as NoConsumer if enqueued
+        };
+        for &c in cs {
+            let stage = &pipeline.stages[c];
+            if ios[c].inline_ctrl_check {
+                continue; // handler-ablated codegen checks is_control inline
+            }
+            // A CV arriving at a queue with *no* registered handler is
+            // delivered straight into the dequeue's data register — the
+            // silent-corruption case this check exists for. Queues with
+            // at least one handler are exempt from tag-exact coverage:
+            // Phloem's codegen deliberately leaves a trailing DONE
+            // unconsumed when a stage terminates via another queue's
+            // carrier, and whether an unmatched tag is ever dequeued is
+            // a dynamic property (the differential harness covers it).
+            let has_handler = stage.program.handlers.iter().any(|h| h.queue == q);
+            if !has_handler {
+                return Err(err(Violation::UnhandledCtrl {
+                    stage: name(c),
+                    queue: q,
+                    tag: *ts.iter().next().expect("nonempty tag set"),
+                }));
+            }
+        }
+    }
+
+    // -- RA chains reference live queues. ------------------------------
+    for (i, stage) in pipeline.stages.iter().enumerate() {
+        if let StageKind::Ra(cfg) = &stage.kind {
+            if !producers
+                .get(&cfg.in_queue)
+                .is_some_and(|ps| ps.iter().any(|&p| p != i))
+            {
+                return Err(err(Violation::RaDeadInput {
+                    stage: name(i),
+                    queue: cfg.in_queue,
+                }));
+            }
+            if !consumers
+                .get(&cfg.out_queue)
+                .is_some_and(|cs| cs.iter().any(|&c| c != i))
+            {
+                return Err(err(Violation::RaDeadOutput {
+                    stage: name(i),
+                    queue: cfg.out_queue,
+                }));
+            }
+        }
+    }
+
+    // -- Per-core queue budget (queues reside with their consumer). ----
+    let mut resident: BTreeMap<usize, BTreeSet<QueueId>> = BTreeMap::new();
+    for (&q, cs) in &consumers {
+        for &c in cs {
+            resident
+                .entry(pipeline.stages[c].core)
+                .or_default()
+                .insert(q);
+        }
+    }
+    for (&core, qs) in &resident {
+        if qs.len() > limits.queues_per_core as usize {
+            return Err(err(Violation::QueueBudget {
+                core,
+                used: qs.len(),
+                budget: limits.queues_per_core,
+            }));
+        }
+    }
+
+    // -- Backward-slice closure. ---------------------------------------
+    for (i, io) in ios.iter().enumerate() {
+        let func = &pipeline.stages[i].program.func;
+        let params: BTreeSet<VarId> = func.params.iter().copied().collect();
+        for &r in &io.reads {
+            if !io.writes.contains(&r) && !params.contains(&r) {
+                return Err(err(Violation::UnboundRead {
+                    stage: name(i),
+                    var: func
+                        .vars
+                        .get(r.0 as usize)
+                        .map(|d| d.name.clone())
+                        .unwrap_or_else(|| format!("{r:?}")),
+                }));
+            }
+        }
+    }
+
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::FunctionBuilder;
+    use crate::pipeline::StageProgram;
+
+    fn producer(q: QueueId) -> StageProgram {
+        let mut b = FunctionBuilder::new("prod");
+        let i = b.var_i64("i");
+        b.for_loop(i, Expr::i64(0), Expr::i64(4), |b| {
+            b.enq(q, Expr::var(i));
+        });
+        StageProgram::plain(b.build())
+    }
+
+    fn consumer(q: QueueId) -> StageProgram {
+        let mut b = FunctionBuilder::new("cons");
+        let i = b.var_i64("i");
+        let x = b.var_i64("x");
+        b.for_loop(i, Expr::i64(0), Expr::i64(4), |b| {
+            b.deq(x, q);
+        });
+        StageProgram::plain(b.build())
+    }
+
+    #[test]
+    fn accepts_a_simple_two_stage_pipeline() {
+        let mut p = Pipeline::new("t");
+        p.add_stage(producer(QueueId(0)), 0);
+        p.add_stage(consumer(QueueId(0)), 0);
+        assert!(validate_pipeline(&p, &ValidateLimits::default(), "test").is_ok());
+    }
+
+    #[test]
+    fn rejects_dangling_queue() {
+        let mut p = Pipeline::new("t");
+        p.add_stage(producer(QueueId(0)), 0);
+        let e = validate_pipeline(&p, &ValidateLimits::default(), "emit").unwrap_err();
+        assert_eq!(e.pass, "emit");
+        assert!(matches!(e.violation, Violation::NoConsumer { .. }), "{e}");
+    }
+
+    #[test]
+    fn rejects_unbound_read() {
+        let mut b = FunctionBuilder::new("bad");
+        let x = b.var_i64("x");
+        let ghost = b.var_i64("ghost");
+        b.assign(x, Expr::var(ghost));
+        let mut p = Pipeline::new("t");
+        p.add_stage(StageProgram::plain(b.build()), 0);
+        let e = validate_pipeline(&p, &ValidateLimits::default(), "emit").unwrap_err();
+        // `x` is written; `ghost` is not.
+        assert!(
+            matches!(&e.violation, Violation::UnboundRead { var, .. } if var == "ghost"),
+            "{e}"
+        );
+    }
+}

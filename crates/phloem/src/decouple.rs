@@ -708,7 +708,12 @@ impl<'t> Planner<'t> {
         // Children first.
         self.plan_body(body, s);
 
-        let tag = node.tag().expect("loop has tag");
+        let Some(tag) = node.tag() else {
+            self.error.get_or_insert(CompileError::Internal(
+                "loop node without a structure tag".into(),
+            ));
+            return;
+        };
         let passes = self.plan.passes;
 
         // Does stage `s` read this loop's induction variable (directly,
@@ -884,7 +889,12 @@ impl<'t> Planner<'t> {
             .iter()
             .find(|n| n.is_loop() && node_present(&self.plan, n, s))
         {
-            let tag = first.tag().unwrap();
+            let Some(tag) = first.tag() else {
+                self.error.get_or_insert(CompileError::Internal(
+                    "loop node without a structure tag".into(),
+                ));
+                return;
+            };
             match self.plan.modes.get(&(tag, s)) {
                 Some(LoopMode::Transparent) => {
                     cur = match first {
@@ -894,7 +904,12 @@ impl<'t> Planner<'t> {
                 }
                 Some(LoopMode::Cv) => {
                     self.plan.done_need.insert(s);
-                    let pos = self.plan.carrier_pos[&(tag, s)];
+                    let Some(&pos) = self.plan.carrier_pos.get(&(tag, s)) else {
+                        self.error.get_or_insert(CompileError::Internal(
+                            "CV-mode loop without a carrier stream".into(),
+                        ));
+                        return;
+                    };
                     self.plan.done_carrier.insert(s, pos);
                     break;
                 }
@@ -904,7 +919,13 @@ impl<'t> Planner<'t> {
 
         // Register duties on producers.
         if let Some(&pos) = self.plan.done_carrier.get(&s) {
-            let producer = self.plan.defs[&pos].stage;
+            let Some(def) = self.plan.defs.get(&pos) else {
+                self.error.get_or_insert(CompileError::Internal(
+                    "carrier position has no defining atom".into(),
+                ));
+                return;
+            };
+            let producer = def.stage;
             self.plan
                 .done_duties
                 .entry(producer)
@@ -919,8 +940,19 @@ impl<'t> Planner<'t> {
             .map(|(t, _)| *t)
             .collect();
         for tag in needs {
-            let pos = self.plan.carrier_pos[&(tag, s)];
-            let producer = self.plan.defs[&pos].stage;
+            let Some(&pos) = self.plan.carrier_pos.get(&(tag, s)) else {
+                self.error.get_or_insert(CompileError::Internal(
+                    "NEXT-needing loop without a carrier stream".into(),
+                ));
+                return;
+            };
+            let Some(def) = self.plan.defs.get(&pos) else {
+                self.error.get_or_insert(CompileError::Internal(
+                    "carrier position has no defining atom".into(),
+                ));
+                return;
+            };
+            let producer = def.stage;
             self.plan
                 .next_duties
                 .entry((tag, producer))

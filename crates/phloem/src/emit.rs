@@ -26,6 +26,10 @@ pub(crate) struct Emitter<'p> {
     src_stack: Vec<(usize, bool)>,
     /// Loop-stack snapshot at each carrier dequeue site, keyed by def pos.
     carrier_sites: Vec<(usize, Vec<(usize, LoopMode)>)>,
+    /// Nonzero while emitting the branches of a loop-exit test: its
+    /// `break`s are loop skeleton and every stage that emits the loop
+    /// must replicate them, owner or not.
+    exit_depth: usize,
     /// Scratch variable for inline control-tag checks.
     ctrl_tmp: Option<VarId>,
     extra_vars: Vec<VarDecl>,
@@ -141,10 +145,12 @@ impl<'p> Emitter<'p> {
                     if *exit {
                         // Loop-exit skeleton: emitted only in Bounds mode.
                         if self.innermost_emitted_is_bounds() {
+                            self.exit_depth += 1;
                             let mut tb = Vec::new();
                             self.emit_seq(then, &mut tb);
                             let mut eb = Vec::new();
                             self.emit_seq(els, &mut eb);
+                            self.exit_depth -= 1;
                             out.push(Stmt::If {
                                 id: *id,
                                 cond: cond.clone(),
@@ -280,7 +286,10 @@ impl<'p> Emitter<'p> {
         out: &mut Vec<Stmt>,
     ) {
         if let Stmt::Break { levels } = stmt {
-            if stage != self.s {
+            // Inside a loop-exit test the break is skeleton, replicated
+            // by every stage emitting the loop; elsewhere it belongs to
+            // its owner alone.
+            if stage != self.s && self.exit_depth == 0 {
                 return;
             }
             // Translate source loop levels to emitted loop levels.
@@ -355,6 +364,7 @@ pub(crate) fn emit_stage(
         loop_stack: Vec::new(),
         src_stack: Vec::new(),
         carrier_sites: Vec::new(),
+        exit_depth: 0,
         ctrl_tmp: None,
         extra_vars: Vec::new(),
         base_vars: base.vars.len(),

@@ -138,11 +138,26 @@ pub fn decouple_with_cuts(
             placed += 1;
         }
     }
+    let limits = phloem_ir::ValidateLimits {
+        queues_per_core: opts.max_queues,
+    };
+    if opts.passes.validate_between_passes {
+        phloem_ir::validate_pipeline(&pipe, &limits, "emit")
+            .map_err(CompileError::InvalidPipeline)?;
+    }
+    let mut last_pass = "emit";
     if opts.passes.use_ra {
         ra::extract(&mut pipe, &nf.arrays, opts.max_ras);
+        last_pass = "ra-extract";
+        if opts.passes.validate_between_passes {
+            phloem_ir::validate_pipeline(&pipe, &limits, last_pass)
+                .map_err(CompileError::InvalidPipeline)?;
+        }
     }
     pipe.check(opts.max_queues, opts.smt_threads, opts.max_ras)
         .map_err(|e| CompileError::Unsupported(e.to_string()))?;
+    phloem_ir::validate_pipeline(&pipe, &limits, last_pass)
+        .map_err(CompileError::InvalidPipeline)?;
     Ok(pipe)
 }
 

@@ -30,6 +30,12 @@ pub struct PassConfig {
     /// `#pragma distribute` boundary: distribution changes each
     /// replica's item count, so consumers must not count iterations.
     pub stream_consumers: bool,
+    /// Debug mode: run the pipeline validator after every pass boundary
+    /// (emit, RA extraction, replication) instead of only on the final
+    /// pipeline, so a miscompile bisects to the pass that introduced it
+    /// (the returned error names that pass).
+    #[serde(default)]
+    pub validate_between_passes: bool,
 }
 
 impl PassConfig {
@@ -42,6 +48,7 @@ impl PassConfig {
             use_handlers: true,
             isdce: true,
             stream_consumers: false,
+            validate_between_passes: false,
         }
     }
 
@@ -54,6 +61,7 @@ impl PassConfig {
             use_handlers: false,
             isdce: false,
             stream_consumers: false,
+            validate_between_passes: false,
         }
     }
 
@@ -141,6 +149,10 @@ pub enum CompileError {
     TooManyQueues(usize, usize),
     /// A cut load id does not exist in the function.
     UnknownCut(LoadId),
+    /// The produced pipeline violates a queue-protocol invariant (see
+    /// [`phloem_ir::validate`]); the error names the pass that
+    /// introduced it.
+    InvalidPipeline(phloem_ir::PipelineError),
     /// Internal invariant violation (a compiler bug).
     Internal(String),
 }
@@ -154,6 +166,7 @@ impl fmt::Display for CompileError {
                 write!(f, "pipeline needs {need} queues, hardware has {have}")
             }
             CompileError::UnknownCut(id) => write!(f, "unknown cut load {id:?}"),
+            CompileError::InvalidPipeline(e) => write!(f, "invalid pipeline: {e}"),
             CompileError::Internal(s) => write!(f, "internal error: {s}"),
         }
     }

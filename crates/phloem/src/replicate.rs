@@ -278,6 +278,8 @@ pub fn replicate(template: &Pipeline, spec: &ReplicateSpec) -> Result<Pipeline, 
         }
     }
     out.num_queues = stride * reps as u16;
+    phloem_ir::validate_pipeline(&out, &phloem_ir::ValidateLimits::default(), "replicate")
+        .map_err(CompileError::InvalidPipeline)?;
     Ok(out)
 }
 

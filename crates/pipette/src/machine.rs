@@ -57,6 +57,11 @@ pub struct Session {
     mem: MemState,
     now: Time,
     stats: RunStats,
+    /// Cores that hosted at least one mapped stage in any invocation;
+    /// static energy is charged only for these (idle cores of a
+    /// multicore config are power-gated, matching the paper's per-core
+    /// accounting for the Fig. 11/14 replication experiments).
+    active_cores: std::collections::BTreeSet<usize>,
 }
 
 impl Session {
@@ -70,6 +75,7 @@ impl Session {
             mem,
             now: 0,
             stats: RunStats::default(),
+            active_cores: std::collections::BTreeSet::new(),
         }
     }
 
@@ -181,6 +187,20 @@ impl Session {
                 self.cfg.cores
             )));
         }
+        // Queue-protocol validation before simulation: a malformed
+        // pipeline should fail with a named invariant here, not as an
+        // opaque deadlock or a silently wrong result.
+        phloem_ir::validate_pipeline(
+            pipeline,
+            &phloem_ir::ValidateLimits {
+                queues_per_core: self.cfg.max_queues,
+            },
+            "pre-sim",
+        )
+        .map_err(|e| Trap::Malformed(e.to_string()))?;
+        for s in &pipeline.stages {
+            self.active_cores.insert(s.core);
+        }
         let base = self.now + self.cfg.launch_overhead;
         let nstages = pipeline.stages.len();
 
@@ -264,7 +284,7 @@ impl Session {
         e.cache_pj += c.l3_hits as f64 * (m.l1_pj + m.l2_pj + m.l3_pj);
         e.cache_pj += c.mem_accesses as f64 * (m.l1_pj + m.l2_pj + m.l3_pj);
         e.dram_pj += (c.mem_accesses + c.prefetches) as f64 * m.dram_pj;
-        e.static_pj = self.now as f64 * self.cfg.cores as f64 * m.static_core_pj_per_cycle;
+        e.static_pj = self.now as f64 * self.active_cores.len() as f64 * m.static_core_pj_per_cycle;
         self.stats.energy = e;
         self.stats.cycles = self.now;
         self.stats.cache = self.hier.stats;
@@ -305,5 +325,66 @@ impl Machine {
         session.run(pipeline, params)?;
         let (mem, stats) = session.finish();
         Ok(RunOutcome { mem, stats })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use phloem_ir::{ArrayDecl, Expr, FunctionBuilder, Pipeline, StageProgram};
+
+    /// `stages` independent one-stage summing programs, one per core.
+    fn spread_pipeline(stages: usize) -> (Pipeline, MemState) {
+        let mut p = Pipeline::new("spread");
+        for k in 0..stages {
+            let mut b = FunctionBuilder::new(format!("s{k}"));
+            let a = b.array_i64("a");
+            let out = b.array_i64("out");
+            let i = b.var_i64("i");
+            let s = b.var_i64("s");
+            b.for_loop(i, Expr::i64(0), Expr::i64(64), |b| {
+                let l = b.load(a, Expr::var(i));
+                b.assign(s, Expr::add(Expr::var(s), l));
+            });
+            b.store(out, Expr::i64(k as i64), Expr::var(s));
+            p.add_stage(StageProgram::plain(b.build()), k);
+        }
+        let mut mem = MemState::new();
+        mem.alloc_i64(ArrayDecl::i64("a"), 0..64);
+        mem.alloc(ArrayDecl::i64("out"), stages.max(1));
+        (p, mem)
+    }
+
+    /// Static energy is charged per *active* core (one with a mapped
+    /// stage), not per configured core: a 1-core pipeline must pay the
+    /// same static rate on a 4-core machine as on a 1-core one.
+    #[test]
+    fn static_energy_counts_only_mapped_cores() {
+        let per_cycle = EnergyModel::default().static_core_pj_per_cycle;
+
+        let (p, mem) = spread_pipeline(1);
+        let cfg1 = MachineConfig::paper_1core();
+        let r1 = Machine::run_once(&cfg1, &p, mem, &[]).unwrap();
+        assert_eq!(
+            r1.stats.energy.static_pj,
+            r1.stats.cycles as f64 * per_cycle
+        );
+
+        let (p, mem) = spread_pipeline(1);
+        let cfg4 = MachineConfig::paper_multicore(4);
+        let r4 = Machine::run_once(&cfg4, &p, mem, &[]).unwrap();
+        assert_eq!(
+            r4.stats.energy.static_pj,
+            r4.stats.cycles as f64 * per_cycle,
+            "idle cores of the 4-core config must not be charged"
+        );
+
+        let (p, mem) = spread_pipeline(4);
+        let r44 = Machine::run_once(&cfg4, &p, mem, &[]).unwrap();
+        assert_eq!(
+            r44.stats.energy.static_pj,
+            r44.stats.cycles as f64 * 4.0 * per_cycle,
+            "a 4-core placement pays four cores' static power"
+        );
     }
 }

@@ -307,9 +307,13 @@ fn deadlock_trap<E: StageExec>(
                     BlockReason::QueueEmpty(q) => format!("deq {}", qdesc(q)),
                     BlockReason::Budget => String::new(),
                 };
-                s.push_str(&format!("`{}` --[{}]--> ", interps[i].name(), edge));
+                let node = |i: usize| {
+                    let ra = if world.threads[i].is_ra { " (RA)" } else { "" };
+                    format!("`{}`{}", interps[i].name(), ra)
+                };
+                s.push_str(&format!("{} --[{}]--> ", node(i), edge));
                 if k + 1 == path.len() {
-                    s.push_str(&format!("`{}`", interps[path[0]].name()));
+                    s.push_str(&node(path[0]));
                 }
             }
             s

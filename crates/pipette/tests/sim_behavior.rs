@@ -469,24 +469,99 @@ fn deadlock_reports_the_wait_cycle() {
 
 #[test]
 fn starvation_deadlock_reports_no_cycle() {
-    // A consumer of a queue nobody feeds: blocked forever, but there is
-    // no producer left, so the report must say starvation, not cycle.
+    // A producer that finishes after fewer items than the consumer
+    // dequeues: statically well-formed (the pipeline validator accepts
+    // it), but at runtime the consumer blocks with no producer left —
+    // the report must say starvation, not cycle.
     let q0 = QueueId(0);
     let mut p = Pipeline::new("starved");
     let mut a = FunctionBuilder::new("producer_done");
-    let _ = a.var_i64("unused");
+    let i = a.var_i64("i");
+    a.for_loop(i, Expr::i64(0), Expr::i64(2), |f| {
+        f.enq(q0, Expr::var(i));
+    });
     p.add_stage(StageProgram::plain(a.build()), 0);
     let mut b = FunctionBuilder::new("starved_consumer");
+    let j = b.var_i64("j");
     let y = b.var_i64("y");
-    b.deq(y, q0);
+    b.for_loop(j, Expr::i64(0), Expr::i64(3), |f| {
+        f.deq(y, q0);
+    });
     p.add_stage(StageProgram::plain(b.build()), 0);
-    // add_stage tracks queues from programs; the empty producer never
-    // references q0, so register it explicitly.
-    p.num_queues = p.num_queues.max(1);
 
     let err = Machine::run_once(&MachineConfig::paper_1core(), &p, MemState::new(), &[])
         .expect_err("starved consumer must deadlock");
     let msg = err.to_string();
     assert!(msg.contains("no wait cycle"), "{msg}");
     assert!(msg.contains("starved_consumer"), "{msg}");
+}
+
+#[test]
+fn malformed_queue_protocol_is_rejected_before_simulation() {
+    // A consumer of a queue nobody feeds never reaches the simulator:
+    // the pre-sim validator rejects it with a named invariant instead
+    // of letting it surface as an opaque runtime deadlock.
+    let q0 = QueueId(0);
+    let mut p = Pipeline::new("dangling");
+    let mut b = FunctionBuilder::new("orphan_consumer");
+    let y = b.var_i64("y");
+    b.deq(y, q0);
+    p.add_stage(StageProgram::plain(b.build()), 0);
+    p.num_queues = p.num_queues.max(1);
+
+    let err = Machine::run_once(&MachineConfig::paper_1core(), &p, MemState::new(), &[])
+        .expect_err("dangling queue must be rejected");
+    let msg = err.to_string();
+    assert!(msg.contains("no producer"), "{msg}");
+    assert!(msg.contains("orphan_consumer"), "{msg}");
+    assert!(msg.contains("pre-sim"), "{msg}");
+}
+
+#[test]
+fn ra_fed_deadlock_reports_the_ra_in_the_wait_cycle() {
+    // Stage `loopback` pushes 80 indices into the RA's input queue
+    // before dequeuing a single result: with 24-deep queues both fill,
+    // the RA blocks enqueuing its output, the producer blocks enqueuing
+    // the input, and the wait cycle runs *through the RA FSM*. The trap
+    // must show the RA as a node with its blocked-queue edge, not a
+    // truncated compute-only chain.
+    let q_in = QueueId(0);
+    let q_out = QueueId(1);
+    let mut b = FunctionBuilder::new("loopback");
+    let base = b.array_i64("base");
+    let i = b.var_i64("i");
+    let j = b.var_i64("j");
+    let x = b.var_i64("x");
+    b.for_loop(i, Expr::i64(0), Expr::i64(80), |f| {
+        f.enq(q_in, Expr::var(i));
+    });
+    b.for_loop(j, Expr::i64(0), Expr::i64(80), |f| {
+        f.deq(x, q_out);
+    });
+    let mut p = Pipeline::new("ra_cycle");
+    p.add_stage(StageProgram::plain(b.build()), 0);
+    p.add_ra(
+        RaConfig {
+            name: "lookup".into(),
+            mode: RaMode::Indirect,
+            base,
+            in_queue: q_in,
+            out_queue: q_out,
+            forward_ctrl: false,
+            scan_end_ctrl: None,
+        },
+        &[ArrayDecl::i64("base")],
+        0,
+    );
+
+    let mut mem = MemState::new();
+    mem.alloc_i64(ArrayDecl::i64("base"), 0..128);
+    let err = Machine::run_once(&MachineConfig::paper_1core(), &p, mem, &[])
+        .expect_err("over-committed RA loop must deadlock");
+    let msg = err.to_string();
+    assert!(msg.contains("wait cycle"), "{msg}");
+    // The RA FSM is a node of the cycle, with its blocked enqueue edge.
+    assert!(msg.contains("`ra:lookup` (RA) --[enq q1"), "{msg}");
+    // The producer's edge into the RA's input queue is there too.
+    assert!(msg.contains("`loopback` --[enq q0"), "{msg}");
 }

@@ -2,6 +2,8 @@
 cd /root/repo
 export SCALE=small
 cargo build -q --release -p phloem-bench
+echo "=== validating benchsuite/PGO pipelines ==="
+cargo run -q --release -p phloem-bench --bin fuzzdiff -- --validate-benchsuite
 for f in tables fig6 fig12 fig13 fig9 fig14; do
   echo "=== running $f ($(date +%H:%M:%S)) ==="
   cargo run -q --release -p phloem-bench --bin $f > results/$f.txt 2> results/$f.log

@@ -11,10 +11,10 @@
 //! To re-capture after an intentional timing-model change:
 //! `GOLDEN_PRINT=1 cargo test --test golden_cycles -- --nocapture`
 
-use phloem_benchsuite::fig14::{run_bfs_replicated, RepVariant};
-use phloem_benchsuite::{bfs, cc, spmm, Variant};
+use phloem_benchsuite::fig14::{run_bfs_replicated, run_cc_replicated, RepVariant};
+use phloem_benchsuite::{bfs, cc, spmm, taco, Variant};
 use phloem_workloads::{graph, matrix};
-use pipette_sim::{ExecEngine, MachineConfig};
+use pipette_sim::{ExecEngine, MachineConfig, SchedulerKind};
 
 /// `(label, cycles)` pinned from the seed timing model (verified
 /// unchanged by the stream-prefetcher sentinel fix on these workloads).
@@ -27,13 +27,21 @@ const GOLDEN: &[(&str, u64)] = &[
     ("spmm/phloem/rnd_40", 101241),
     ("spmm/manual/rnd_40", 114958),
     ("spmm/dp4/rnd_40", 32102),
+    ("taco-spmv/phloem/rnd_48", 2682),
+    ("cc/replicated/power_law_300", 17109),
 ];
 
 fn measure_all(engine: ExecEngine) -> Vec<(&'static str, u64)> {
+    measure_with(engine, SchedulerKind::EventDriven)
+}
+
+fn measure_with(engine: ExecEngine, scheduler: SchedulerKind) -> Vec<(&'static str, u64)> {
     let mut cfg1 = MachineConfig::paper_1core();
     cfg1.engine = engine;
+    cfg1.scheduler = scheduler;
     let mut cfg4 = MachineConfig::paper_multicore(4);
     cfg4.engine = engine;
+    cfg4.scheduler = scheduler;
     let mut out = Vec::new();
 
     let g = graph::power_law(500, 3, 3);
@@ -76,6 +84,17 @@ fn measure_all(engine: ExecEngine) -> Vec<(&'static str, u64)> {
         "spmm/dp4/rnd_40",
         spmm::run(&Variant::DataParallel(4), &a, &bt, &cfg1, "rnd_40").cycles,
     ));
+
+    let m = matrix::random_square(48, 4.0, 7);
+    out.push((
+        "taco-spmv/phloem/rnd_48",
+        taco::run(taco::TacoApp::Spmv, &Variant::phloem(), &m, &cfg1, "rnd_48").cycles,
+    ));
+
+    out.push((
+        "cc/replicated/power_law_300",
+        run_cc_replicated(RepVariant::Phloem, &gc, &cfg4, "power_law_300").cycles,
+    ));
     out
 }
 
@@ -106,6 +125,20 @@ fn tree_engine_matches_flat_engine_exactly() {
         flat, tree,
         "the bytecode engine changed simulated time vs the tree oracle"
     );
+}
+
+#[test]
+fn polling_scheduler_matches_event_driven_exactly() {
+    // The full grid: simulated cycles are a property of the timing
+    // model, not of how the host schedules stage interpreters.
+    let golden = measure_with(ExecEngine::Flat, SchedulerKind::EventDriven);
+    for engine in [ExecEngine::Flat, ExecEngine::Tree] {
+        let got = measure_with(engine, SchedulerKind::Polling);
+        assert_eq!(
+            golden, got,
+            "Polling/{engine:?} changed simulated time vs EventDriven/Flat"
+        );
+    }
 }
 
 #[test]

@@ -1,0 +1,185 @@
+//! The pipeline validator, end to end: it must accept every pipeline
+//! the compiler or the benchsuite produces, and reject hand-built
+//! protocol violations with an error naming the offending pass.
+
+use phloem_benchsuite::{bfs, cc, radii, spmm, taco, Variant};
+use phloem_compiler::search::{enumerate_pipelines, SearchOptions};
+use phloem_compiler::{compile_static, CompileOptions};
+use phloem_ir::{
+    validate_pipeline, Expr, FunctionBuilder, Pipeline, PipelineError, QueueId, StageProgram,
+    ValidateLimits, Violation,
+};
+use pipette_sim::MachineConfig;
+
+fn limits() -> ValidateLimits {
+    ValidateLimits::default()
+}
+
+// ---------------------------------------------------------------------
+// Acceptance: everything the compiler and benchsuite build is valid.
+// ---------------------------------------------------------------------
+
+#[test]
+fn accepts_every_benchsuite_pipeline() {
+    let pipes: Vec<(&str, Pipeline)> = vec![
+        ("bfs/manual", bfs::manual_pipeline()),
+        ("cc/manual", cc::manual_pipeline()),
+        ("radii/manual", radii::manual_pipeline()),
+        ("spmm/manual", spmm::manual_pipeline()),
+        (
+            "bfs/static",
+            compile_static(&bfs::kernel(), 4, &CompileOptions::default()).expect("bfs"),
+        ),
+        (
+            "cc/static",
+            compile_static(&cc::kernel(), 4, &CompileOptions::default()).expect("cc"),
+        ),
+        (
+            "radii/static",
+            compile_static(&radii::kernel(), 4, &CompileOptions::default()).expect("radii"),
+        ),
+        (
+            "spmm/static",
+            compile_static(&spmm::kernel(), 4, &CompileOptions::default()).expect("spmm"),
+        ),
+    ];
+    for (label, p) in &pipes {
+        validate_pipeline(p, &limits(), "final")
+            .unwrap_or_else(|e| panic!("{label} rejected: {e}"));
+    }
+}
+
+#[test]
+fn accepts_every_pgo_candidate_pipeline() {
+    // The full candidate set the profile-guided search would profile.
+    for (name, kernel) in [("bfs", bfs::kernel()), ("cc", cc::kernel())] {
+        let cands = enumerate_pipelines(&kernel, &SearchOptions::default());
+        assert!(!cands.is_empty(), "{name}: no PGO candidates");
+        for (cuts, p) in &cands {
+            validate_pipeline(p, &limits(), "final")
+                .unwrap_or_else(|e| panic!("{name} cuts {cuts:?} rejected: {e}"));
+        }
+    }
+}
+
+#[test]
+fn accepts_every_taco_pipeline() {
+    let cfg = MachineConfig::paper_1core();
+    for app in taco::TacoApp::all() {
+        let pipes = taco::pipelines_for(app, &Variant::phloem(), &cfg)
+            .unwrap_or_else(|e| panic!("taco/{}: {e}", app.name()));
+        for (pi, p) in pipes.iter().enumerate() {
+            validate_pipeline(p, &limits(), "final")
+                .unwrap_or_else(|e| panic!("taco/{}/phase{pi} rejected: {e}", app.name()));
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Rejection: hand-built violations, each naming the pass.
+// ---------------------------------------------------------------------
+
+fn expect_violation(p: &Pipeline, lim: &ValidateLimits, pass: &str) -> PipelineError {
+    let e = validate_pipeline(p, lim, pass).expect_err("validator must reject this pipeline");
+    assert_eq!(e.pass, pass, "error must name the offending pass: {e}");
+    e
+}
+
+#[test]
+fn rejects_dangling_queue_naming_the_pass() {
+    // A producer enqueues into q0; nothing ever dequeues it.
+    let mut b = FunctionBuilder::new("orphan_producer");
+    let i = b.var_i64("i");
+    b.for_loop(i, Expr::i64(0), Expr::i64(4), |f| {
+        f.enq(QueueId(0), Expr::var(i));
+    });
+    let mut p = Pipeline::new("dangling");
+    p.add_stage(StageProgram::plain(b.build()), 0);
+    let e = expect_violation(&p, &limits(), "add-queues");
+    assert!(
+        matches!(e.violation, Violation::NoConsumer { queue, .. } if queue == QueueId(0)),
+        "{e}"
+    );
+}
+
+#[test]
+fn rejects_missing_cv_handler_naming_the_pass() {
+    // The producer terminates the stream with a DONE control value; the
+    // consumer registers no handler and never checks is_control, so the
+    // CV would be delivered into a data register.
+    let q = QueueId(0);
+    let mut prod = FunctionBuilder::new("prod");
+    let i = prod.var_i64("i");
+    prod.for_loop(i, Expr::i64(0), Expr::i64(4), |f| {
+        f.enq(q, Expr::var(i));
+    });
+    prod.enq_ctrl(q, 0);
+    let mut cons = FunctionBuilder::new("cons");
+    let j = cons.var_i64("j");
+    let x = cons.var_i64("x");
+    cons.for_loop(j, Expr::i64(0), Expr::i64(5), |f| {
+        f.deq(x, q);
+    });
+    let mut p = Pipeline::new("cv_blind");
+    p.add_stage(StageProgram::plain(prod.build()), 0);
+    p.add_stage(StageProgram::plain(cons.build()), 0);
+    let e = expect_violation(&p, &limits(), "control-values");
+    assert!(
+        matches!(e.violation, Violation::UnhandledCtrl { queue, tag: 0, .. } if queue == q),
+        "{e}"
+    );
+}
+
+#[test]
+fn rejects_queue_budget_overflow_naming_the_pass() {
+    // Three queues all consumed on core 0, against a 2-queue budget.
+    let mut prod = FunctionBuilder::new("prod");
+    let i = prod.var_i64("i");
+    prod.for_loop(i, Expr::i64(0), Expr::i64(4), |f| {
+        for q in 0..3 {
+            f.enq(QueueId(q), Expr::var(i));
+        }
+    });
+    let mut cons = FunctionBuilder::new("cons");
+    let j = cons.var_i64("j");
+    let x = cons.var_i64("x");
+    cons.for_loop(j, Expr::i64(0), Expr::i64(4), |f| {
+        for q in 0..3 {
+            f.deq(x, QueueId(q));
+        }
+    });
+    let mut p = Pipeline::new("overflow");
+    p.add_stage(StageProgram::plain(prod.build()), 0);
+    p.add_stage(StageProgram::plain(cons.build()), 0);
+    let tight = ValidateLimits { queues_per_core: 2 };
+    let e = expect_violation(&p, &tight, "replicate");
+    assert!(
+        matches!(
+            e.violation,
+            Violation::QueueBudget {
+                core: 0,
+                used: 3,
+                budget: 2
+            }
+        ),
+        "{e}"
+    );
+    // The same pipeline is fine under the architectural budget.
+    validate_pipeline(&p, &limits(), "replicate").expect("within budget");
+}
+
+#[test]
+fn debug_mode_bisects_a_miscompile_to_its_pass() {
+    // validate_between_passes re-checks after `emit` and `ra-extract`:
+    // whatever pass breaks an invariant is named in the error. Here both
+    // pass, and the name of the *last* pass is carried through.
+    let opts = CompileOptions {
+        passes: phloem_compiler::PassConfig {
+            validate_between_passes: true,
+            ..phloem_compiler::PassConfig::all()
+        },
+        ..CompileOptions::default()
+    };
+    let p = compile_static(&bfs::kernel(), 4, &opts).expect("bfs compiles under debug mode");
+    assert!(p.total_stages() >= 2);
+}

@@ -23,6 +23,12 @@ cargo run --release -q -p phloem-bench --bin simspeed -- --smoke
 echo "==> fuzzdiff --smoke (differential fuzzing, fixed seed)"
 cargo run --release -q -p phloem-bench --bin fuzzdiff -- --smoke
 
+echo "==> fuzzdiff --faults --smoke (fault injection, grid-identical outcomes)"
+cargo run --release -q -p phloem-bench --bin fuzzdiff -- --faults --smoke
+
+echo "==> sim_robustness (watchdog/fault/degradation pins)"
+cargo test -q --test sim_robustness
+
 echo "==> cargo clippy --workspace --all-targets -- -D warnings"
 cargo clippy --workspace --all-targets -q -- -D warnings
 

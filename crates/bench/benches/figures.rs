@@ -23,7 +23,7 @@ fn fig6_mini(c: &mut Criterion) {
                     stages: 4,
                     cuts: cuts.clone(),
                 };
-                bfs::run(&v, &g, 0, &cfg, "mini");
+                bfs::run(&v, &g, 0, &cfg, "mini").unwrap();
             }
         })
     });
@@ -35,14 +35,14 @@ fn fig9_mini(c: &mut Criterion) {
     c.bench_function("fig9_bfs_variants_mini", |b| {
         b.iter(|| {
             for v in [Variant::Serial, Variant::phloem(), Variant::Manual] {
-                bfs::run(&v, &g, 0, &cfg, "mini");
+                bfs::run(&v, &g, 0, &cfg, "mini").unwrap();
             }
         })
     });
     c.bench_function("fig9_cc_variants_mini", |b| {
         b.iter(|| {
             for v in [Variant::Serial, Variant::phloem()] {
-                cc::run(&v, &g, &cfg, "mini");
+                cc::run(&v, &g, &cfg, "mini").unwrap();
             }
         })
     });
@@ -54,7 +54,7 @@ fn fig12_mini(c: &mut Criterion) {
     c.bench_function("fig12_spmv_mini", |b| {
         b.iter(|| {
             for v in [Variant::Serial, Variant::phloem()] {
-                taco::run(TacoApp::Spmv, &v, &a, &cfg, "mini");
+                taco::run(TacoApp::Spmv, &v, &a, &cfg, "mini").unwrap();
             }
         })
     });

@@ -17,7 +17,7 @@ fn main() {
         "{:<8}{:<16}{:>10}{:>10}{:>10}{:>10}{:>12}",
         "app", "variant", "issue", "backend", "queue", "other", "total(norm)"
     );
-    for (app, per_input) in &matrix {
+    for (app, per_input) in &matrix.rows {
         // Serial totals per input normalize each variant's breakdown.
         let serial_tot: Vec<f64> = per_input
             .iter()

@@ -15,7 +15,7 @@ fn main() {
         "{:<8}{:<16}{:>10}{:>10}{:>10}{:>10}{:>10}",
         "app", "variant", "core-dyn", "cache", "dram", "static", "total"
     );
-    for (app, per_input) in &matrix {
+    for (app, per_input) in &matrix.rows {
         let serial_tot: Vec<f64> = per_input
             .iter()
             .map(|ms| ms[0].stats.energy.total_pj())

@@ -9,7 +9,7 @@
 
 use phloem_bench::{header, machine, print_speedups, scale, SpeedupRow};
 use phloem_benchsuite::taco::{self, TacoApp};
-use phloem_benchsuite::Variant;
+use phloem_benchsuite::{run_guarded, Measurement, Variant};
 use phloem_workloads::taco_test_matrices;
 
 fn main() {
@@ -22,15 +22,29 @@ fn main() {
         Variant::phloem(),
     ];
     let mut rows = Vec::new();
+    let mut failures: Vec<String> = Vec::new();
     for app in TacoApp::all() {
         eprintln!("[fig12] {}...", app.name());
         let mut per_input = Vec::new();
         for mi in &inputs {
             eprintln!("[fig12]   {}", mi.name);
-            let ms: Vec<_> = variants
-                .iter()
-                .map(|v| taco::run(app, v, &mi.matrix, &cfg, mi.name))
-                .collect();
+            let serial = taco::run(app, &Variant::Serial, &mi.matrix, &cfg, mi.name)
+                .unwrap_or_else(|e| panic!("{} serial baseline on {}: {e}", app.name(), mi.name));
+            let mut ms = vec![serial.clone()];
+            for v in variants.iter().skip(1) {
+                let label = format!("{}/{}/{}", app.name(), mi.name, v.label());
+                match run_guarded(&label, || taco::run(app, v, &mi.matrix, &cfg, mi.name)) {
+                    Ok(m) => ms.push(m),
+                    Err(msg) => {
+                        eprintln!("[fig12]   FAILED {msg}; falling back to serial baseline");
+                        failures.push(msg);
+                        ms.push(Measurement {
+                            variant: format!("{} (failed; serial fallback)", v.label()),
+                            ..serial.clone()
+                        });
+                    }
+                }
+            }
             per_input.push(ms);
         }
         rows.push(SpeedupRow {
@@ -39,6 +53,16 @@ fn main() {
         });
     }
     print_speedups(&["data-parallel", "phloem-static"], &rows);
+    if !failures.is_empty() {
+        println!();
+        println!(
+            "{} variant(s) failed and fell back to serial:",
+            failures.len()
+        );
+        for f in &failures {
+            println!("  - {f}");
+        }
+    }
     println!();
     println!("paper: MTMul/Residual/SpMV ~1.5x for Phloem with flat data-parallel;");
     println!("       SDDMM ~1x for Phloem while data-parallel gains instead.");

@@ -7,7 +7,8 @@
 //! degrades as stages are added.
 
 use phloem_bench::{
-    graph_app_kernel, header, machine, pgo_search, train_graph_cycles, train_spmm_cycles,
+    graph_app_kernel, header, machine, pgo_search, train_graph_cycles, train_graph_outcome,
+    train_spmm_cycles, train_spmm_outcome,
 };
 use phloem_benchsuite::Variant;
 use phloem_compiler::PassConfig;
@@ -42,8 +43,8 @@ fn main() {
         eprintln!("[fig13] {app}...");
         let kernel = graph_app_kernel(app);
         let serial = train_graph_cycles(app, &Variant::Serial, &cfg).expect("serial training");
-        let pgo = pgo_search(&kernel, serial, |cuts| {
-            train_graph_cycles(
+        let pgo = pgo_search(&kernel, serial, |cuts, budget| {
+            train_graph_outcome(
                 app,
                 &Variant::Phloem {
                     passes: PassConfig::all(),
@@ -51,27 +52,35 @@ fn main() {
                     cuts: cuts.to_vec(),
                 },
                 &cfg,
+                budget,
             )
         });
         bucket_print(app, &pgo.points);
         println!("  ({} candidate pipelines profiled)", pgo.points.len());
+        for f in &pgo.failures {
+            println!("  FAILED {f}");
+        }
     }
     // SpMM.
     eprintln!("[fig13] SpMM...");
     let kernel = phloem_benchsuite::spmm::kernel();
     let serial = train_spmm_cycles(&Variant::Serial, &cfg).expect("serial SpMM training");
-    let pgo = pgo_search(&kernel, serial, |cuts| {
-        train_spmm_cycles(
+    let pgo = pgo_search(&kernel, serial, |cuts, budget| {
+        train_spmm_outcome(
             &Variant::Phloem {
                 passes: PassConfig::all(),
                 stages: 4,
                 cuts: cuts.to_vec(),
             },
             &cfg,
+            budget,
         )
     });
     bucket_print("SpMM", &pgo.points);
     println!("  ({} candidate pipelines profiled)", pgo.points.len());
+    for f in &pgo.failures {
+        println!("  FAILED {f}");
+    }
     println!();
     println!("paper: too many stages add communication that limits performance;");
     println!("       SpMM monotonically degrades with stage count.");

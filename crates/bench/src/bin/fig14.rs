@@ -12,7 +12,8 @@ use phloem_bench::{header, machine, machine4, print_speedups, scale, SpeedupRow}
 use phloem_benchsuite::fig14::{
     run_bfs_replicated, run_cc_replicated, run_prd_replicated, run_radii_replicated, RepVariant,
 };
-use phloem_benchsuite::{bfs, cc, prd, radii, Variant};
+use phloem_benchsuite::{bfs, cc, prd, radii, run_guarded, Measurement, Variant};
+use phloem_ir::Trap;
 use phloem_workloads::test_graphs;
 
 fn main() {
@@ -22,6 +23,26 @@ fn main() {
     let dp16 = Variant::DataParallel(16);
     let graphs = test_graphs(scale());
     let mut rows = Vec::new();
+    let mut failures: Vec<String> = Vec::new();
+    // A variant that traps falls back to the serial baseline (1.00x)
+    // and is reported at the end, so one bad pipeline cannot abort the
+    // whole figure.
+    let guard = |label: String,
+                 serial: &Measurement,
+                 failures: &mut Vec<String>,
+                 f: &mut dyn FnMut() -> Result<Measurement, Trap>| {
+        match run_guarded(&label, f) {
+            Ok(m) => m,
+            Err(msg) => {
+                eprintln!("[fig14]   FAILED {msg}; falling back to serial baseline");
+                failures.push(msg);
+                Measurement {
+                    variant: format!("{label} (failed; serial fallback)"),
+                    ..serial.clone()
+                }
+            }
+        }
+    };
     for app in ["BFS", "CC", "PRD", "Radii"] {
         eprintln!("[fig14] {app}...");
         let mut per_input = Vec::new();
@@ -33,25 +54,41 @@ fn main() {
                 "CC" => cc::run(&Variant::Serial, g, &cfg1, gi.name),
                 "PRD" => prd::run(&Variant::Serial, g, &cfg1, gi.name),
                 _ => radii::run(&Variant::Serial, g, &cfg1, gi.name),
-            };
-            let dp = match app {
-                "BFS" => bfs::run(&dp16, g, 0, &cfg4, gi.name),
-                "CC" => cc::run(&dp16, g, &cfg4, gi.name),
-                "PRD" => prd::run(&dp16, g, &cfg4, gi.name),
-                _ => radii::run(&dp16, g, &cfg4, gi.name),
-            };
-            let phl = match app {
-                "BFS" => run_bfs_replicated(RepVariant::Phloem, g, 0, &cfg4, gi.name),
-                "CC" => run_cc_replicated(RepVariant::Phloem, g, &cfg4, gi.name),
-                "PRD" => run_prd_replicated(RepVariant::Phloem, g, &cfg4, gi.name),
-                _ => run_radii_replicated(RepVariant::Phloem, g, &cfg4, gi.name),
-            };
-            let man = match app {
-                "BFS" => run_bfs_replicated(RepVariant::Manual, g, 0, &cfg4, gi.name),
-                "CC" => run_cc_replicated(RepVariant::Manual, g, &cfg4, gi.name),
-                "PRD" => run_prd_replicated(RepVariant::Manual, g, &cfg4, gi.name),
-                _ => run_radii_replicated(RepVariant::Manual, g, &cfg4, gi.name),
-            };
+            }
+            .unwrap_or_else(|e| panic!("{app} serial baseline on {}: {e}", gi.name));
+            let dp = guard(
+                format!("{app}/{}/data-parallel(16)", gi.name),
+                &serial,
+                &mut failures,
+                &mut || match app {
+                    "BFS" => bfs::run(&dp16, g, 0, &cfg4, gi.name),
+                    "CC" => cc::run(&dp16, g, &cfg4, gi.name),
+                    "PRD" => prd::run(&dp16, g, &cfg4, gi.name),
+                    _ => radii::run(&dp16, g, &cfg4, gi.name),
+                },
+            );
+            let phl = guard(
+                format!("{app}/{}/phloem-repl", gi.name),
+                &serial,
+                &mut failures,
+                &mut || match app {
+                    "BFS" => run_bfs_replicated(RepVariant::Phloem, g, 0, &cfg4, gi.name),
+                    "CC" => run_cc_replicated(RepVariant::Phloem, g, &cfg4, gi.name),
+                    "PRD" => run_prd_replicated(RepVariant::Phloem, g, &cfg4, gi.name),
+                    _ => run_radii_replicated(RepVariant::Phloem, g, &cfg4, gi.name),
+                },
+            );
+            let man = guard(
+                format!("{app}/{}/manual-repl", gi.name),
+                &serial,
+                &mut failures,
+                &mut || match app {
+                    "BFS" => run_bfs_replicated(RepVariant::Manual, g, 0, &cfg4, gi.name),
+                    "CC" => run_cc_replicated(RepVariant::Manual, g, &cfg4, gi.name),
+                    "PRD" => run_prd_replicated(RepVariant::Manual, g, &cfg4, gi.name),
+                    _ => run_radii_replicated(RepVariant::Manual, g, &cfg4, gi.name),
+                },
+            );
             per_input.push(vec![serial, dp, phl, man]);
         }
         rows.push(SpeedupRow {
@@ -60,6 +97,16 @@ fn main() {
         });
     }
     print_speedups(&["data-parallel(16)", "phloem-repl", "manual-repl"], &rows);
+    if !failures.is_empty() {
+        println!();
+        println!(
+            "{} variant(s) failed and fell back to serial:",
+            failures.len()
+        );
+        for f in &failures {
+            println!("  - {f}");
+        }
+    }
     println!();
     println!("paper: manual BFS/CC ~12x/~7x vs Phloem ~10x/~4x (both > data-parallel);");
     println!("       Phloem Radii (2 stages x 8 replicas) beats manual; PRD ~half of manual.");

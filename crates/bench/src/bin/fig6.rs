@@ -24,7 +24,7 @@ fn main() {
         g.num_edges()
     );
     let cfg = machine();
-    let serial = bfs::run(&Variant::Serial, &g, 0, &cfg, "road");
+    let serial = bfs::run(&Variant::Serial, &g, 0, &cfg, "road").expect("serial BFS");
     println!(
         "{:<22} {:>12} cycles {:>9}",
         "serial", serial.cycles, "1.00x"
@@ -47,7 +47,15 @@ fn main() {
             stages: 4,
             cuts: cuts.clone(),
         };
-        let m = bfs::run(&v, &g, 0, &cfg, "road");
+        let m = match phloem_benchsuite::run_guarded(&passes.label(), || {
+            bfs::run(&v, &g, 0, &cfg, "road")
+        }) {
+            Ok(m) => m,
+            Err(e) => {
+                println!("{:<22} FAILED: {e}", passes.label());
+                continue;
+            }
+        };
         println!(
             "{:<22} {:>12} cycles {:>8.2}x",
             passes.label(),
@@ -55,7 +63,7 @@ fn main() {
             serial.cycles as f64 / m.cycles as f64
         );
     }
-    let manual = bfs::run(&Variant::Manual, &g, 0, &cfg, "road");
+    let manual = bfs::run(&Variant::Manual, &g, 0, &cfg, "road").expect("manual BFS");
     println!(
         "{:<22} {:>12} cycles {:>8.2}x",
         "manual",

@@ -18,6 +18,7 @@ fn main() {
         cols.push("phloem-pgo");
     }
     let rows: Vec<SpeedupRow> = matrix
+        .rows
         .iter()
         .map(|(app, per_input)| SpeedupRow {
             label: app.clone(),
@@ -25,6 +26,16 @@ fn main() {
         })
         .collect();
     print_speedups(&cols, &rows);
+    if !matrix.failures.is_empty() {
+        println!();
+        println!(
+            "{} variant(s) failed and fell back to serial:",
+            matrix.failures.len()
+        );
+        for f in &matrix.failures {
+            println!("  - {f}");
+        }
+    }
     println!();
     println!("paper: Phloem gmean 1.7x; 85% of manual; BFS/Radii beat manual;");
     println!("       SpMM ~1x (bespoke manual merge-skip unavailable to Phloem).");

@@ -28,11 +28,14 @@
 //! fuzzdiff --smoke              # CI: 100 programs, fixed seed, <60 s
 //! fuzzdiff --seed S --count N   # custom sweep
 //! fuzzdiff --validate-benchsuite  # validate every benchsuite/PGO pipeline
+//! fuzzdiff --faults             # fault injection: 40 plans x 6 targets x grid
+//! fuzzdiff --faults --smoke     # CI: 6 plans per target
 //! ```
 //!
 //! Exits nonzero on any divergence (or any validator rejection in
 //! `--validate-benchsuite` mode).
 
+use phloem_benchsuite::fault_targets::targets as fault_targets;
 use phloem_benchsuite::{bfs, cc, radii, spmm, taco, Variant};
 use phloem_compiler::search::{enumerate_pipelines, SearchOptions};
 use phloem_compiler::{analyze, decouple_with_cuts, CompileOptions, PassConfig};
@@ -40,7 +43,7 @@ use phloem_ir::{
     interp, pretty, ArrayDecl, ArrayId, BinOp, Expr, Function, FunctionBuilder, LoadId, MemState,
     Pipeline, Value,
 };
-use pipette_sim::{ExecEngine, MachineConfig, SchedulerKind};
+use pipette_sim::{ExecEngine, FaultPlan, MachineConfig, SchedulerKind, WatchdogConfig};
 
 // ---------------------------------------------------------------------
 // Deterministic RNG (xorshift64*): no external crates, stable across
@@ -569,6 +572,129 @@ fn validate_benchsuite() -> i32 {
 }
 
 // ---------------------------------------------------------------------
+// Fault-injection enforcement mode (`--faults`).
+// ---------------------------------------------------------------------
+
+/// Renders a faulted run's outcome as a canonical string for grid
+/// comparison: either the final cycle count (with a memory check
+/// against the unfaulted reference) or the structured trap.
+fn faulted_outcome(
+    target: &phloem_benchsuite::fault_targets::FaultTarget,
+    plan: &FaultPlan,
+    sched: SchedulerKind,
+    engine: ExecEngine,
+    cfg: &MachineConfig,
+    ref_mem: &MemState,
+) -> String {
+    let mut session = pipette_sim::Session::new(cfg.clone(), target.mem.clone());
+    session.set_faults(plan.clone());
+    match session.run_with_engine(&target.pipeline, &target.params, sched, engine) {
+        Ok(_) => {
+            let (mem, stats) = session.finish();
+            if mem.same_contents(ref_mem) {
+                format!("ok at cycle {}", stats.cycles)
+            } else {
+                // A fault plan that lets the run finish must not corrupt
+                // the output: the only fault with a visible architectural
+                // effect is a kill, and a fired kill always traps.
+                format!("SILENT CORRUPTION at cycle {}", stats.cycles)
+            }
+        }
+        Err(t) => format!("trap: {t}"),
+    }
+}
+
+/// Runs every fault target under `plans_per_target` seeded fault plans,
+/// across the full scheduler × engine grid, and checks that every
+/// faulted run (a) terminates within the watchdog budget, (b) never
+/// silently corrupts memory, and (c) resolves to the *same* outcome —
+/// same trap or same completion cycle — at all four grid points.
+fn fault_mode(seed: u64, plans_per_target: u64) -> i32 {
+    let base_cfg = MachineConfig::paper_1core();
+    let start = std::time::Instant::now();
+    let mut failures = 0u64;
+    let mut plans = 0u64;
+    let mut runs = 0u64;
+    let mut trapped = 0u64;
+    let mut completed = 0u64;
+    for (ti, target) in fault_targets(&base_cfg).iter().enumerate() {
+        // Unfaulted reference on the default combo: cycles bound the
+        // fault horizons and the watchdog budget; memory is the
+        // corruption oracle.
+        let mut session = pipette_sim::Session::new(base_cfg.clone(), target.mem.clone());
+        if let Err(t) = session.run(&target.pipeline, &target.params) {
+            println!("FAIL {}: unfaulted reference trapped: {t}", target.name);
+            return 1;
+        }
+        let (ref_mem, ref_stats) = session.finish();
+        let atom_horizon = ref_stats
+            .threads
+            .iter()
+            .map(|t| t.uops + t.branches + t.loads + t.stores + t.enqs + t.deqs)
+            .max()
+            .unwrap_or(0);
+        // Generous enough that only a genuine hang can hit it: latency
+        // spikes add at most a few thousand cycles per fault.
+        let mut cfg = base_cfg.clone();
+        cfg.watchdog = WatchdogConfig {
+            cycle_cap: ref_stats.cycles.saturating_mul(32) + 1_000_000,
+            ..WatchdogConfig::default()
+        };
+        for pi in 0..plans_per_target {
+            let plan_seed = seed ^ ((ti as u64 + 1) << 32) ^ (pi + 1);
+            let plan = FaultPlan::random(
+                plan_seed,
+                target.pipeline.total_stages(),
+                target.pipeline.num_queues as usize,
+                ref_stats.cycles,
+                atom_horizon,
+            );
+            plans += 1;
+            let mut outcomes: Vec<(String, String)> = Vec::new();
+            for (sched, engine) in GRID {
+                runs += 1;
+                let o = faulted_outcome(target, &plan, sched, engine, &cfg, &ref_mem);
+                outcomes.push((format!("{sched:?}/{engine:?}"), o));
+            }
+            let first = &outcomes[0].1;
+            let diverged = outcomes.iter().any(|(_, o)| o != first);
+            if diverged || first.contains("SILENT CORRUPTION") {
+                failures += 1;
+                println!(
+                    "FAIL {} plan_seed={plan_seed:#x} ({} faults):",
+                    target.name,
+                    plan.faults.len()
+                );
+                for f in &plan.faults {
+                    println!("    {f:?}");
+                }
+                for (combo, o) in &outcomes {
+                    println!("    {combo:<22} -> {o}");
+                }
+            } else if first.starts_with("trap") {
+                trapped += 1;
+            } else {
+                completed += 1;
+            }
+        }
+        println!(
+            "... {}: {plans_per_target} plans done ({} cycles unfaulted)",
+            target.name, ref_stats.cycles
+        );
+    }
+    println!(
+        "fuzzdiff --faults: seed {seed:#x}: {plans} fault plans, {runs} runs, \
+         {completed} completed clean, {trapped} trapped uniformly, {failures} failures ({:.1}s)",
+        start.elapsed().as_secs_f64()
+    );
+    if failures == 0 {
+        0
+    } else {
+        1
+    }
+}
+
+// ---------------------------------------------------------------------
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -581,6 +707,14 @@ fn main() {
     };
     if has("--validate-benchsuite") {
         std::process::exit(validate_benchsuite());
+    }
+    if has("--faults") {
+        let plans = if has("--smoke") {
+            6
+        } else {
+            val("--count").unwrap_or(40)
+        };
+        std::process::exit(fault_mode(val("--seed").unwrap_or(0xFA17), plans));
     }
 
     let (seed, count) = if has("--smoke") {

@@ -43,7 +43,7 @@ use phloem_ir::{
     QueueId, StageExec, StageSpec, StepInterp, StepResult, Tid, Time, Trap, UopClass, Value, World,
 };
 use phloem_workloads::{training_graphs, GraphInput};
-use pipette_sim::{ExecEngine, MachineConfig, SchedulerKind};
+use pipette_sim::{ExecEngine, MachineConfig, SchedulerKind, WatchdogConfig};
 
 /// Profiles one candidate cut set over the training graphs; returns the
 /// total simulated cycles, or `None` if the candidate fails to compile
@@ -60,6 +60,7 @@ fn profile_candidate(cuts: &[LoadId], cfg: &MachineConfig, graphs: &[GraphInput]
         let m = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
             bfs::run(&v, &gi.graph, 0, cfg, gi.name)
         }))
+        .ok()?
         .ok()?;
         total += m.cycles;
     }
@@ -102,6 +103,7 @@ fn time_combo(
     label: &'static str,
     kind: SchedulerKind,
     engine: ExecEngine,
+    watchdog: WatchdogConfig,
     candidates: &[Vec<LoadId>],
     graphs: &[GraphInput],
     reps: usize,
@@ -109,6 +111,7 @@ fn time_combo(
     let mut cfg = machine();
     cfg.scheduler = kind;
     cfg.engine = engine;
+    cfg.watchdog = watchdog;
     // Warm-up (page cache, lazy allocations) outside the timed region.
     let _ = profile_candidate(&candidates[0], &cfg, graphs);
     let mut best_secs = f64::INFINITY;
@@ -330,6 +333,7 @@ fn main() {
         "polling x tree (seed)",
         SchedulerKind::Polling,
         ExecEngine::Tree,
+        WatchdogConfig::default(),
         &candidates,
         &graphs,
         reps,
@@ -338,6 +342,7 @@ fn main() {
         "event-driven x tree",
         SchedulerKind::EventDriven,
         ExecEngine::Tree,
+        WatchdogConfig::default(),
         &candidates,
         &graphs,
         reps,
@@ -346,12 +351,25 @@ fn main() {
         "event-driven x flat",
         SchedulerKind::EventDriven,
         ExecEngine::Flat,
+        WatchdogConfig::default(),
+        &candidates,
+        &graphs,
+        reps,
+    );
+    // Watchdog overhead: the fastest combo again with the watchdog
+    // fully disabled. The checks run at round boundaries only, so the
+    // target is well under 2% of host time.
+    let event_flat_wd_off = time_combo(
+        "event-driven x flat (watchdog off)",
+        SchedulerKind::EventDriven,
+        ExecEngine::Flat,
+        WatchdogConfig::off(),
         &candidates,
         &graphs,
         reps,
     );
 
-    for t in [&event_tree, &event_flat] {
+    for t in [&event_tree, &event_flat, &event_flat_wd_off] {
         assert_eq!(
             t.per_candidate, polling_tree.per_candidate,
             "{} disagreed with the seed on simulated cycles",
@@ -359,7 +377,7 @@ fn main() {
         );
     }
 
-    for t in [&polling_tree, &event_tree, &event_flat] {
+    for t in [&polling_tree, &event_tree, &event_flat, &event_flat_wd_off] {
         println!(
             "  {:<22}: {:>8.1} Mcycles/s  ({:.3} s, {} Mcycles)",
             t.label,
@@ -371,9 +389,12 @@ fn main() {
     let flat_over_tree = event_flat.mcps() / event_tree.mcps();
     let event_over_polling = event_tree.mcps() / polling_tree.mcps();
     let total = event_flat.mcps() / polling_tree.mcps();
+    let watchdog_overhead_pct =
+        (event_flat_wd_off.mcps() / event_flat.mcps() - 1.0).max(0.0) * 100.0;
     println!("  host speedup, flat engine over tree (event-driven): {flat_over_tree:.2}x");
     println!("  host speedup, event-driven over polling (tree)    : {event_over_polling:.2}x");
     println!("  cumulative over the seed simulator                : {total:.2}x");
+    println!("  watchdog overhead (event-driven x flat, on vs off): {watchdog_overhead_pct:.2}%");
     println!("  (identical simulated cycles in every combination)");
 
     // Engine-isolated: serial kernel, unit-latency world. More passes
@@ -415,7 +436,7 @@ fn main() {
         )
     };
     let json = format!(
-        "{{\n  \"bench\": \"simspeed\",\n  \"workload\": \"BFS PGO search over training graphs\",\n  \"scale\": \"{:?}\",\n  \"candidates\": {},\n  \"reps\": {},\n  \"sim_cycles_total\": {},\n  \"polling_tree\": {},\n  \"event_tree\": {},\n  \"event_flat\": {},\n  \"host_speedup_flat_over_tree\": {:.4},\n  \"host_speedup_event_over_polling\": {:.4},\n  \"host_speedup_total_over_seed\": {:.4},\n  \"interp_tree\": {},\n  \"interp_flat\": {},\n  \"interp_speedup_flat_over_tree\": {:.4},\n  \"note\": \"host_speedup_flat_over_tree is end-to-end over the full sweep, where the shared cycle-accurate World model dominates host time; interp_speedup_flat_over_tree isolates the execution-engine swap (same kernel, unit-latency world, identical atom sequences).\"\n}}\n",
+        "{{\n  \"bench\": \"simspeed\",\n  \"workload\": \"BFS PGO search over training graphs\",\n  \"scale\": \"{:?}\",\n  \"candidates\": {},\n  \"reps\": {},\n  \"sim_cycles_total\": {},\n  \"polling_tree\": {},\n  \"event_tree\": {},\n  \"event_flat\": {},\n  \"host_speedup_flat_over_tree\": {:.4},\n  \"host_speedup_event_over_polling\": {:.4},\n  \"host_speedup_total_over_seed\": {:.4},\n  \"interp_tree\": {},\n  \"interp_flat\": {},\n  \"interp_speedup_flat_over_tree\": {:.4},\n  \"event_flat_watchdog_off\": {},\n  \"watchdog_overhead_pct\": {:.4},\n  \"note\": \"host_speedup_flat_over_tree is end-to-end over the full sweep, where the shared cycle-accurate World model dominates host time; interp_speedup_flat_over_tree isolates the execution-engine swap (same kernel, unit-latency world, identical atom sequences). watchdog_overhead_pct compares event_flat against the same combo with the watchdog disabled (target <2%); the interp_* rows bypass the scheduler entirely and so carry no watchdog checks by construction.\"\n}}\n",
         scale(),
         candidates.len(),
         reps,
@@ -429,6 +450,8 @@ fn main() {
         interp_json(&interp_tree),
         interp_json(&interp_flat),
         interp_ratio,
+        combo_json(&event_flat_wd_off),
+        watchdog_overhead_pct,
     );
     std::fs::write("BENCH_simspeed.json", &json).expect("write BENCH_simspeed.json");
     println!("  wrote BENCH_simspeed.json");

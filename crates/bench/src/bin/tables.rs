@@ -102,7 +102,8 @@ fn main() {
 
     header("Scheduler observability: BFS/Phloem on power_law(500)");
     let g = graph::power_law(500, 3, 3);
-    let m = bfs::run(&Variant::phloem(), &g, 0, &machine(), "power_law_500");
+    let m = bfs::run(&Variant::phloem(), &g, 0, &machine(), "power_law_500")
+        .expect("BFS phloem on power_law_500");
     println!(
         "  {:<16}{:>12}{:>12}{:>10}{:>10}{:>10}",
         "stage", "full-stall", "empty-stall", "wakeups", "spurious", "re-polls"

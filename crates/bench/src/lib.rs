@@ -24,7 +24,7 @@
 
 pub mod microbench;
 
-use phloem_benchsuite::{gmean, Measurement, Variant};
+use phloem_benchsuite::{gmean, run_guarded, Measurement, Variant};
 use phloem_workloads::Scale;
 use pipette_sim::MachineConfig;
 
@@ -120,22 +120,23 @@ pub fn speedups_vs_serial(per_input: &[Vec<Measurement>]) -> Vec<f64> {
 // Shared experiment drivers (fig9 / fig10 / fig11 / fig13 reuse these)
 // ---------------------------------------------------------------------
 
-use phloem_compiler::search::{enumerate_pipelines, SearchOptions};
-use phloem_ir::LoadId;
+use phloem_compiler::search::{search, ProfileBudget, ProfileOutcome, SearchOptions};
+use phloem_ir::{LoadId, Trap};
 use phloem_workloads::{spmm_test_matrices, spmm_training_matrices, test_graphs, training_graphs};
 
 /// The graph applications of the C-path evaluation.
 pub const GRAPH_APPS: [&str; 4] = ["BFS", "CC", "PRD", "Radii"];
 
-/// Runs one graph app variant on one input; panics bubble up (results
-/// are always verified against the oracle inside).
+/// Runs one graph app variant on one input. Runtime traps (watchdog,
+/// faults, convergence stalls) come back as `Err`; oracle mismatches
+/// still panic (results are always verified inside).
 pub fn run_graph_app(
     app: &str,
     v: &Variant,
     g: &phloem_workloads::Graph,
     cfg: &MachineConfig,
     input: &str,
-) -> Measurement {
+) -> Result<Measurement, Trap> {
     match app {
         "BFS" => phloem_benchsuite::bfs::run(v, g, 0, cfg, input),
         "CC" => phloem_benchsuite::cc::run(v, g, cfg, input),
@@ -158,74 +159,198 @@ pub fn graph_app_kernel(app: &str) -> phloem_ir::Function {
 
 /// Outcome of the profile-guided search for one benchmark.
 pub struct PgoOutcome {
-    /// Cuts of the best-profiling pipeline.
+    /// Cuts of the best-profiling pipeline; empty when the search found
+    /// no viable candidate (the caller then falls back to the static
+    /// cost model, which empty cuts encode).
     pub best_cuts: Vec<LoadId>,
     /// `(total stages incl. RAs, gmean training speedup)` per candidate.
     pub points: Vec<(usize, f64)>,
+    /// Candidates (or the whole search) that trapped or timed out,
+    /// rendered for the harness's failure summary.
+    pub failures: Vec<String>,
 }
 
 /// Enumerates candidate pipelines for `kernel` and profiles each with
-/// `run_cuts` (gmean training cycles; `None` on failure). The serial
-/// training cycles normalize the Fig. 13 speedups.
+/// `profile` under the search's per-candidate watchdog budget. The
+/// serial training cycles normalize the Fig. 13 speedups.
+///
+/// Built on [`phloem_compiler::search::search`]: candidates that trap
+/// or panic are recorded, timed-out ones get one retry at an enlarged
+/// budget, and a fully failed search degrades to empty `best_cuts`
+/// (static compilation) instead of aborting the harness.
 pub fn pgo_search(
     kernel: &phloem_ir::Function,
     serial_train_cycles: f64,
-    run_cuts: impl Fn(&[LoadId]) -> Option<f64>,
+    profile: impl Fn(&[LoadId], &ProfileBudget) -> ProfileOutcome + Sync,
 ) -> PgoOutcome {
     let opts = SearchOptions::default();
-    let cands = enumerate_pipelines(kernel, &opts);
-    let mut points = Vec::new();
-    let mut best: Option<(Vec<LoadId>, f64)> = None;
-    for (cuts, pipe) in &cands {
-        let cycles = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| run_cuts(cuts)))
-            .ok()
-            .flatten();
-        if let Some(c) = cycles {
-            points.push((pipe.total_stages(), serial_train_cycles / c));
-            if best.as_ref().map(|(_, b)| c < *b).unwrap_or(true) {
-                best = Some((cuts.clone(), c));
+    match search(kernel, &opts, |cuts, _pipe, budget| profile(cuts, budget)) {
+        Ok(report) => {
+            let mut points = Vec::new();
+            let mut failures = Vec::new();
+            for c in &report.candidates {
+                match &c.outcome {
+                    ProfileOutcome::Ok(cycles) => {
+                        points.push((c.total_stages, serial_train_cycles / cycles));
+                    }
+                    ProfileOutcome::Trapped(msg) => {
+                        failures.push(format!("candidate {:?}: {msg}", c.cuts));
+                    }
+                    ProfileOutcome::TimedOut => {
+                        failures.push(format!("candidate {:?}: timed out", c.cuts));
+                    }
+                }
+            }
+            PgoOutcome {
+                best_cuts: report.candidates[report.best].cuts.clone(),
+                points,
+                failures,
+            }
+        }
+        Err(e) => PgoOutcome {
+            best_cuts: Vec::new(),
+            points: Vec::new(),
+            failures: vec![format!("search failed, using static cuts: {e}")],
+        },
+    }
+}
+
+/// Classifies one guarded profiling invocation: `Ok` carries the
+/// measured cycles; watchdog expirations become `TimedOut` (retryable
+/// at a larger budget); any other trap or panic becomes `Trapped`.
+fn profiled_cycles(f: impl FnOnce() -> Result<Measurement, Trap>) -> Result<f64, ProfileOutcome> {
+    match std::panic::catch_unwind(std::panic::AssertUnwindSafe(f)) {
+        Ok(Ok(m)) => Ok(m.cycles as f64),
+        Ok(Err(Trap::CycleLimit { .. } | Trap::Livelock { .. })) => Err(ProfileOutcome::TimedOut),
+        Ok(Err(trap)) => Err(ProfileOutcome::Trapped(trap.to_string())),
+        Err(payload) => {
+            let msg = payload
+                .downcast_ref::<String>()
+                .cloned()
+                .or_else(|| payload.downcast_ref::<&str>().map(|s| s.to_string()))
+                .unwrap_or_else(|| "unknown panic".into());
+            Err(ProfileOutcome::Trapped(format!("panicked: {msg}")))
+        }
+    }
+}
+
+/// Applies a profiling budget to the simulator config: the budget's
+/// cycle cap becomes the watchdog's.
+fn budgeted(cfg: &MachineConfig, budget: &ProfileBudget) -> MachineConfig {
+    let mut cfg = cfg.clone();
+    cfg.watchdog.cycle_cap = budget.cycle_cap;
+    cfg
+}
+
+/// Profiles a graph-app variant over the training graphs under the
+/// given watchdog budget (gmean cycles on success).
+pub fn train_graph_outcome(
+    app: &str,
+    v: &Variant,
+    cfg: &MachineConfig,
+    budget: &ProfileBudget,
+) -> ProfileOutcome {
+    let cfg = budgeted(cfg, budget);
+    let mut vals = Vec::new();
+    for gi in training_graphs(scale()) {
+        match profiled_cycles(|| run_graph_app(app, v, &gi.graph, &cfg, gi.name)) {
+            Ok(c) => vals.push(c),
+            Err(outcome) => return outcome,
+        }
+    }
+    ProfileOutcome::Ok(gmean(vals))
+}
+
+/// Profiles a SpMM variant over the training matrices under the given
+/// watchdog budget (gmean cycles on success).
+pub fn train_spmm_outcome(
+    v: &Variant,
+    cfg: &MachineConfig,
+    budget: &ProfileBudget,
+) -> ProfileOutcome {
+    let cfg = budgeted(cfg, budget);
+    let mut vals = Vec::new();
+    for mi in &spmm_training_matrices(scale()) {
+        let bt = mi.matrix.transpose();
+        match profiled_cycles(|| phloem_benchsuite::spmm::run(v, &mi.matrix, &bt, &cfg, mi.name)) {
+            Ok(c) => vals.push(c),
+            Err(outcome) => return outcome,
+        }
+    }
+    ProfileOutcome::Ok(gmean(vals))
+}
+
+/// Gmean cycles of a graph-app variant over the training graphs, under
+/// the config's own watchdog; `None` on any trap, timeout, or panic.
+pub fn train_graph_cycles(app: &str, v: &Variant, cfg: &MachineConfig) -> Option<f64> {
+    let budget = ProfileBudget {
+        cycle_cap: cfg.watchdog.cycle_cap,
+    };
+    train_graph_outcome(app, v, cfg, &budget).cycles()
+}
+
+/// Gmean cycles of a SpMM variant over the training matrices, under the
+/// config's own watchdog; `None` on any trap, timeout, or panic.
+pub fn train_spmm_cycles(v: &Variant, cfg: &MachineConfig) -> Option<f64> {
+    let budget = ProfileBudget {
+        cycle_cap: cfg.watchdog.cycle_cap,
+    };
+    train_spmm_outcome(v, cfg, &budget).cycles()
+}
+
+/// The complete Fig. 9/10/11 measurement matrix plus every failure the
+/// sweep absorbed along the way.
+pub struct Fig9Matrix {
+    /// `(app, per-input rows of [serial, data-parallel, phloem, manual,
+    /// phloem-pgo?])`. PGO adds a fifth column when enabled.
+    pub rows: Vec<(String, Vec<Vec<Measurement>>)>,
+    /// Variants (or PGO candidates) that trapped, timed out, or
+    /// panicked. A failed variant falls back to the serial baseline
+    /// measurement so speedup columns stay comparable (speedup 1.0x).
+    pub failures: Vec<String>,
+}
+
+/// Runs the non-serial variants of one input row, degrading each
+/// failure to the serial baseline and recording it.
+fn guarded_row(
+    app: &str,
+    input: &str,
+    serial: Measurement,
+    variants: &[Variant],
+    failures: &mut Vec<String>,
+    run: impl Fn(&Variant) -> Result<Measurement, Trap>,
+) -> Vec<Measurement> {
+    let mut ms = vec![serial.clone()];
+    for v in variants.iter().skip(1) {
+        let label = format!("{app}/{input}/{}", v.label());
+        match run_guarded(&label, || run(v)) {
+            Ok(m) => ms.push(m),
+            Err(msg) => {
+                eprintln!("[fig9]   FAILED {msg}; falling back to serial baseline");
+                failures.push(msg);
+                ms.push(Measurement {
+                    variant: format!("{} (failed; serial fallback)", v.label()),
+                    ..serial.clone()
+                });
             }
         }
     }
-    let best_cuts = best.map(|(c, _)| c).unwrap_or_default();
-    PgoOutcome { best_cuts, points }
-}
-
-/// Gmean cycles of a graph-app variant over the training graphs.
-pub fn train_graph_cycles(app: &str, v: &Variant, cfg: &MachineConfig) -> Option<f64> {
-    let mut vals = Vec::new();
-    for gi in training_graphs(scale()) {
-        let m = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            run_graph_app(app, v, &gi.graph, cfg, gi.name)
-        }))
-        .ok()?;
-        vals.push(m.cycles as f64);
-    }
-    Some(gmean(vals))
-}
-
-/// Gmean cycles of a SpMM variant over the training matrices.
-pub fn train_spmm_cycles(v: &Variant, cfg: &MachineConfig) -> Option<f64> {
-    let mut vals = Vec::new();
-    let inputs = spmm_training_matrices(scale());
-    for mi in &inputs {
-        let bt = mi.matrix.transpose();
-        let m = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            phloem_benchsuite::spmm::run(v, &mi.matrix, &bt, cfg, mi.name)
-        }))
-        .ok()?;
-        vals.push(m.cycles as f64);
-    }
-    Some(gmean(vals))
+    ms
 }
 
 /// The complete Fig. 9/10/11 measurement matrix:
 /// `(app, per-input rows of [serial, data-parallel, phloem, manual,
 /// phloem-pgo?])`. PGO adds a fifth column when enabled.
-pub fn fig9_matrix(with_pgo: bool) -> Vec<(String, Vec<Vec<Measurement>>)> {
+///
+/// Robust by construction: any variant that traps or panics is recorded
+/// in [`Fig9Matrix::failures`] and replaced by the serial baseline, so
+/// one bad pipeline cannot abort the whole figure. Only a failing
+/// *serial* run (the normalizer) is fatal.
+pub fn fig9_matrix(with_pgo: bool) -> Fig9Matrix {
     let cfg = machine();
     let graphs = test_graphs(scale());
     let mut out = Vec::new();
+    let mut failures = Vec::new();
     for app in GRAPH_APPS {
         eprintln!("[fig9] {app}...");
         let mut variants = fig9_variants(cfg.smt_threads);
@@ -233,8 +358,8 @@ pub fn fig9_matrix(with_pgo: bool) -> Vec<(String, Vec<Vec<Measurement>>)> {
             let kernel = graph_app_kernel(app);
             let serial =
                 train_graph_cycles(app, &Variant::Serial, &cfg).expect("serial training run");
-            let pgo = pgo_search(&kernel, serial, |cuts| {
-                train_graph_cycles(
+            let pgo = pgo_search(&kernel, serial, |cuts, budget| {
+                train_graph_outcome(
                     app,
                     &Variant::Phloem {
                         passes: phloem_compiler::PassConfig::all(),
@@ -242,8 +367,10 @@ pub fn fig9_matrix(with_pgo: bool) -> Vec<(String, Vec<Vec<Measurement>>)> {
                         cuts: cuts.to_vec(),
                     },
                     &cfg,
+                    budget,
                 )
             });
+            failures.extend(pgo.failures.iter().map(|f| format!("{app} pgo: {f}")));
             variants.push(Variant::Phloem {
                 passes: phloem_compiler::PassConfig::all(),
                 stages: 4,
@@ -253,11 +380,16 @@ pub fn fig9_matrix(with_pgo: bool) -> Vec<(String, Vec<Vec<Measurement>>)> {
         let mut rows = Vec::new();
         for gi in &graphs {
             eprintln!("[fig9]   {} ({} edges)", gi.name, gi.graph.num_edges());
-            let ms: Vec<Measurement> = variants
-                .iter()
-                .map(|v| run_graph_app(app, v, &gi.graph, &cfg, gi.name))
-                .collect();
-            rows.push(ms);
+            let serial = run_graph_app(app, &Variant::Serial, &gi.graph, &cfg, gi.name)
+                .unwrap_or_else(|e| panic!("{app} serial baseline on {}: {e}", gi.name));
+            rows.push(guarded_row(
+                app,
+                gi.name,
+                serial,
+                &variants,
+                &mut failures,
+                |v| run_graph_app(app, v, &gi.graph, &cfg, gi.name),
+            ));
         }
         out.push((app.to_string(), rows));
     }
@@ -267,16 +399,18 @@ pub fn fig9_matrix(with_pgo: bool) -> Vec<(String, Vec<Vec<Measurement>>)> {
     if with_pgo {
         let kernel = phloem_benchsuite::spmm::kernel();
         let serial = train_spmm_cycles(&Variant::Serial, &cfg).expect("serial SpMM training");
-        let pgo = pgo_search(&kernel, serial, |cuts| {
-            train_spmm_cycles(
+        let pgo = pgo_search(&kernel, serial, |cuts, budget| {
+            train_spmm_outcome(
                 &Variant::Phloem {
                     passes: phloem_compiler::PassConfig::all(),
                     stages: 4,
                     cuts: cuts.to_vec(),
                 },
                 &cfg,
+                budget,
             )
         });
+        failures.extend(pgo.failures.iter().map(|f| format!("SpMM pgo: {f}")));
         variants.push(Variant::Phloem {
             passes: phloem_compiler::PassConfig::all(),
             stages: 4,
@@ -287,14 +421,28 @@ pub fn fig9_matrix(with_pgo: bool) -> Vec<(String, Vec<Vec<Measurement>>)> {
     for mi in spmm_test_matrices(scale()) {
         eprintln!("[fig9]   {} ({} nnz)", mi.name, mi.matrix.nnz());
         let bt = mi.matrix.transpose();
-        let ms: Vec<Measurement> = variants
-            .iter()
-            .map(|v| phloem_benchsuite::spmm::run(v, &mi.matrix, &bt, &cfg, mi.name))
-            .collect();
-        rows.push(ms);
+        let serial = phloem_benchsuite::spmm::run(&Variant::Serial, &mi.matrix, &bt, &cfg, mi.name)
+            .unwrap_or_else(|e| panic!("SpMM serial baseline on {}: {e}", mi.name));
+        rows.push(guarded_row(
+            "SpMM",
+            mi.name,
+            serial,
+            &variants,
+            &mut failures,
+            |v| phloem_benchsuite::spmm::run(v, &mi.matrix, &bt, &cfg, mi.name),
+        ));
     }
     out.push(("SpMM".to_string(), rows));
-    out
+    if !failures.is_empty() {
+        eprintln!("[fig9] {} variant(s) fell back to serial:", failures.len());
+        for f in &failures {
+            eprintln!("[fig9]   - {f}");
+        }
+    }
+    Fig9Matrix {
+        rows: out,
+        failures,
+    }
 }
 
 #[cfg(test)]

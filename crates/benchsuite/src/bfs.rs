@@ -19,7 +19,7 @@ use crate::runner::{data_parallel_pipeline, serial_pipeline, Measurement, Varian
 use phloem_compiler::{compile_static, decouple_with_cuts, CompileOptions};
 use phloem_ir::{
     ArrayDecl, ArrayId, BinOp, CtrlHandler, Expr, Function, FunctionBuilder, HandlerEnd, MemState,
-    Pipeline, QueueId, RaConfig, RaMode, StageProgram, Value,
+    Pipeline, QueueId, RaConfig, RaMode, StageProgram, Trap, Value,
 };
 use phloem_workloads::Graph;
 use pipette_sim::{CompiledPipeline, MachineConfig, Session};
@@ -348,15 +348,16 @@ pub fn pipeline_for(
 /// Runs BFS to completion (all rounds) and verifies distances against
 /// the host oracle.
 ///
-/// # Panics
-/// Panics if the variant's final distances differ from the oracle.
+/// Runtime failures (watchdog traps, fault-injected kills, convergence
+/// stalls) surface as `Err(Trap)`; an oracle mismatch still panics, as
+/// it means the variant miscompiled.
 pub fn run(
     variant: &Variant,
     g: &Graph,
     root: usize,
     cfg: &MachineConfig,
     input: &str,
-) -> Measurement {
+) -> Result<Measurement, Trap> {
     let threads = match variant {
         Variant::DataParallel(t) => *t,
         _ => 1,
@@ -366,8 +367,7 @@ pub fn run(
     let mut session = Session::new(cfg.clone(), mem);
     // Lower stage programs once: the flat engine would otherwise
     // recompile the same pipeline every round.
-    let compiled =
-        CompiledPipeline::new(&pipeline).unwrap_or_else(|e| panic!("BFS {}: {e}", variant.label()));
+    let compiled = CompiledPipeline::new(&pipeline)?;
     let mut len = 1i64;
     let mut cur_dist = 1i64;
     let mut rounds = 0;
@@ -376,9 +376,7 @@ pub fn run(
             .mem_mut()
             .store(arrays.fringe_len, 0, Value::I64(len))
             .unwrap();
-        session
-            .run_compiled(&pipeline, &compiled, &[("cur_dist", Value::I64(cur_dist))])
-            .unwrap_or_else(|e| panic!("BFS {} round {rounds}: {e}", variant.label()));
+        session.run_compiled(&pipeline, &compiled, &[("cur_dist", Value::I64(cur_dist))])?;
         // Gather next fringe (host work, free — pointer swap in the paper).
         let n = g.num_vertices;
         let mut next = Vec::new();
@@ -402,18 +400,26 @@ pub fn run(
         }
         cur_dist += 1;
         rounds += 1;
-        assert!(rounds < 100_000, "BFS did not converge");
+        if rounds >= 100_000 {
+            return Err(Trap::Livelock {
+                cycle: session.elapsed(),
+                detail: format!(
+                    "BFS {} did not converge after {rounds} rounds",
+                    variant.label()
+                ),
+            });
+        }
     }
     let (mem, stats) = session.finish();
     let got = mem.i64_vec(arrays.dist);
     let want = g.bfs_distances(root);
     assert_eq!(got, want, "BFS distances wrong for {}", variant.label());
-    Measurement {
+    Ok(Measurement {
         variant: variant.label(),
         input: input.into(),
         cycles: stats.cycles,
         stats,
-    }
+    })
 }
 
 /// Returns the kernel's load ids in program order (for explicit cuts):
@@ -441,7 +447,7 @@ mod tests {
             Variant::phloem(),
             Variant::Manual,
         ] {
-            let m = run(&v, &g, 0, &cfg, "mesh");
+            let m = run(&v, &g, 0, &cfg, "mesh").expect("BFS run");
             assert!(m.cycles > 0, "{}", v.label());
         }
     }
@@ -450,9 +456,9 @@ mod tests {
     fn phloem_and_manual_beat_serial_on_irregular_graph() {
         let g = graph::power_law(3000, 4, 9);
         let cfg = MachineConfig::paper_1core();
-        let serial = run(&Variant::Serial, &g, 0, &cfg, "pl");
-        let phloem = run(&Variant::phloem(), &g, 0, &cfg, "pl");
-        let manual = run(&Variant::Manual, &g, 0, &cfg, "pl");
+        let serial = run(&Variant::Serial, &g, 0, &cfg, "pl").expect("serial");
+        let phloem = run(&Variant::phloem(), &g, 0, &cfg, "pl").expect("phloem");
+        let manual = run(&Variant::Manual, &g, 0, &cfg, "pl").expect("manual");
         assert!(
             phloem.cycles * 13 < serial.cycles * 10,
             "phloem {} vs serial {}",

@@ -15,7 +15,7 @@ use crate::runner::{data_parallel_pipeline, serial_pipeline, Measurement, Varian
 use phloem_compiler::{compile_static, CompileOptions};
 use phloem_ir::{
     ArrayDecl, ArrayId, BinOp, CtrlHandler, Expr, Function, FunctionBuilder, HandlerEnd, MemState,
-    Pipeline, QueueId, RaConfig, RaMode, StageProgram, Value,
+    Pipeline, QueueId, RaConfig, RaMode, StageProgram, Trap, Value,
 };
 use phloem_workloads::Graph;
 use pipette_sim::{CompiledPipeline, MachineConfig, Session};
@@ -373,9 +373,15 @@ pub fn pipeline_for(
 
 /// Runs CC to convergence and verifies labels against the oracle.
 ///
-/// # Panics
-/// Panics on label mismatches.
-pub fn run(variant: &Variant, g: &Graph, cfg: &MachineConfig, input: &str) -> Measurement {
+/// Runtime failures (watchdog traps, injected faults, convergence
+/// stalls) surface as `Err(Trap)`; a label mismatch still panics, as it
+/// means the variant miscompiled.
+pub fn run(
+    variant: &Variant,
+    g: &Graph,
+    cfg: &MachineConfig,
+    input: &str,
+) -> Result<Measurement, Trap> {
     let threads = match variant {
         Variant::DataParallel(t) => *t,
         _ => 1,
@@ -383,8 +389,7 @@ pub fn run(variant: &Variant, g: &Graph, cfg: &MachineConfig, input: &str) -> Me
     let pipeline = pipeline_for(variant, segment(g), cfg).expect("CC pipeline");
     let (mem, arrays) = build_mem(g, threads);
     let mut session = Session::new(cfg.clone(), mem);
-    let compiled =
-        CompiledPipeline::new(&pipeline).unwrap_or_else(|e| panic!("CC {}: {e}", variant.label()));
+    let compiled = CompiledPipeline::new(&pipeline)?;
     let mut len = g.num_vertices as i64;
     let mut rounds = 0;
     while len > 0 {
@@ -392,9 +397,7 @@ pub fn run(variant: &Variant, g: &Graph, cfg: &MachineConfig, input: &str) -> Me
             .mem_mut()
             .store(arrays.fringe_len, 0, Value::I64(len))
             .unwrap();
-        session
-            .run_compiled(&pipeline, &compiled, &[])
-            .unwrap_or_else(|e| panic!("CC {} round {rounds}: {e}", variant.label()));
+        session.run_compiled(&pipeline, &compiled, &[])?;
         let seg = segment(g);
         let mut next = Vec::new();
         for t in 0..threads {
@@ -421,7 +424,15 @@ pub fn run(variant: &Variant, g: &Graph, cfg: &MachineConfig, input: &str) -> Me
                 .unwrap();
         }
         rounds += 1;
-        assert!(rounds < 1_000_000, "CC did not converge");
+        if rounds >= 1_000_000 {
+            return Err(Trap::Livelock {
+                cycle: session.elapsed(),
+                detail: format!(
+                    "CC {} did not converge after {rounds} rounds",
+                    variant.label()
+                ),
+            });
+        }
     }
     let (mem, stats) = session.finish();
     assert_eq!(
@@ -430,12 +441,12 @@ pub fn run(variant: &Variant, g: &Graph, cfg: &MachineConfig, input: &str) -> Me
         "CC labels wrong for {}",
         variant.label()
     );
-    Measurement {
+    Ok(Measurement {
         variant: variant.label(),
         input: input.into(),
         cycles: stats.cycles,
         stats,
-    }
+    })
 }
 
 #[cfg(test)]
@@ -453,7 +464,7 @@ mod tests {
             Variant::phloem(),
             Variant::Manual,
         ] {
-            let m = run(&v, &g, &cfg, "collab");
+            let m = run(&v, &g, &cfg, "collab").expect("CC run");
             assert!(m.cycles > 0, "{}", v.label());
         }
     }

@@ -19,7 +19,7 @@
 use crate::runner::Measurement;
 use phloem_ir::{
     ArrayDecl, ArrayId, BinOp, CtrlHandler, Expr, FunctionBuilder, HandlerEnd, Pipeline, QueueId,
-    RaConfig, RaMode, StageProgram, Stmt, Value, VarId,
+    RaConfig, RaMode, StageProgram, Stmt, Trap, Value, VarId,
 };
 use phloem_workloads::Graph;
 use pipette_sim::{CompiledPipeline, MachineConfig, Session};
@@ -232,15 +232,15 @@ pub fn bfs_replicated(replicas: usize, _variant: RepVariant) -> Pipeline {
 
 /// Runs replicated BFS on `cores` cores; verifies distances.
 ///
-/// # Panics
-/// Panics on wrong distances.
+/// Runtime failures surface as `Err(Trap)`; wrong distances still
+/// panic (miscompile).
 pub fn run_bfs_replicated(
     variant: RepVariant,
     g: &Graph,
     root: usize,
     cfg: &MachineConfig,
     input: &str,
-) -> Measurement {
+) -> Result<Measurement, Trap> {
     let replicas = cfg.cores;
     let pipeline = bfs_replicated(replicas, variant);
     let (mem, arrays) = crate::bfs::build_mem(g, root, replicas);
@@ -253,15 +253,13 @@ pub fn run_bfs_replicated(
             .mem_mut()
             .store(arrays.fringe_len, 0, Value::I64(len))
             .unwrap();
-        session
-            .run(
-                &pipeline,
-                &[
-                    ("cur_dist", Value::I64(cur_dist)),
-                    ("seg", Value::I64(n as i64)),
-                ],
-            )
-            .unwrap_or_else(|e| panic!("bfs-rep: {e}"));
+        session.run(
+            &pipeline,
+            &[
+                ("cur_dist", Value::I64(cur_dist)),
+                ("seg", Value::I64(n as i64)),
+            ],
+        )?;
         let mut next = Vec::new();
         for t in 0..replicas {
             let tlen = session
@@ -294,12 +292,12 @@ pub fn run_bfs_replicated(
         g.bfs_distances(root),
         "replicated BFS distances wrong"
     );
-    Measurement {
+    Ok(Measurement {
         variant: format!("replicated-{variant:?}"),
         input: input.into(),
         cycles: stats.cycles,
         stats,
-    }
+    })
 }
 
 // ---------------------------------------------------------------------
@@ -494,21 +492,20 @@ pub fn cc_replicated(replicas: usize, variant: RepVariant) -> Pipeline {
 
 /// Runs replicated CC; verifies labels.
 ///
-/// # Panics
-/// Panics on wrong labels.
+/// Runtime failures surface as `Err(Trap)`; wrong labels still panic
+/// (miscompile).
 pub fn run_cc_replicated(
     variant: RepVariant,
     g: &Graph,
     cfg: &MachineConfig,
     input: &str,
-) -> Measurement {
+) -> Result<Measurement, Trap> {
     let replicas = cfg.cores;
     let pipeline = cc_replicated(replicas, variant);
     let (mem, arrays) = crate::cc::build_mem(g, replicas);
     let seg = crate::cc::segment(g);
     let mut session = Session::new(cfg.clone(), mem);
-    let compiled =
-        CompiledPipeline::new(&pipeline).unwrap_or_else(|e| panic!("cc-rep compile: {e}"));
+    let compiled = CompiledPipeline::new(&pipeline)?;
     let mut len = g.num_vertices as i64;
     let mut rounds = 0;
     while len > 0 {
@@ -516,9 +513,7 @@ pub fn run_cc_replicated(
             .mem_mut()
             .store(arrays.fringe_len, 0, Value::I64(len))
             .unwrap();
-        session
-            .run_compiled(&pipeline, &compiled, &[("seg", Value::I64(seg as i64))])
-            .unwrap_or_else(|e| panic!("cc-rep round {rounds}: {e}"));
+        session.run_compiled(&pipeline, &compiled, &[("seg", Value::I64(seg as i64))])?;
         let mut next = Vec::new();
         for t in 0..replicas {
             let tlen = session
@@ -544,7 +539,12 @@ pub fn run_cc_replicated(
                 .unwrap();
         }
         rounds += 1;
-        assert!(rounds < 1_000_000);
+        if rounds >= 1_000_000 {
+            return Err(Trap::Livelock {
+                cycle: session.elapsed(),
+                detail: format!("replicated CC did not converge after {rounds} rounds"),
+            });
+        }
     }
     let (mem, stats) = session.finish();
     assert_eq!(
@@ -552,12 +552,12 @@ pub fn run_cc_replicated(
         crate::cc::oracle(g),
         "replicated CC labels wrong ({variant:?})"
     );
-    Measurement {
+    Ok(Measurement {
         variant: format!("replicated-{variant:?}"),
         input: input.into(),
         cycles: stats.cycles,
         stats,
-    }
+    })
 }
 
 // ---------------------------------------------------------------------
@@ -767,14 +767,14 @@ pub fn radii_replicated(cores: usize, variant: RepVariant) -> Pipeline {
 
 /// Runs replicated Radii; verifies radii against the oracle.
 ///
-/// # Panics
-/// Panics on mismatches.
+/// Runtime failures surface as `Err(Trap)`; radii mismatches still
+/// panic (miscompile).
 pub fn run_radii_replicated(
     variant: RepVariant,
     g: &Graph,
     cfg: &MachineConfig,
     input: &str,
-) -> Measurement {
+) -> Result<Measurement, Trap> {
     let pipeline = radii_replicated(cfg.cores, variant);
     let replicas = match variant {
         RepVariant::Phloem => cfg.cores * 2,
@@ -790,15 +790,13 @@ pub fn run_radii_replicated(
             .mem_mut()
             .store(arrays.fringe_len, 0, Value::I64(len))
             .unwrap();
-        session
-            .run(
-                &pipeline,
-                &[
-                    ("round", Value::I64(round)),
-                    ("seg", Value::I64(seg as i64)),
-                ],
-            )
-            .unwrap_or_else(|e| panic!("radii-rep round {round}: {e}"));
+        session.run(
+            &pipeline,
+            &[
+                ("round", Value::I64(round)),
+                ("seg", Value::I64(seg as i64)),
+            ],
+        )?;
         let mut next = Vec::new();
         for t in 0..replicas {
             let tlen = session
@@ -826,7 +824,12 @@ pub fn run_radii_replicated(
         let nv = session.mem().values(arrays.nvisited).to_vec();
         session.mem_mut().set_values(arrays.visited, nv);
         round += 1;
-        assert!(round < 1_000_000);
+        if round >= 1_000_000 {
+            return Err(Trap::Livelock {
+                cycle: session.elapsed(),
+                detail: format!("replicated radii did not converge after {round} rounds"),
+            });
+        }
     }
     let (mem, stats) = session.finish();
     assert_eq!(
@@ -834,12 +837,12 @@ pub fn run_radii_replicated(
         crate::radii::oracle(g),
         "replicated radii wrong ({variant:?})"
     );
-    Measurement {
+    Ok(Measurement {
         variant: format!("replicated-{variant:?}"),
         input: input.into(),
         cycles: stats.cycles,
         stats,
-    }
+    })
 }
 
 // ---------------------------------------------------------------------
@@ -1005,14 +1008,14 @@ pub fn prd_scatter_replicated(cores: usize, variant: RepVariant) -> Pipeline {
 /// all threads); verifies ranks with a tolerance (cross-replica float
 /// accumulation order differs).
 ///
-/// # Panics
-/// Panics on rank divergence.
+/// Runtime failures surface as `Err(Trap)`; rank divergence still
+/// panics (miscompile).
 pub fn run_prd_replicated(
     variant: RepVariant,
     g: &Graph,
     cfg: &MachineConfig,
     input: &str,
-) -> Measurement {
+) -> Result<Measurement, Trap> {
     let threads = cfg.cores * cfg.smt_threads;
     let scatter = prd_scatter_replicated(cfg.cores, variant);
     let apply = crate::runner::data_parallel_pipeline(
@@ -1033,12 +1036,8 @@ pub fn run_prd_replicated(
             .mem_mut()
             .store(arrays.fringe_len, 0, Value::I64(len))
             .unwrap();
-        session
-            .run(&scatter, &[])
-            .unwrap_or_else(|e| panic!("prd-rep scatter: {e}"));
-        session
-            .run(&apply, &[("n", Value::I64(n as i64))])
-            .unwrap_or_else(|e| panic!("prd-rep apply: {e}"));
+        session.run(&scatter, &[])?;
+        session.run(&apply, &[("n", Value::I64(n as i64))])?;
         let mut next = Vec::new();
         for t in 0..threads {
             let tlen = session
@@ -1069,12 +1068,12 @@ pub fn run_prd_replicated(
             "prd-rep {variant:?}: rank[{i}] {a} vs {b}"
         );
     }
-    Measurement {
+    Ok(Measurement {
         variant: format!("replicated-{variant:?}"),
         input: input.into(),
         cycles: stats.cycles,
         stats,
-    }
+    })
 }
 
 #[cfg(test)]
@@ -1086,7 +1085,7 @@ mod tests {
     fn replicated_bfs_is_correct_on_4_cores() {
         let g = graph::mesh(14, 2);
         let cfg = MachineConfig::paper_multicore(4);
-        let m = run_bfs_replicated(RepVariant::Phloem, &g, 0, &cfg, "mesh");
+        let m = run_bfs_replicated(RepVariant::Phloem, &g, 0, &cfg, "mesh").expect("bfs-rep");
         assert!(m.cycles > 0);
     }
 
@@ -1095,7 +1094,7 @@ mod tests {
         let g = graph::collaboration(40, 9);
         let cfg = MachineConfig::paper_multicore(4);
         for v in [RepVariant::Phloem, RepVariant::Manual] {
-            let m = run_cc_replicated(v, &g, &cfg, "collab");
+            let m = run_cc_replicated(v, &g, &cfg, "collab").expect("cc-rep");
             assert!(m.cycles > 0, "{v:?}");
         }
     }
@@ -1105,7 +1104,7 @@ mod tests {
         let g = graph::mesh(10, 4);
         let cfg = MachineConfig::paper_multicore(4);
         for v in [RepVariant::Phloem, RepVariant::Manual] {
-            let m = run_radii_replicated(v, &g, &cfg, "mesh");
+            let m = run_radii_replicated(v, &g, &cfg, "mesh").expect("radii-rep");
             assert!(m.cycles > 0, "{v:?}");
         }
     }
@@ -1115,7 +1114,7 @@ mod tests {
         let g = graph::power_law(150, 3, 6);
         let cfg = MachineConfig::paper_multicore(4);
         for v in [RepVariant::Phloem, RepVariant::Manual] {
-            let m = run_prd_replicated(v, &g, &cfg, "pl");
+            let m = run_prd_replicated(v, &g, &cfg, "pl").expect("prd-rep");
             assert!(m.cycles > 0, "{v:?}");
         }
     }

@@ -8,6 +8,7 @@
 
 pub mod bfs;
 pub mod cc;
+pub mod fault_targets;
 pub mod fig14;
 pub mod prd;
 pub mod radii;
@@ -15,4 +16,4 @@ pub mod runner;
 pub mod spmm;
 pub mod taco;
 
-pub use runner::{gmean, Measurement, Variant};
+pub use runner::{gmean, run_guarded, Measurement, Variant};

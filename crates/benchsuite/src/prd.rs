@@ -16,7 +16,7 @@ use crate::runner::{data_parallel_pipeline, serial_pipeline, Measurement, Varian
 use phloem_compiler::{compile_static, CompileOptions};
 use phloem_ir::{
     ArrayDecl, ArrayId, BinOp, CtrlHandler, Expr, Function, FunctionBuilder, HandlerEnd, MemState,
-    Pipeline, QueueId, RaConfig, RaMode, StageProgram, UnOp, Value,
+    Pipeline, QueueId, RaConfig, RaMode, StageProgram, Trap, UnOp, Value,
 };
 use phloem_workloads::Graph;
 use pipette_sim::{MachineConfig, Session};
@@ -472,14 +472,14 @@ pub fn pipelines_for(
 
 /// Runs PRD for [`ITERATIONS`] iterations; returns final ranks too.
 ///
-/// # Panics
-/// Panics if the pipelines fail at runtime.
+/// Runtime failures (watchdog traps, injected faults) surface as
+/// `Err(Trap)`.
 pub fn run_with_ranks(
     variant: &Variant,
     g: &Graph,
     cfg: &MachineConfig,
     input: &str,
-) -> (Measurement, Vec<f64>) {
+) -> Result<(Measurement, Vec<f64>), Trap> {
     let threads = match variant {
         Variant::DataParallel(t) => *t,
         _ => 1,
@@ -489,7 +489,7 @@ pub fn run_with_ranks(
     let (mem, arrays) = build_mem(g, threads);
     let mut session = Session::new(cfg.clone(), mem);
     let mut len = n as i64;
-    for it in 0..ITERATIONS {
+    for _ in 0..ITERATIONS {
         if len == 0 {
             break;
         }
@@ -497,12 +497,8 @@ pub fn run_with_ranks(
             .mem_mut()
             .store(arrays.fringe_len, 0, Value::I64(len))
             .unwrap();
-        session
-            .run(&scatter, &[])
-            .unwrap_or_else(|e| panic!("PRD scatter {} it {it}: {e}", variant.label()));
-        session
-            .run(&apply, &[("n", Value::I64(n as i64))])
-            .unwrap_or_else(|e| panic!("PRD apply {} it {it}: {e}", variant.label()));
+        session.run(&scatter, &[])?;
+        session.run(&apply, &[("n", Value::I64(n as i64))])?;
         // Gather per-thread active segments into a dense prefix.
         let mut next = Vec::new();
         for t in 0..threads {
@@ -527,7 +523,7 @@ pub fn run_with_ranks(
     }
     let (mem, stats) = session.finish();
     let ranks = mem.f64_vec(arrays.rank);
-    (
+    Ok((
         Measurement {
             variant: variant.label(),
             input: input.into(),
@@ -535,16 +531,21 @@ pub fn run_with_ranks(
             stats,
         },
         ranks,
-    )
+    ))
 }
 
 /// Runs PRD and checks ranks against the serial reference (tolerance for
 /// reordered float accumulation in the data-parallel variant).
 ///
-/// # Panics
-/// Panics on rank divergence.
-pub fn run(variant: &Variant, g: &Graph, cfg: &MachineConfig, input: &str) -> Measurement {
-    let (m, ranks) = run_with_ranks(variant, g, cfg, input);
+/// Runtime failures surface as `Err(Trap)`; a rank divergence still
+/// panics, as it means the variant miscompiled.
+pub fn run(
+    variant: &Variant,
+    g: &Graph,
+    cfg: &MachineConfig,
+    input: &str,
+) -> Result<Measurement, Trap> {
+    let (m, ranks) = run_with_ranks(variant, g, cfg, input)?;
     let reference = oracle(g);
     for (i, (a, b)) in ranks.iter().zip(&reference).enumerate() {
         assert!(
@@ -553,7 +554,7 @@ pub fn run(variant: &Variant, g: &Graph, cfg: &MachineConfig, input: &str) -> Me
             variant.label()
         );
     }
-    m
+    Ok(m)
 }
 
 /// Host oracle mirroring the serial schedule exactly.
@@ -603,7 +604,7 @@ mod tests {
             Variant::phloem(),
             Variant::Manual,
         ] {
-            let m = run(&v, &g, &cfg, "pl");
+            let m = run(&v, &g, &cfg, "pl").expect("PRD run");
             assert!(m.cycles > 0, "{}", v.label());
         }
     }

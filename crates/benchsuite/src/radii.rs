@@ -11,7 +11,7 @@ use crate::runner::{data_parallel_pipeline, serial_pipeline, Measurement, Varian
 use phloem_compiler::{compile_static, CompileOptions};
 use phloem_ir::{
     ArrayDecl, ArrayId, BinOp, CtrlHandler, Expr, Function, FunctionBuilder, HandlerEnd, MemState,
-    Pipeline, QueueId, RaConfig, RaMode, StageProgram, Value,
+    Pipeline, QueueId, RaConfig, RaMode, StageProgram, Trap, Value,
 };
 use phloem_workloads::Graph;
 use pipette_sim::{CompiledPipeline, MachineConfig, Session};
@@ -442,9 +442,15 @@ pub fn pipeline_for(
 /// duplicates in different orders, but the final `radii` array is the
 /// same fixpoint, so we compare it directly.
 ///
-/// # Panics
-/// Panics on mismatches.
-pub fn run(variant: &Variant, g: &Graph, cfg: &MachineConfig, input: &str) -> Measurement {
+/// Runtime failures (watchdog traps, injected faults, convergence
+/// stalls) surface as `Err(Trap)`; a radii mismatch still panics, as it
+/// means the variant miscompiled.
+pub fn run(
+    variant: &Variant,
+    g: &Graph,
+    cfg: &MachineConfig,
+    input: &str,
+) -> Result<Measurement, Trap> {
     let threads = match variant {
         Variant::DataParallel(t) => *t,
         _ => 1,
@@ -452,8 +458,7 @@ pub fn run(variant: &Variant, g: &Graph, cfg: &MachineConfig, input: &str) -> Me
     let pipeline = pipeline_for(variant, segment(g), cfg).expect("radii pipeline");
     let (mem, arrays) = build_mem(g, threads);
     let mut session = Session::new(cfg.clone(), mem);
-    let compiled = CompiledPipeline::new(&pipeline)
-        .unwrap_or_else(|e| panic!("radii {}: {e}", variant.label()));
+    let compiled = CompiledPipeline::new(&pipeline)?;
     let mut len = sources(g).len() as i64;
     let mut round = 1i64;
     while len > 0 {
@@ -461,9 +466,7 @@ pub fn run(variant: &Variant, g: &Graph, cfg: &MachineConfig, input: &str) -> Me
             .mem_mut()
             .store(arrays.fringe_len, 0, Value::I64(len))
             .unwrap();
-        session
-            .run_compiled(&pipeline, &compiled, &[("round", Value::I64(round))])
-            .unwrap_or_else(|e| panic!("radii {} round {round}: {e}", variant.label()));
+        session.run_compiled(&pipeline, &compiled, &[("round", Value::I64(round))])?;
         let seg = segment(g);
         let mut next = Vec::new();
         for t in 0..threads {
@@ -493,7 +496,15 @@ pub fn run(variant: &Variant, g: &Graph, cfg: &MachineConfig, input: &str) -> Me
         let nv = session.mem().values(arrays.nvisited).to_vec();
         session.mem_mut().set_values(arrays.visited, nv);
         round += 1;
-        assert!(round < 1_000_000, "radii did not converge");
+        if round >= 1_000_000 {
+            return Err(Trap::Livelock {
+                cycle: session.elapsed(),
+                detail: format!(
+                    "radii {} did not converge after {round} rounds",
+                    variant.label()
+                ),
+            });
+        }
     }
     let (mem, stats) = session.finish();
     assert_eq!(
@@ -502,12 +513,12 @@ pub fn run(variant: &Variant, g: &Graph, cfg: &MachineConfig, input: &str) -> Me
         "radii wrong for {}",
         variant.label()
     );
-    Measurement {
+    Ok(Measurement {
         variant: variant.label(),
         input: input.into(),
         cycles: stats.cycles,
         stats,
-    }
+    })
 }
 
 #[cfg(test)]
@@ -525,7 +536,7 @@ mod tests {
             Variant::phloem(),
             Variant::Manual,
         ] {
-            let m = run(&v, &g, &cfg, "mesh");
+            let m = run(&v, &g, &cfg, "mesh").expect("radii run");
             assert!(m.cycles > 0, "{}", v.label());
         }
     }

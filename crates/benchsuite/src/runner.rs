@@ -74,6 +74,30 @@ impl Measurement {
     }
 }
 
+/// Runs a measurement closure, converting both structured traps and
+/// panics into a printable failure string.
+///
+/// Figure harnesses use this to record a failed variant as an annotated
+/// entry (and fall back to the serial baseline) instead of aborting the
+/// whole sweep.
+pub fn run_guarded(
+    label: &str,
+    f: impl FnOnce() -> Result<Measurement, phloem_ir::Trap>,
+) -> Result<Measurement, String> {
+    match std::panic::catch_unwind(std::panic::AssertUnwindSafe(f)) {
+        Ok(Ok(m)) => Ok(m),
+        Ok(Err(trap)) => Err(format!("{label}: {trap}")),
+        Err(payload) => {
+            let msg = payload
+                .downcast_ref::<String>()
+                .cloned()
+                .or_else(|| payload.downcast_ref::<&str>().map(|s| s.to_string()))
+                .unwrap_or_else(|| "unknown panic".into());
+            Err(format!("{label}: panicked: {msg}"))
+        }
+    }
+}
+
 /// Geometric mean of an iterator of positive values.
 pub fn gmean(vals: impl IntoIterator<Item = f64>) -> f64 {
     let mut sum = 0.0;

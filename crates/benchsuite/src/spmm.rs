@@ -17,7 +17,7 @@ use crate::runner::{data_parallel_pipeline, serial_pipeline, Measurement, Varian
 use phloem_compiler::{compile_static, CompileOptions};
 use phloem_ir::{
     ArrayDecl, ArrayId, BinOp, Expr, Function, FunctionBuilder, MemState, Pipeline, QueueId,
-    RaConfig, RaMode, StageProgram, UnOp, Value,
+    RaConfig, RaMode, StageProgram, Trap, UnOp, Value,
 };
 use phloem_workloads::SparseMatrix;
 use pipette_sim::{MachineConfig, Session};
@@ -483,15 +483,16 @@ pub fn pipeline_for(
 
 /// Runs SpMM and verifies count/sum against the oracle.
 ///
-/// # Panics
-/// Panics on mismatches.
+/// Runtime failures (watchdog traps, injected faults) surface as
+/// `Err(Trap)`; a count/sum mismatch still panics, as it means the
+/// variant miscompiled.
 pub fn run(
     variant: &Variant,
     a: &SparseMatrix,
     bt: &SparseMatrix,
     cfg: &MachineConfig,
     input: &str,
-) -> Measurement {
+) -> Result<Measurement, Trap> {
     let threads = match variant {
         Variant::DataParallel(t) => *t,
         _ => 1,
@@ -499,9 +500,7 @@ pub fn run(
     let pipeline = pipeline_for(variant, cfg).expect("SpMM pipeline");
     let (mem, arrays) = build_mem(a, bt, threads);
     let mut session = Session::new(cfg.clone(), mem);
-    session
-        .run(&pipeline, &[("n", Value::I64(a.rows as i64))])
-        .unwrap_or_else(|e| panic!("SpMM {}: {e}", variant.label()));
+    session.run(&pipeline, &[("n", Value::I64(a.rows as i64))])?;
     let (mem, stats) = session.finish();
     let cnt: i64 = mem.i64_vec(arrays.out_cnt).iter().sum();
     let sum: f64 = mem.f64_vec(arrays.out_sum).iter().sum();
@@ -512,12 +511,12 @@ pub fn run(
         "SpMM sum wrong for {}: {sum} vs {want_sum}",
         variant.label()
     );
-    Measurement {
+    Ok(Measurement {
         variant: variant.label(),
         input: input.into(),
         cycles: stats.cycles,
         stats,
-    }
+    })
 }
 
 #[cfg(test)]
@@ -536,7 +535,7 @@ mod tests {
             Variant::phloem(),
             Variant::Manual,
         ] {
-            let m = run(&v, &a, &bt, &cfg, "rnd");
+            let m = run(&v, &a, &bt, &cfg, "rnd").expect("SpMM run");
             assert!(m.cycles > 0, "{}", v.label());
         }
     }

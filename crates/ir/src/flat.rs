@@ -16,10 +16,11 @@
 //! (the tree interpreter re-enters its frame machinery per atom).
 //! Interpreter state is written back once per slice, not once per atom.
 //!
-//! Step accounting matches the tree interpreter exactly: every atom
-//! attempt on an unfinished program counts against the budget (including
-//! blocked retries and the final step that discovers termination), and a
-//! program with an empty body is born finished.
+//! Step accounting matches the tree interpreter exactly: every
+//! *committed* atom counts against the budget (plus the final step that
+//! discovers termination), blocked retries are un-counted so the step
+//! counter is scheduler-independent, and a program with an empty body is
+//! born finished.
 
 use crate::bytecode::{BytecodeProgram, Instr, Opd};
 use crate::expr::{QueueId, VarId};
@@ -104,7 +105,10 @@ impl<'p> FlatInterp<'p> {
         self.finished
     }
 
-    /// Steps executed so far.
+    /// Committed atoms executed so far. Blocked attempts are not
+    /// counted, so the value is identical across engines *and*
+    /// schedulers (the polling scheduler re-polls blocked threads; the
+    /// event-driven one parks them).
     pub fn steps(&self) -> u64 {
         self.steps
     }
@@ -559,6 +563,15 @@ impl<'p> FlatInterp<'p> {
                 break 'slice (n, StepResult::Blocked(BlockReason::Budget));
             }
         };
+        if let (_, StepResult::Blocked(b)) = &result {
+            if !matches!(b, BlockReason::Budget) {
+                // A blocked attempt is not a committed atom: un-count it,
+                // or `steps` would depend on how often the scheduler
+                // re-polls a blocked thread. (A `Budget` stop follows a
+                // completed atom, so its count stands.)
+                steps -= 1;
+            }
+        }
         self.pc = pc;
         self.flow_time = flow;
         self.steps = steps;

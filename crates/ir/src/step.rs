@@ -113,7 +113,10 @@ impl<'p> StepInterp<'p> {
         self.finished
     }
 
-    /// Steps executed so far.
+    /// Committed atoms executed so far. Blocked attempts are not
+    /// counted, so the value is identical across engines *and*
+    /// schedulers (the polling scheduler re-polls blocked threads; the
+    /// event-driven one parks them).
     pub fn steps(&self) -> u64 {
         self.steps
     }
@@ -288,7 +291,14 @@ impl<'p> StepInterp<'p> {
                                     self.advance_seq(top);
                                     Ok(StepResult::Progress)
                                 }
-                                AtomOutcome::Blocked(b) => Ok(StepResult::Blocked(b)),
+                                AtomOutcome::Blocked(b) => {
+                                    // A blocked attempt is not a committed
+                                    // atom: un-count it, or `steps` would
+                                    // depend on how often the scheduler
+                                    // re-polls a blocked thread.
+                                    self.steps -= 1;
+                                    Ok(StepResult::Blocked(b))
+                                }
                                 AtomOutcome::Dispatched => Ok(StepResult::Progress),
                             };
                         }
@@ -572,6 +582,12 @@ pub trait StageExec {
     /// Name of the stage (diagnostics).
     fn name(&self) -> &str;
 
+    /// Atoms executed so far. Both engines count the identical atom
+    /// sequence, so this is an engine-independent measure of how far a
+    /// stage program has run — usable for deterministic fault triggers
+    /// and diagnostics snapshots.
+    fn steps(&self) -> u64;
+
     /// Runs up to `max` progress-making steps, stopping early if the
     /// thread blocks or finishes; returns the number of atoms executed
     /// and the stop condition (`Blocked(BlockReason::Budget)` when the
@@ -613,6 +629,10 @@ impl StageExec for StepInterp<'_> {
     fn name(&self) -> &str {
         StepInterp::name(self)
     }
+
+    fn steps(&self) -> u64 {
+        StepInterp::steps(self)
+    }
 }
 
 impl StageExec for crate::flat::FlatInterp<'_> {
@@ -635,6 +655,10 @@ impl StageExec for crate::flat::FlatInterp<'_> {
 
     fn name(&self) -> &str {
         crate::flat::FlatInterp::name(self)
+    }
+
+    fn steps(&self) -> u64 {
+        crate::flat::FlatInterp::steps(self)
     }
 }
 

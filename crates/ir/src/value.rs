@@ -233,6 +233,29 @@ pub enum Trap {
     OpBudgetExceeded(u64),
     /// Malformed program detected at runtime (e.g. `break` outside a loop).
     Malformed(String),
+    /// Watchdog: simulated time kept advancing with no queue activity
+    /// and no stage completion for longer than the configured window.
+    Livelock {
+        /// Simulated cycle at which the watchdog fired.
+        cycle: u64,
+        /// Diagnostics snapshot (per-thread state, queue occupancies).
+        detail: String,
+    },
+    /// Watchdog: simulated time exceeded the configured cycle cap.
+    CycleLimit {
+        /// Simulated cycle at which the watchdog fired.
+        cycle: u64,
+        /// Diagnostics snapshot (per-thread state, queue occupancies).
+        detail: String,
+    },
+    /// A fault-injected thread kill ended the run. A run with a killed
+    /// thread never reports success, even if the surviving stages drain.
+    ThreadKilled {
+        /// Simulated cycle at which the run was stopped.
+        cycle: u64,
+        /// Diagnostics snapshot (per-thread state, queue occupancies).
+        detail: String,
+    },
 }
 
 impl fmt::Display for Trap {
@@ -247,6 +270,21 @@ impl fmt::Display for Trap {
             Trap::Deadlock(s) => write!(f, "deadlock: {s}"),
             Trap::OpBudgetExceeded(n) => write!(f, "dynamic op budget of {n} exceeded"),
             Trap::Malformed(s) => write!(f, "malformed program: {s}"),
+            Trap::Livelock { cycle, detail } => {
+                write!(
+                    f,
+                    "livelock: no forward progress by cycle {cycle}; {detail}"
+                )
+            }
+            Trap::CycleLimit { cycle, detail } => {
+                write!(f, "cycle cap exceeded at cycle {cycle}; {detail}")
+            }
+            Trap::ThreadKilled { cycle, detail } => {
+                write!(
+                    f,
+                    "thread killed by fault injection; run stopped at cycle {cycle}; {detail}"
+                )
+            }
         }
     }
 }

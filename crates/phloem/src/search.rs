@@ -9,10 +9,24 @@
 //!
 //! Profiling is delegated to a caller-supplied closure (each benchmark
 //! has its own host driver); candidates are profiled in parallel.
+//!
+//! ## Robustness contract
+//!
+//! A single broken candidate must not sink the search: the profile
+//! closure receives a per-candidate [`ProfileBudget`] (a simulated-cycle
+//! cap it should hand to the simulator's watchdog), every candidate
+//! records a [`ProfileOutcome`] instead of a bare `Option`, a panicking
+//! profile run is caught and recorded as [`ProfileOutcome::Trapped`],
+//! and a candidate that times out gets exactly one retry at
+//! [`SearchOptions::retry_cap_factor`] times the budget. [`search`]
+//! itself never panics: it returns [`SearchError`] when nothing
+//! enumerates or nothing profiles successfully.
 
 use crate::{analyze, decouple_with_cuts, CompileOptions};
 use phloem_ir::{Function, LoadId, Pipeline};
 use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 
 /// Options for the profile-guided search.
 #[derive(Clone, Debug)]
@@ -25,6 +39,12 @@ pub struct SearchOptions {
     pub compile: CompileOptions,
     /// Worker threads used to profile candidates.
     pub workers: usize,
+    /// Per-candidate profiling budget in simulated cycles (the closure
+    /// should wire it into the simulator's watchdog cycle cap).
+    pub profile_cycle_cap: u64,
+    /// A candidate that times out is retried once with the budget
+    /// multiplied by this factor (1 disables the retry).
+    pub retry_cap_factor: u64,
 }
 
 impl Default for SearchOptions {
@@ -34,6 +54,37 @@ impl Default for SearchOptions {
             top_k: 6,
             compile: CompileOptions::default(),
             workers: 8,
+            profile_cycle_cap: 200_000_000,
+            retry_cap_factor: 4,
+        }
+    }
+}
+
+/// Per-candidate profiling budget handed to the profile closure.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ProfileBudget {
+    /// Simulated-cycle cap for this candidate's profiling run(s).
+    pub cycle_cap: u64,
+}
+
+/// Outcome of profiling one candidate pipeline.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub enum ProfileOutcome {
+    /// Profiled successfully: gmean training cycles (lower is better).
+    Ok(f64),
+    /// The run raised a trap (or the profile closure panicked).
+    Trapped(String),
+    /// The run exceeded its cycle budget (watchdog cap or livelock
+    /// window), including the enlarged retry budget.
+    TimedOut,
+}
+
+impl ProfileOutcome {
+    /// The training cycles if profiling succeeded.
+    pub fn cycles(&self) -> Option<f64> {
+        match self {
+            ProfileOutcome::Ok(c) => Some(*c),
+            _ => None,
         }
     }
 }
@@ -48,9 +99,15 @@ pub struct Candidate {
     pub total_stages: usize,
     /// Compute stages only.
     pub compute_stages: usize,
-    /// Gmean training cycles (lower is better); `None` if profiling
-    /// failed.
-    pub train_cycles: Option<f64>,
+    /// How profiling ended for this candidate.
+    pub outcome: ProfileOutcome,
+}
+
+impl Candidate {
+    /// Gmean training cycles; `None` unless profiling succeeded.
+    pub fn train_cycles(&self) -> Option<f64> {
+        self.outcome.cycles()
+    }
 }
 
 /// Result of a search.
@@ -63,6 +120,35 @@ pub struct SearchReport {
     /// The best pipeline, recompiled.
     pub pipeline: Pipeline,
 }
+
+/// Why a search produced no result.
+#[derive(Clone, Debug)]
+pub enum SearchError {
+    /// No combination of candidate points compiled to a legal pipeline.
+    NoPipelines,
+    /// Every enumerated candidate trapped or timed out while profiling;
+    /// the per-candidate outcomes are preserved for diagnostics.
+    NoViableCandidate {
+        /// The profiled candidates with their failure outcomes.
+        candidates: Vec<Candidate>,
+    },
+}
+
+impl fmt::Display for SearchError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SearchError::NoPipelines => write!(f, "no candidate pipeline compiles"),
+            SearchError::NoViableCandidate { candidates } => write!(
+                f,
+                "all {} candidates failed to profile (first: {:?})",
+                candidates.len(),
+                candidates.first().map(|c| &c.outcome)
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SearchError {}
 
 /// Enumerates all legal pipelines from combinations of the top-k
 /// candidate points (sizes 1 ..= max_stages-1). Returns `(cuts,
@@ -88,31 +174,78 @@ pub fn enumerate_pipelines(func: &Function, opts: &SearchOptions) -> Vec<(Vec<Lo
     out
 }
 
-/// Runs the profile-guided search. `profile` runs one pipeline on the
-/// training inputs and returns its gmean cycles (`None` on failure).
+/// Profiles one candidate under a budget, converting panics into
+/// [`ProfileOutcome::Trapped`] so a broken candidate cannot take its
+/// worker thread (and the whole search) down.
+fn profile_guarded<F>(
+    profile: &F,
+    cuts: &[LoadId],
+    p: &Pipeline,
+    budget: ProfileBudget,
+) -> ProfileOutcome
+where
+    F: Fn(&[LoadId], &Pipeline, &ProfileBudget) -> ProfileOutcome + Sync,
+{
+    match catch_unwind(AssertUnwindSafe(|| profile(cuts, p, &budget))) {
+        Ok(outcome) => outcome,
+        Err(payload) => {
+            let msg = payload
+                .downcast_ref::<&str>()
+                .map(|s| s.to_string())
+                .or_else(|| payload.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "non-string panic payload".to_string());
+            ProfileOutcome::Trapped(format!("profiling panicked: {msg}"))
+        }
+    }
+}
+
+/// Runs the profile-guided search. `profile` runs one candidate
+/// (identified by its cuts and compiled pipeline) on the training inputs
+/// under the given budget and reports how it went; candidates that time
+/// out at the base budget get one retry at an enlarged budget.
 ///
-/// # Panics
-/// Panics if no candidate compiles and profiles successfully.
+/// # Errors
+/// [`SearchError::NoPipelines`] when nothing enumerates;
+/// [`SearchError::NoViableCandidate`] when every candidate traps or
+/// times out (the report-shaped outcomes are preserved inside the
+/// error). This function never panics on profiling failures.
 pub fn search(
     func: &Function,
     opts: &SearchOptions,
-    profile: impl Fn(&Pipeline) -> Option<f64> + Sync,
-) -> SearchReport {
+    profile: impl Fn(&[LoadId], &Pipeline, &ProfileBudget) -> ProfileOutcome + Sync,
+) -> Result<SearchReport, SearchError> {
     let pipelines = enumerate_pipelines(func, opts);
-    assert!(!pipelines.is_empty(), "no candidate pipeline compiles");
+    if pipelines.is_empty() {
+        return Err(SearchError::NoPipelines);
+    }
     // Each worker owns a disjoint contiguous slice of the result vector,
     // so no locking is needed: `chunks_mut` proves the disjointness to
     // the borrow checker, and scoped threads tie the lifetimes down.
-    let mut results: Vec<Option<f64>> = vec![None; pipelines.len()];
+    let mut results: Vec<Option<ProfileOutcome>> = vec![None; pipelines.len()];
     let workers = opts.workers.max(1).min(pipelines.len());
     let chunk = pipelines.len().div_ceil(workers);
+    let base = ProfileBudget {
+        cycle_cap: opts.profile_cycle_cap,
+    };
+    let retry = ProfileBudget {
+        cycle_cap: opts
+            .profile_cycle_cap
+            .saturating_mul(opts.retry_cap_factor.max(1)),
+    };
     std::thread::scope(|scope| {
         for (w, out) in results.chunks_mut(chunk).enumerate() {
             let pipelines = &pipelines;
             let profile = &profile;
             scope.spawn(move || {
-                for (slot, (_, p)) in out.iter_mut().zip(&pipelines[w * chunk..]) {
-                    *slot = profile(p);
+                for (slot, (cuts, p)) in out.iter_mut().zip(&pipelines[w * chunk..]) {
+                    let mut outcome = profile_guarded(profile, cuts, p, base);
+                    if outcome == ProfileOutcome::TimedOut && retry.cycle_cap > base.cycle_cap {
+                        // One bounded retry: distinguishes "slow
+                        // candidate" from "diverging candidate" without
+                        // letting either hang a worker.
+                        outcome = profile_guarded(profile, cuts, p, retry);
+                    }
+                    *slot = Some(outcome);
                 }
             });
         }
@@ -120,32 +253,35 @@ pub fn search(
 
     let mut candidates = Vec::with_capacity(pipelines.len());
     let mut best: Option<(usize, f64)> = None;
-    for (i, ((cuts, p), cycles)) in pipelines.iter().zip(&results).enumerate() {
+    for (i, ((cuts, p), outcome)) in pipelines.iter().zip(&results).enumerate() {
+        let outcome = outcome.clone().expect("every slot profiled");
+        if let ProfileOutcome::Ok(c) = outcome {
+            if best.map(|(_, b)| c < b).unwrap_or(true) {
+                best = Some((i, c));
+            }
+        }
         candidates.push(Candidate {
             cuts: cuts.clone(),
             total_stages: p.total_stages(),
             compute_stages: p.compute_stages(),
-            train_cycles: *cycles,
+            outcome,
         });
-        if let Some(c) = cycles {
-            if best.map(|(_, b)| *c < b).unwrap_or(true) {
-                best = Some((i, *c));
-            }
-        }
     }
-    let (best, _) = best.expect("at least one candidate must profile successfully");
+    let Some((best, _)) = best else {
+        return Err(SearchError::NoViableCandidate { candidates });
+    };
     let pipeline = pipelines.into_iter().nth(best).unwrap().1;
-    SearchReport {
+    Ok(SearchReport {
         candidates,
         best,
         pipeline,
-    }
+    })
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use phloem_ir::{interp, ArrayDecl, Expr, FunctionBuilder, MemState};
+    use phloem_ir::{interp, ArrayDecl, Expr, FunctionBuilder, MemState, Trap};
 
     /// Small irregular kernel: out[0] += b[a[i]] for i < len[0].
     fn kernel() -> Function {
@@ -172,6 +308,19 @@ mod tests {
         b.build()
     }
 
+    /// Functional op-count profile (a stand-in for cycles).
+    fn op_count_profile(_cuts: &[LoadId], p: &Pipeline, _b: &ProfileBudget) -> ProfileOutcome {
+        let mut mem = MemState::new();
+        mem.alloc_i64(ArrayDecl::i32("a"), (0..64).map(|i| (i * 7) % 64));
+        mem.alloc_i64(ArrayDecl::i32("b"), 0..64);
+        mem.alloc(ArrayDecl::i64("out"), 1);
+        mem.alloc_i64(ArrayDecl::i32("len"), [64]);
+        match interp::run_pipeline(p, mem, &[], 24) {
+            Ok(run) => ProfileOutcome::Ok(run.total().total() as f64),
+            Err(t) => ProfileOutcome::Trapped(t.to_string()),
+        }
+    }
+
     #[test]
     fn enumeration_covers_combinations() {
         let f = kernel();
@@ -186,18 +335,9 @@ mod tests {
     #[test]
     fn search_picks_the_fastest_profile() {
         let f = kernel();
-        // Profile = functional op count (a stand-in for cycles).
-        let report = search(&f, &SearchOptions::default(), |p| {
-            let mut mem = MemState::new();
-            mem.alloc_i64(ArrayDecl::i32("a"), (0..64).map(|i| (i * 7) % 64));
-            mem.alloc_i64(ArrayDecl::i32("b"), 0..64);
-            mem.alloc(ArrayDecl::i64("out"), 1);
-            mem.alloc_i64(ArrayDecl::i32("len"), [64]);
-            let run = interp::run_pipeline(p, mem, &[], 24).ok()?;
-            Some(run.total().total() as f64)
-        });
+        let report = search(&f, &SearchOptions::default(), op_count_profile).unwrap();
         assert!(report.candidates.len() >= 3);
-        assert!(report.candidates[report.best].train_cycles.is_some());
+        assert!(report.candidates[report.best].train_cycles().is_some());
         // The chosen pipeline must actually be one of the candidates.
         assert!(report.pipeline.total_stages() >= 1);
     }
@@ -205,26 +345,93 @@ mod tests {
     #[test]
     fn worker_count_does_not_change_the_result() {
         let f = kernel();
-        let profile = |p: &Pipeline| {
-            let mut mem = MemState::new();
-            mem.alloc_i64(ArrayDecl::i32("a"), (0..64).map(|i| (i * 7) % 64));
-            mem.alloc_i64(ArrayDecl::i32("b"), 0..64);
-            mem.alloc(ArrayDecl::i64("out"), 1);
-            mem.alloc_i64(ArrayDecl::i32("len"), [64]);
-            let run = interp::run_pipeline(p, mem, &[], 24).ok()?;
-            Some(run.total().total() as f64)
-        };
         let serial_opts = SearchOptions {
             workers: 1,
             ..SearchOptions::default()
         };
-        let serial = search(&f, &serial_opts, profile);
-        let parallel = search(&f, &SearchOptions::default(), profile);
+        let serial = search(&f, &serial_opts, op_count_profile).unwrap();
+        let parallel = search(&f, &SearchOptions::default(), op_count_profile).unwrap();
         assert_eq!(serial.best, parallel.best);
         let serial_cycles: Vec<Option<f64>> =
-            serial.candidates.iter().map(|c| c.train_cycles).collect();
-        let parallel_cycles: Vec<Option<f64>> =
-            parallel.candidates.iter().map(|c| c.train_cycles).collect();
+            serial.candidates.iter().map(|c| c.train_cycles()).collect();
+        let parallel_cycles: Vec<Option<f64>> = parallel
+            .candidates
+            .iter()
+            .map(|c| c.train_cycles())
+            .collect();
         assert_eq!(serial_cycles, parallel_cycles);
+    }
+
+    #[test]
+    fn failing_candidates_do_not_panic_the_search() {
+        let f = kernel();
+        // Every odd-numbered call path fails differently: panic for
+        // 1-cut candidates, trap for 2-cut ones. The search must still
+        // return Ok with the survivors recorded.
+        let report = search(&f, &SearchOptions::default(), |cuts, p, b| {
+            if cuts.len() == 1 {
+                panic!("injected profiling panic");
+            }
+            if cuts.len() == 2 {
+                return ProfileOutcome::Trapped(Trap::DivByZero.to_string());
+            }
+            op_count_profile(cuts, p, b)
+        });
+        match report {
+            Ok(r) => {
+                assert!(r.candidates[r.best].train_cycles().is_some());
+                assert!(r
+                    .candidates
+                    .iter()
+                    .any(|c| matches!(c.outcome, ProfileOutcome::Trapped(_))));
+            }
+            Err(SearchError::NoViableCandidate { candidates }) => {
+                // Legal only if *every* candidate had 1 or 2 cuts.
+                assert!(candidates.iter().all(|c| c.cuts.len() <= 2));
+            }
+            Err(e) => panic!("unexpected search error: {e}"),
+        }
+    }
+
+    #[test]
+    fn all_failures_yield_a_structured_error() {
+        let f = kernel();
+        let err = search(&f, &SearchOptions::default(), |_, _, _| {
+            ProfileOutcome::TimedOut
+        })
+        .unwrap_err();
+        match err {
+            SearchError::NoViableCandidate { candidates } => {
+                assert!(!candidates.is_empty());
+                assert!(candidates
+                    .iter()
+                    .all(|c| c.outcome == ProfileOutcome::TimedOut));
+            }
+            e => panic!("expected NoViableCandidate, got {e}"),
+        }
+    }
+
+    #[test]
+    fn timed_out_candidates_get_one_retry_at_a_larger_budget() {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        let f = kernel();
+        let opts = SearchOptions {
+            workers: 1,
+            profile_cycle_cap: 1000,
+            retry_cap_factor: 4,
+            ..SearchOptions::default()
+        };
+        let max_cap_seen = AtomicU64::new(0);
+        let report = search(&f, &opts, |cuts, p, b| {
+            max_cap_seen.fetch_max(b.cycle_cap, Ordering::Relaxed);
+            if b.cycle_cap <= 1000 {
+                // Pretend every candidate is too slow at the base budget.
+                return ProfileOutcome::TimedOut;
+            }
+            op_count_profile(cuts, p, b)
+        })
+        .unwrap();
+        assert_eq!(max_cap_seen.load(Ordering::Relaxed), 4000);
+        assert!(report.candidates[report.best].train_cycles().is_some());
     }
 }

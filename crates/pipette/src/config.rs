@@ -1,6 +1,7 @@
 //! Machine configuration (Table III of the paper).
 
 use crate::scheduler::SchedulerKind;
+use crate::watchdog::WatchdogConfig;
 use phloem_ir::{ExecEngine, UopClass};
 use serde::{Deserialize, Serialize};
 
@@ -81,6 +82,11 @@ pub struct MachineConfig {
     /// slower oracle kept for differential testing.
     #[serde(default)]
     pub engine: ExecEngine,
+    /// Forward-progress watchdog limits (livelock window on, cycle cap
+    /// off by default). Never fires on a healthy run; when it does fire
+    /// it raises a structured trap instead of hanging the host.
+    #[serde(default)]
+    pub watchdog: WatchdogConfig,
 }
 
 impl MachineConfig {
@@ -121,6 +127,7 @@ impl MachineConfig {
             launch_overhead: 300,
             scheduler: SchedulerKind::EventDriven,
             engine: ExecEngine::Flat,
+            watchdog: WatchdogConfig::default(),
         }
     }
 

@@ -52,15 +52,19 @@ pub mod branch;
 pub mod cache;
 pub mod config;
 pub mod energy;
+pub mod faults;
 pub mod machine;
 mod queue;
 mod scheduler;
 pub mod stats;
 mod timing;
+pub mod watchdog;
 
 pub use cache::{CacheStats, HitLevel, MemHierarchy};
 pub use config::{CacheParams, MachineConfig};
 pub use energy::{EnergyBreakdown, EnergyModel};
+pub use faults::{Fault, FaultPlan};
 pub use machine::{CompiledPipeline, Machine, RunOutcome, SchedulerKind, Session};
 pub use phloem_ir::ExecEngine;
 pub use stats::{CycleBreakdown, QueueStats, RunStats, ThreadStats};
+pub use watchdog::WatchdogConfig;

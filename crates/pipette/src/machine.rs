@@ -14,6 +14,7 @@
 use crate::cache::MemHierarchy;
 use crate::config::MachineConfig;
 use crate::energy::{EnergyBreakdown, EnergyModel};
+use crate::faults::FaultPlan;
 use crate::scheduler;
 pub use crate::scheduler::SchedulerKind;
 use crate::stats::RunStats;
@@ -62,6 +63,9 @@ pub struct Session {
     /// multicore config are power-gated, matching the paper's per-core
     /// accounting for the Fig. 11/14 replication experiments).
     active_cores: std::collections::BTreeSet<usize>,
+    /// Injected faults applied to every subsequent invocation (see
+    /// [`crate::faults`]); `None` keeps the timed hot path fault-free.
+    faults: Option<FaultPlan>,
 }
 
 impl Session {
@@ -76,7 +80,21 @@ impl Session {
             now: 0,
             stats: RunStats::default(),
             active_cores: std::collections::BTreeSet::new(),
+            faults: None,
         }
+    }
+
+    /// Applies a fault plan to every subsequent invocation (fuzzing and
+    /// robustness tests). Ordinal/cycle windows in the plan are relative
+    /// to each invocation (queues are rebuilt per invocation and cycle
+    /// windows are measured from the invocation's launch base).
+    pub fn set_faults(&mut self, plan: FaultPlan) {
+        self.faults = if plan.is_empty() { None } else { Some(plan) };
+    }
+
+    /// Removes any injected fault plan.
+    pub fn clear_faults(&mut self) {
+        self.faults = None;
     }
 
     /// The machine configuration.
@@ -211,6 +229,7 @@ impl Session {
             pipeline,
             base,
             scheduler,
+            self.faults.as_ref(),
         );
         let is_compute: Vec<bool> = pipeline
             .stages

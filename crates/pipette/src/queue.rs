@@ -74,6 +74,17 @@ impl HwQueue {
         self.cap
     }
 
+    /// Ordinal of the next successful enqueue (count so far). Fault
+    /// windows key on this: it is identical across schedulers/engines.
+    pub(crate) fn enq_ord(&self) -> u64 {
+        self.enq_count
+    }
+
+    /// Ordinal of the next successful dequeue (count so far).
+    pub(crate) fn deq_ord(&self) -> u64 {
+        self.deq_count
+    }
+
     /// Earliest cycle at which the next enqueue's slot is free.
     pub(crate) fn slot_free_time(&self) -> Time {
         if self.enq_count >= self.cap as u64 {

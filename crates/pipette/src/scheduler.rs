@@ -41,6 +41,7 @@
 
 use crate::queue::QueueEvent;
 use crate::timing::{TimingWorld, WAIT_EMPTY, WAIT_FULL};
+use crate::watchdog::{self, ThreadCond};
 use phloem_ir::{BlockReason, Pipeline, QueueId, StageExec, StageProgram, StepResult, Stmt, Trap};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeSet;
@@ -108,6 +109,7 @@ pub(crate) fn run<E: StageExec>(
     let mut wait_empty: Vec<Vec<usize>> = vec![Vec::new(); nq];
     let mut wait_full: Vec<Vec<usize>> = vec![Vec::new(); nq];
     let mut woken = vec![false; n];
+    let mut killed = vec![false; n];
     // Scratch buffer for draining the world's event log without
     // re-allocating every slice.
     let mut events: Vec<QueueEvent> = Vec::new();
@@ -118,6 +120,18 @@ pub(crate) fn run<E: StageExec>(
         for i in 0..n {
             if state[i] == ThreadState::Finished {
                 continue;
+            }
+            // Fault injection: kill thresholds key on the atom count,
+            // checked at round boundaries — both grid-identical — and
+            // are tested *before* the parked-skip so a parked thread
+            // dies at the same round under either scheduler.
+            if let Some(at) = world.fault_kill_at(i) {
+                if interps[i].steps() >= at {
+                    killed[i] = true;
+                    state[i] = ThreadState::Finished;
+                    progressed = true;
+                    continue;
+                }
             }
             if is_compute[i] {
                 compute_live = true;
@@ -139,6 +153,7 @@ pub(crate) fn run<E: StageExec>(
                 StepResult::Finished => {
                     progressed = true;
                     state[i] = ThreadState::Finished;
+                    world.note_finish(i);
                 }
                 StepResult::Blocked(BlockReason::Budget) => {
                     // Slice preemption: still runnable next round.
@@ -184,6 +199,11 @@ pub(crate) fn run<E: StageExec>(
                     QueueEvent::Deq(q) => (&mut wait_full[q.0 as usize], WAIT_FULL),
                 };
                 for j in waiters.drain(..) {
+                    if state[j] == ThreadState::Finished {
+                        // A parked thread killed by fault injection must
+                        // stay dead; never resurrect it to Ready.
+                        continue;
+                    }
                     state[j] = ThreadState::Ready;
                     woken[j] = true;
                     world.threads[j].stats.wakeups += 1;
@@ -195,12 +215,47 @@ pub(crate) fn run<E: StageExec>(
             }
         }
         if !compute_live {
+            if killed.iter().any(|&k| k) {
+                // Every compute stage either finished or was killed: a
+                // kill-bearing run must still end in a structured trap,
+                // never a silent success.
+                return Err(watchdog::killed_trap(
+                    world,
+                    interps,
+                    &conds(&state, &killed),
+                    &pipeline.name,
+                ));
+            }
             return Ok(());
         }
         if !progressed {
-            return Err(deadlock_trap(world, interps, &state, pipeline));
+            return Err(deadlock_trap(world, interps, &state, &killed, pipeline));
+        }
+        if let Some(v) = watchdog::verdict(world) {
+            return Err(watchdog::fire(
+                v,
+                world,
+                interps,
+                &conds(&state, &killed),
+                &pipeline.name,
+            ));
         }
     }
+}
+
+/// Maps scheduler thread states (plus the kill flags) to the watchdog's
+/// snapshot-visible conditions.
+fn conds(state: &[ThreadState], killed: &[bool]) -> Vec<ThreadCond> {
+    state
+        .iter()
+        .zip(killed)
+        .map(|(s, &k)| match (s, k) {
+            (_, true) => ThreadCond::Killed,
+            (ThreadState::Ready, _) => ThreadCond::Ready,
+            (ThreadState::Waiting(b), _) => ThreadCond::Waiting(*b),
+            (ThreadState::Finished, _) => ThreadCond::Finished,
+        })
+        .collect()
 }
 
 // ---------------------------------------------------------------------
@@ -241,26 +296,17 @@ fn queue_dirs(program: &StageProgram) -> (BTreeSet<QueueId>, BTreeSet<QueueId>) 
     (enq, deq)
 }
 
-/// Builds the deadlock trap: each blocked stage with its reason and the
-/// queue's occupancy, plus the wait cycle (stage -> blocked-on queue ->
-/// stage owning the other end) when one exists.
+/// Builds the deadlock trap: the wait cycle (stage -> blocked-on queue
+/// -> stage owning the other end) when one exists, plus the shared
+/// diagnostics snapshot (same format as the livelock/cycle-cap traps).
 fn deadlock_trap<E: StageExec>(
     world: &TimingWorld<'_>,
     interps: &[E],
     state: &[ThreadState],
+    killed: &[bool],
     pipeline: &Pipeline,
 ) -> Trap {
-    let qdesc = |q: QueueId| {
-        let hq = &world.queues[q.0 as usize];
-        let fill = if hq.is_full() {
-            "full"
-        } else if hq.is_empty() {
-            "empty"
-        } else {
-            "partial"
-        };
-        format!("q{} {} {}/{}", q.0, fill, hq.len(), hq.capacity())
-    };
+    let qdesc = |q: QueueId| watchdog::qdesc(world, q);
     let dirs: Vec<_> = pipeline
         .stages
         .iter()
@@ -323,23 +369,11 @@ fn deadlock_trap<E: StageExec>(
         ),
     };
 
-    let details: Vec<String> = blocked
-        .iter()
-        .map(|&(i, b)| {
-            let what = match b {
-                BlockReason::QueueFull(q) => format!("enq blocked, {}", qdesc(q)),
-                BlockReason::QueueEmpty(q) => format!("deq blocked, {}", qdesc(q)),
-                BlockReason::Budget => "preempted".to_string(),
-            };
-            let ra = if world.threads[i].is_ra { " (RA)" } else { "" };
-            format!("`{}`{}: {}", interps[i].name(), ra, what)
-        })
-        .collect();
     Trap::Deadlock(format!(
         "pipeline `{}` deadlocked; {}; blocked stages: {}",
         pipeline.name,
         cycle_str,
-        details.join("; ")
+        watchdog::render_snapshot(world, interps, &conds(state, killed))
     ))
 }
 

@@ -35,9 +35,11 @@
 use crate::branch::BranchPredictor;
 use crate::cache::{HitLevel, MemHierarchy};
 use crate::config::MachineConfig;
+use crate::faults::FaultPlan;
 use crate::queue::{HwQueue, QueueEntry, QueueEvent};
 use crate::scheduler::SchedulerKind;
 use crate::stats::ThreadStats;
+use crate::watchdog::WatchdogConfig;
 use phloem_ir::{
     ArrayId, BinOp, BranchId, MemState, QueueId, StageKind, StageSpec, StepInterp, Tid, Time, Trap,
     UopClass, Value, World,
@@ -58,6 +60,9 @@ pub(crate) struct ThreadTiming {
     mshr: Vec<Time>,
     mshr_pos: usize,
     predictor: BranchPredictor,
+    /// Completion time of this thread's most recent progress event
+    /// (successful queue op or finish); feeds the watchdog snapshot.
+    pub(crate) last_progress: Time,
     pub(crate) stats: ThreadStats,
 }
 
@@ -112,6 +117,17 @@ pub(crate) struct TimingWorld<'a> {
     pub(crate) wait_flags: Vec<u8>,
     /// Cached `TRACE_DEQ` env toggle (checked once per invocation).
     trace_deq: bool,
+    /// Forward-progress limits (copied from the machine config).
+    pub(crate) watchdog: WatchdogConfig,
+    /// Fault plan for this invocation, if any.
+    faults: Option<&'a FaultPlan>,
+    /// Completion time of the most recent progress event across all
+    /// threads (successful queue op or finish).
+    last_progress: Time,
+    /// True when the pipeline has architectural queues: the livelock
+    /// monitor only makes sense when queue activity *is* the progress
+    /// signal (a queue-less serial stage never produces any).
+    monitor_queues: bool,
 }
 
 /// Bit in [`TimingWorld::wait_flags`]: a thread is parked on this queue
@@ -133,6 +149,7 @@ impl<'a> TimingWorld<'a> {
         pipeline: &phloem_ir::Pipeline,
         base: Time,
         kind: SchedulerKind,
+        faults: Option<&'a FaultPlan>,
     ) -> TimingWorld<'a> {
         let mut compute_per_core = vec![0usize; cfg.cores];
         for s in &pipeline.stages {
@@ -161,6 +178,7 @@ impl<'a> TimingWorld<'a> {
                     mshr: vec![base; cfg.mshrs.max(1)],
                     mshr_pos: 0,
                     predictor: BranchPredictor::new(),
+                    last_progress: base,
                     stats: ThreadStats {
                         name: s.program.func.name.clone(),
                         is_ra,
@@ -184,7 +202,44 @@ impl<'a> TimingWorld<'a> {
             events: Vec::new(),
             wait_flags: vec![0; nq],
             trace_deq: std::env::var("TRACE_DEQ").is_ok(),
+            watchdog: cfg.watchdog,
+            faults,
+            last_progress: base,
+            monitor_queues: pipeline.num_queues > 0,
         }
+    }
+
+    /// Simulated-time frontier: the latest completion over all threads.
+    pub(crate) fn frontier(&self) -> Time {
+        self.threads
+            .iter()
+            .map(|t| t.stats.finish_time)
+            .max()
+            .unwrap_or(self.base)
+            .max(self.base)
+    }
+
+    /// Completion time of the most recent progress event (see the
+    /// watchdog docs).
+    pub(crate) fn last_progress(&self) -> Time {
+        self.last_progress
+    }
+
+    /// True when the livelock monitor applies (the pipeline has queues).
+    pub(crate) fn monitor_queues(&self) -> bool {
+        self.monitor_queues
+    }
+
+    /// Records a stage finishing as a progress event.
+    pub(crate) fn note_finish(&mut self, i: usize) {
+        let ft = self.threads[i].stats.finish_time;
+        self.threads[i].last_progress = self.threads[i].last_progress.max(ft);
+        self.last_progress = self.last_progress.max(ft);
+    }
+
+    /// Atom count at which the fault plan kills thread `i`, if any.
+    pub(crate) fn fault_kill_at(&self, i: usize) -> Option<u64> {
+        self.faults.and_then(|f| f.kill_at(i))
     }
 
     /// Moves the pending queue-event log into `buf` (scheduler wakeup
@@ -380,6 +435,10 @@ impl World for TimingWorld<'_> {
     fn uop(&mut self, t: Tid, class: UopClass, dep: Time) -> Time {
         let lat = self.op_latency(t, class);
         let ti = self.issue_at(t, dep, Attr::Normal);
+        let lat = match self.faults {
+            Some(f) => lat + f.latency_extra(t.0 as usize, ti),
+            None => lat,
+        };
         let tc = ti + lat;
         self.complete(t, tc).stats.uops += 1;
         tc
@@ -413,6 +472,10 @@ impl World for TimingWorld<'_> {
     ) -> Result<(Value, Time), Trap> {
         let (v, addr) = self.mem.load_with_addr(array, index)?;
         let (lat, mut ti) = self.mem_access(t, addr, dep);
+        let lat = match self.faults {
+            Some(f) => lat + f.latency_extra(t.0 as usize, ti),
+            None => lat,
+        };
         if self.threads[t.0 as usize].is_ra {
             ti = self.ra_load_slot(t, ti, lat);
         }
@@ -464,7 +527,17 @@ impl World for TimingWorld<'_> {
         if qi >= self.queues.len() {
             return Err(Trap::BadId(format!("queue {}", q.0)));
         }
-        if self.queues[qi].is_full() {
+        let full = match self.faults {
+            // A squeeze clamps the *admission* check only; physical
+            // slot-recycling timing is untouched (effective cap <=
+            // physical cap, so the seed full-check is subsumed).
+            Some(f) => {
+                let q = &self.queues[qi];
+                q.len() >= f.queue_cap(qi, q.enq_ord(), q.capacity())
+            }
+            None => self.queues[qi].is_full(),
+        };
+        if full {
             return Ok(None);
         }
         let slot_free = self.queues[qi].slot_free_time();
@@ -489,8 +562,10 @@ impl World for TimingWorld<'_> {
             let extra = waited.saturating_sub(ti.saturating_sub(cursor));
             th.stats.queue_stall_cycles += extra;
             th.stats.queue_full_stall_cycles += extra;
+            th.last_progress = th.last_progress.max(tc);
             th.core
         };
+        self.last_progress = self.last_progress.max(tc);
         self.queues[qi].push(QueueEntry {
             value: w,
             ready: tc,
@@ -520,11 +595,23 @@ impl World for TimingWorld<'_> {
         } else {
             entry_ready + self.cfg.inter_core_queue_latency
         };
+        // A dequeue-stall fault delays delivery of the entry itself (a
+        // pure latency addition: it can never turn this successful
+        // dequeue into a blocked one).
+        let avail = match self.faults {
+            Some(f) => avail + f.deq_extra(qi, self.queues[qi].deq_ord()),
+            None => avail,
+        };
         let lat = self.op_latency(t, UopClass::QueuePop);
         let ti = self.issue_at(t, dep.max(avail.saturating_sub(lat)), Attr::QueueEmpty);
         let tc = (ti + lat).max(avail);
         // (The wait is folded into the Attr::QueueEmpty stall gap.)
-        self.complete(t, tc).stats.deqs += 1;
+        {
+            let th = self.complete(t, tc);
+            th.stats.deqs += 1;
+            th.last_progress = th.last_progress.max(tc);
+        }
+        self.last_progress = self.last_progress.max(tc);
         let entry = self.queues[qi].pop(tc);
         if self.wait_flags[qi] & WAIT_FULL != 0 {
             self.events.push(QueueEvent::Deq(q));

@@ -1,0 +1,218 @@
+//! Forward-progress watchdog: converts livelocks and runaway runs into
+//! structured traps carrying a diagnostics snapshot.
+//!
+//! The timing world records the completion time of the most recent
+//! *progress event* — a successful enqueue, a successful dequeue, or a
+//! stage finishing — globally and per thread. At every scheduler round
+//! boundary the watchdog compares the simulated-time frontier (the
+//! latest completion over all threads) against two limits:
+//!
+//! * **`cycle_cap`** — an absolute bound on session time. Crossing it
+//!   raises [`Trap::CycleLimit`]. Off by default; the PGO search uses it
+//!   as the per-candidate profiling budget.
+//! * **`livelock_window`** — the maximum distance the frontier may run
+//!   ahead of the last progress event. A stage spinning on a memory flag
+//!   that will never be set (a CV-polling livelock) keeps *executing*,
+//!   so deadlock detection never fires — but it stops touching queues,
+//!   so this window catches it as [`Trap::Livelock`]. Pipelines without
+//!   queues are exempt (a serial stage has no queue activity at all);
+//!   their backstop is the op budget and the cycle cap.
+//!
+//! Both checks run at round boundaries, which are identical across the
+//! {event-driven, polling} × {flat, tree} grid, and compare quantities
+//! (completion times, atom counts) that are also grid-identical — so a
+//! watchdog trap fires at the *same simulated cycle with the same
+//! message* no matter how the host schedules or executes the stages.
+//! `tests/sim_robustness.rs` pins this.
+//!
+//! The diagnostics snapshot lists every thread with its scheduler state,
+//! atoms executed, and cycles since its own last progress event, plus
+//! all queue occupancies. Deadlock reports append the same snapshot, so
+//! all stall-shaped traps share one format.
+
+use crate::timing::TimingWorld;
+use phloem_ir::{BlockReason, StageExec, Trap};
+use serde::{Deserialize, Serialize};
+
+/// Forward-progress watchdog limits (see the module docs). Part of
+/// [`crate::MachineConfig`]; the defaults are safe for every workload in
+/// the repo (the slowest golden pipeline finishes in ~115 k cycles,
+/// three orders of magnitude under the default window).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WatchdogConfig {
+    /// Absolute simulated-cycle cap for the session; `u64::MAX`
+    /// disables it (the default).
+    pub cycle_cap: u64,
+    /// Maximum cycles the frontier may advance past the last progress
+    /// event before the run is declared livelocked; `u64::MAX` disables
+    /// the check.
+    pub livelock_window: u64,
+}
+
+impl Default for WatchdogConfig {
+    fn default() -> Self {
+        WatchdogConfig {
+            cycle_cap: u64::MAX,
+            livelock_window: 4_000_000,
+        }
+    }
+}
+
+impl WatchdogConfig {
+    /// Disables both checks (measurement baselines).
+    pub fn off() -> Self {
+        WatchdogConfig {
+            cycle_cap: u64::MAX,
+            livelock_window: u64::MAX,
+        }
+    }
+
+    /// Default livelock window plus an absolute cycle cap (profiling
+    /// budgets).
+    pub fn with_cycle_cap(cycle_cap: u64) -> Self {
+        WatchdogConfig {
+            cycle_cap,
+            ..Self::default()
+        }
+    }
+}
+
+/// Which watchdog limit fired.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) enum Verdict {
+    /// The session frontier crossed [`WatchdogConfig::cycle_cap`].
+    CycleLimit,
+    /// No progress event within [`WatchdogConfig::livelock_window`].
+    Livelock,
+}
+
+/// Cheap per-round check: compares the frontier against both limits.
+/// Returns `None` on the hot path without building any diagnostics.
+pub(crate) fn verdict(world: &TimingWorld<'_>) -> Option<Verdict> {
+    let wd = world.watchdog;
+    let frontier = world.frontier();
+    if frontier > wd.cycle_cap {
+        return Some(Verdict::CycleLimit);
+    }
+    if wd.livelock_window != u64::MAX
+        && world.monitor_queues()
+        && frontier.saturating_sub(world.last_progress()) > wd.livelock_window
+    {
+        return Some(Verdict::Livelock);
+    }
+    None
+}
+
+/// Scheduler-visible thread condition at snapshot time.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) enum ThreadCond {
+    /// Runnable (or mid-slice) at the round boundary.
+    Ready,
+    /// Parked on (or re-polling) a queue.
+    Waiting(BlockReason),
+    /// The stage program terminated normally.
+    Finished,
+    /// Terminated by an injected [`crate::faults::Fault::ThreadKill`].
+    Killed,
+}
+
+/// One-line occupancy description of a queue (`q3 full 24/24`).
+pub(crate) fn qdesc(world: &TimingWorld<'_>, q: phloem_ir::QueueId) -> String {
+    let hq = &world.queues[q.0 as usize];
+    let fill = if hq.is_full() {
+        "full"
+    } else if hq.is_empty() {
+        "empty"
+    } else {
+        "partial"
+    };
+    format!("q{} {} {}/{}", q.0, fill, hq.len(), hq.capacity())
+}
+
+/// Renders the shared diagnostics snapshot: per-thread state, atoms
+/// executed, cycles since that thread's last progress event, and every
+/// queue's occupancy. All quantities are grid-identical.
+pub(crate) fn render_snapshot<E: StageExec>(
+    world: &TimingWorld<'_>,
+    interps: &[E],
+    conds: &[ThreadCond],
+) -> String {
+    let frontier = world.frontier();
+    let threads: Vec<String> = interps
+        .iter()
+        .enumerate()
+        .map(|(i, it)| {
+            let what = match conds[i] {
+                ThreadCond::Ready => "ready".to_string(),
+                ThreadCond::Waiting(BlockReason::QueueFull(q)) => {
+                    format!("enq blocked, {}", qdesc(world, q))
+                }
+                ThreadCond::Waiting(BlockReason::QueueEmpty(q)) => {
+                    format!("deq blocked, {}", qdesc(world, q))
+                }
+                ThreadCond::Waiting(BlockReason::Budget) => "preempted".to_string(),
+                ThreadCond::Finished => "finished".to_string(),
+                ThreadCond::Killed => "killed (fault)".to_string(),
+            };
+            let ra = if world.threads[i].is_ra { " (RA)" } else { "" };
+            let idle = frontier.saturating_sub(world.threads[i].last_progress);
+            format!(
+                "`{}`{}: {}, atoms={}, idle={}",
+                it.name(),
+                ra,
+                what,
+                it.steps(),
+                idle
+            )
+        })
+        .collect();
+    let queues: Vec<String> = (0..world.queues.len())
+        .map(|q| qdesc(world, phloem_ir::QueueId(q as u16)))
+        .collect();
+    let mut s = format!("snapshot @cycle {}: {}", frontier, threads.join("; "));
+    if world.monitor_queues() {
+        s.push_str(&format!("; queues: {}", queues.join(", ")));
+    }
+    s
+}
+
+/// Builds the trap for a fired watchdog verdict.
+pub(crate) fn fire<E: StageExec>(
+    v: Verdict,
+    world: &TimingWorld<'_>,
+    interps: &[E],
+    conds: &[ThreadCond],
+    pipeline_name: &str,
+) -> Trap {
+    let cycle = world.frontier();
+    let detail = format!(
+        "pipeline `{}` (window={}, cap={}); {}",
+        pipeline_name,
+        world.watchdog.livelock_window,
+        world.watchdog.cycle_cap,
+        render_snapshot(world, interps, conds)
+    );
+    match v {
+        Verdict::CycleLimit => Trap::CycleLimit { cycle, detail },
+        Verdict::Livelock => Trap::Livelock { cycle, detail },
+    }
+}
+
+/// Builds the trap for a run that ended with fault-killed threads: a
+/// kill can never produce a silent success, even if every surviving
+/// compute stage drained cleanly.
+pub(crate) fn killed_trap<E: StageExec>(
+    world: &TimingWorld<'_>,
+    interps: &[E],
+    conds: &[ThreadCond],
+    pipeline_name: &str,
+) -> Trap {
+    Trap::ThreadKilled {
+        cycle: world.frontier(),
+        detail: format!(
+            "pipeline `{}`; {}",
+            pipeline_name,
+            render_snapshot(world, interps, conds)
+        ),
+    }
+}

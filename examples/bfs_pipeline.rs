@@ -43,7 +43,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Measure the ablation (mini Fig. 6).
     let g = graph::road_network(70, 11);
     let cfg = MachineConfig::paper_1core();
-    let serial = bfs::run(&Variant::Serial, &g, 0, &cfg, "road");
+    let serial = bfs::run(&Variant::Serial, &g, 0, &cfg, "road")?;
     println!("=== cycles (road network, {} edges) ===", g.num_edges());
     println!("{:<24} {:>10}  1.00x", "serial", serial.cycles);
     for passes in [
@@ -59,7 +59,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             stages: 4,
             cuts: cuts.clone(),
         };
-        let m = bfs::run(&v, &g, 0, &cfg, "road");
+        let m = bfs::run(&v, &g, 0, &cfg, "road")?;
         println!(
             "{:<24} {:>10}  {:.2}x",
             passes.label(),

@@ -58,9 +58,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
     let cfg1 = MachineConfig::paper_1core();
     let cfg4 = MachineConfig::paper_multicore(4);
-    let serial = bfs::run(&Variant::Serial, &g, 0, &cfg1, "road");
-    let dp = bfs::run(&Variant::DataParallel(16), &g, 0, &cfg4, "road");
-    let rep = run_bfs_replicated(RepVariant::Phloem, &g, 0, &cfg4, "road");
+    let serial = bfs::run(&Variant::Serial, &g, 0, &cfg1, "road")?;
+    let dp = bfs::run(&Variant::DataParallel(16), &g, 0, &cfg4, "road")?;
+    let rep = run_bfs_replicated(RepVariant::Phloem, &g, 0, &cfg4, "road")?;
     println!(
         "serial (1 core, 1 thread): {:>10} cycles  1.00x",
         serial.cycles

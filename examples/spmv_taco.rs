@@ -40,10 +40,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 3. Measure all Fig. 12 variants on one input.
     let a = matrix::random_square(1500, 6.0, 42);
     println!("input: {}x{} matrix, {} nnz", a.rows, a.cols, a.nnz());
-    let serial = taco::run(TacoApp::Spmv, &Variant::Serial, &a, &cfg, "rnd");
+    let serial = taco::run(TacoApp::Spmv, &Variant::Serial, &a, &cfg, "rnd")?;
     println!("{:<16} {:>10} cycles  1.00x", "serial", serial.cycles);
     for v in [Variant::DataParallel(4), Variant::phloem()] {
-        let m = taco::run(TacoApp::Spmv, &v, &a, &cfg, "rnd");
+        let m = taco::run(TacoApp::Spmv, &v, &a, &cfg, "rnd")?;
         println!(
             "{:<16} {:>10} cycles  {:.2}x",
             m.variant,

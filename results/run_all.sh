@@ -1,19 +1,50 @@
 #!/bin/bash
+# Runs every figure/table harness. Resilient by design: a harness that
+# traps or crashes is recorded in the final `FAILED:` summary instead of
+# aborting the sweep, and the ALL_HARNESSES_DONE sentinel always prints
+# when the loop itself completes.
+set -o pipefail
 cd /root/repo
 export SCALE=small
-cargo build -q --release -p phloem-bench
+FAILED=()
+
+run_harness() {
+  local name=$1; shift
+  echo "=== running $name ($(date +%H:%M:%S)) ==="
+  if "$@" > "results/$name.txt" 2> "results/$name.log"; then
+    echo "=== $name done (exit 0) ==="
+  else
+    local rc=$?
+    FAILED+=("$name")
+    echo "=== $name FAILED (exit $rc); see results/$name.log ==="
+    tail -n 3 "results/$name.log" | sed 's/^/    /'
+  fi
+}
+
+cargo build -q --release -p phloem-bench || { echo "build failed"; exit 1; }
+
 echo "=== validating benchsuite/PGO pipelines ==="
-cargo run -q --release -p phloem-bench --bin fuzzdiff -- --validate-benchsuite
+if ! cargo run -q --release -p phloem-bench --bin fuzzdiff -- --validate-benchsuite; then
+  FAILED+=(validate-benchsuite)
+fi
+echo "=== fault-injection smoke ==="
+if ! cargo run -q --release -p phloem-bench --bin fuzzdiff -- --faults --smoke; then
+  FAILED+=(fuzzdiff-faults)
+fi
+
 for f in tables fig6 fig12 fig13 fig9 fig14; do
-  echo "=== running $f ($(date +%H:%M:%S)) ==="
-  cargo run -q --release -p phloem-bench --bin $f > results/$f.txt 2> results/$f.log
-  echo "=== $f done (exit $?) ==="
+  run_harness "$f" cargo run -q --release -p phloem-bench --bin "$f"
 done
 # Breakdown figures rerun the full matrix; tiny scale keeps the total
 # runtime sane and the shapes are scale-insensitive.
 for f in fig10 fig11; do
-  echo "=== running $f at tiny scale ($(date +%H:%M:%S)) ==="
-  SCALE=tiny cargo run -q --release -p phloem-bench --bin $f > results/$f.txt 2> results/$f.log
-  echo "=== $f done (exit $?) ==="
+  run_harness "$f" env SCALE=tiny cargo run -q --release -p phloem-bench --bin "$f"
 done
+
+if [ ${#FAILED[@]} -gt 0 ]; then
+  echo "FAILED: ${FAILED[*]}"
+else
+  echo "FAILED: none"
+fi
 echo ALL_HARNESSES_DONE
+[ ${#FAILED[@]} -eq 0 ]

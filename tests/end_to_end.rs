@@ -92,14 +92,14 @@ fn every_benchmark_has_four_agreeing_variants() {
         Variant::phloem(),
         Variant::Manual,
     ] {
-        bfs::run(&v, &g, 0, &cfg, "t");
-        cc::run(&v, &g, &cfg, "t");
-        radii::run(&v, &g, &cfg, "t");
+        bfs::run(&v, &g, 0, &cfg, "t").unwrap();
+        cc::run(&v, &g, &cfg, "t").unwrap();
+        radii::run(&v, &g, &cfg, "t").unwrap();
     }
     let a = matrix::random_square(30, 3.0, 5);
     let bt = a.transpose();
     for v in [Variant::Serial, Variant::phloem(), Variant::Manual] {
-        spmm::run(&v, &a, &bt, &cfg, "t");
+        spmm::run(&v, &a, &bt, &cfg, "t").unwrap();
     }
 }
 
@@ -121,7 +121,7 @@ fn pass_ablations_preserve_semantics_for_cc() {
             stages: 4,
             cuts: vec![],
         };
-        cc::run(&v, &g, &cfg, "mesh"); // panics on mismatch
+        cc::run(&v, &g, &cfg, "mesh").unwrap(); // panics on mismatch
     }
     let _ = want;
 }

@@ -47,53 +47,73 @@ fn measure_with(engine: ExecEngine, scheduler: SchedulerKind) -> Vec<(&'static s
     let g = graph::power_law(500, 3, 3);
     out.push((
         "bfs/phloem/power_law_500",
-        bfs::run(&Variant::phloem(), &g, 0, &cfg1, "power_law_500").cycles,
+        bfs::run(&Variant::phloem(), &g, 0, &cfg1, "power_law_500")
+            .expect("golden run")
+            .cycles,
     ));
     out.push((
         "bfs/manual/power_law_500",
-        bfs::run(&Variant::Manual, &g, 0, &cfg1, "power_law_500").cycles,
+        bfs::run(&Variant::Manual, &g, 0, &cfg1, "power_law_500")
+            .expect("golden run")
+            .cycles,
     ));
 
     let gr = graph::collaboration(200, 2);
     out.push((
         "bfs/replicated/collab_200",
-        run_bfs_replicated(RepVariant::Phloem, &gr, 0, &cfg4, "collab_200").cycles,
+        run_bfs_replicated(RepVariant::Phloem, &gr, 0, &cfg4, "collab_200")
+            .expect("golden run")
+            .cycles,
     ));
 
     let gc = graph::power_law(300, 3, 3);
     out.push((
         "cc/phloem/power_law_300",
-        cc::run(&Variant::phloem(), &gc, &cfg1, "power_law_300").cycles,
+        cc::run(&Variant::phloem(), &gc, &cfg1, "power_law_300")
+            .expect("golden run")
+            .cycles,
     ));
     out.push((
         "cc/manual/power_law_300",
-        cc::run(&Variant::Manual, &gc, &cfg1, "power_law_300").cycles,
+        cc::run(&Variant::Manual, &gc, &cfg1, "power_law_300")
+            .expect("golden run")
+            .cycles,
     ));
 
     let a = matrix::random_square(40, 3.0, 1);
     let bt = a.transpose();
     out.push((
         "spmm/phloem/rnd_40",
-        spmm::run(&Variant::phloem(), &a, &bt, &cfg1, "rnd_40").cycles,
+        spmm::run(&Variant::phloem(), &a, &bt, &cfg1, "rnd_40")
+            .expect("golden run")
+            .cycles,
     ));
     out.push((
         "spmm/manual/rnd_40",
-        spmm::run(&Variant::Manual, &a, &bt, &cfg1, "rnd_40").cycles,
+        spmm::run(&Variant::Manual, &a, &bt, &cfg1, "rnd_40")
+            .expect("golden run")
+            .cycles,
     ));
     out.push((
         "spmm/dp4/rnd_40",
-        spmm::run(&Variant::DataParallel(4), &a, &bt, &cfg1, "rnd_40").cycles,
+        spmm::run(&Variant::DataParallel(4), &a, &bt, &cfg1, "rnd_40")
+            .expect("golden run")
+            .cycles,
     ));
 
     let m = matrix::random_square(48, 4.0, 7);
     out.push((
         "taco-spmv/phloem/rnd_48",
-        taco::run(taco::TacoApp::Spmv, &Variant::phloem(), &m, &cfg1, "rnd_48").cycles,
+        taco::run(taco::TacoApp::Spmv, &Variant::phloem(), &m, &cfg1, "rnd_48")
+            .expect("golden run")
+            .cycles,
     ));
 
     out.push((
         "cc/replicated/power_law_300",
-        run_cc_replicated(RepVariant::Phloem, &gc, &cfg4, "power_law_300").cycles,
+        run_cc_replicated(RepVariant::Phloem, &gc, &cfg4, "power_law_300")
+            .expect("golden run")
+            .cycles,
     ));
     out
 }

@@ -20,6 +20,12 @@ cargo test --workspace -q
 echo "==> simspeed --smoke (scheduler x engine cycle/atom equality)"
 cargo run --release -q -p phloem-bench --bin simspeed -- --smoke
 
+echo "==> trace-smoke (Perfetto schema + trace-vs-untraced cycle identity)"
+cargo run --release -q -p phloem-bench --bin trace -- --smoke
+
+echo "==> trace_oracle (trace/RunStats reconciliation across the grid)"
+cargo test -q --test trace_oracle
+
 echo "==> fuzzdiff --smoke (differential fuzzing, fixed seed)"
 cargo run --release -q -p phloem-bench --bin fuzzdiff -- --smoke
 

@@ -6,8 +6,47 @@
 //! Phloem beats data-parallel almost everywhere; BFS and Radii *exceed*
 //! manual; SpMM is the negative result (~1x, manual's bespoke
 //! merge-skip wins).
+//!
+//! After the speedup table, a stall-attribution section re-runs each
+//! app's Phloem pipeline on its first test input under the streaming
+//! metrics aggregator ([`pipette_sim::MetricsSink`]) and prints where
+//! the compute stages' cycles went plus the critical-stage attribution
+//! — the same trace-derived profile the PGO search reports per
+//! candidate.
 
-use phloem_bench::{fig9_matrix, header, pgo_enabled, print_speedups, SpeedupRow};
+use phloem_bench::{
+    fig9_matrix, header, machine, pgo_enabled, print_speedups, run_graph_app_traced, scale,
+    SpeedupRow, GRAPH_APPS,
+};
+use phloem_benchsuite::{spmm, Variant};
+use phloem_workloads::{spmm_test_matrices, test_graphs};
+use pipette_sim::MetricsSink;
+
+/// Prints one app's trace-derived stall attribution from a finished
+/// metrics aggregator.
+fn print_attribution(app: &str, input: &str, m: &MetricsSink) {
+    let b = m.stall_breakdown();
+    let total = b.issue + b.backend + b.queue + b.other;
+    if total <= 0.0 {
+        println!("  {app:<8} {input}: no compute-stage cycles traced");
+        return;
+    }
+    let pct = |v: f64| 100.0 * v / total;
+    let critical = m
+        .critical_stage()
+        .map(|i| {
+            let s = &m.stages[i];
+            format!("`{}` ({})", s.name, s.dominant_stall())
+        })
+        .unwrap_or_else(|| "-".into());
+    println!(
+        "  {app:<8} {input:<16} issue {:5.1}%  backend {:5.1}%  queue {:5.1}%  other {:5.1}%   critical: {critical}",
+        pct(b.issue),
+        pct(b.backend),
+        pct(b.queue),
+        pct(b.other),
+    );
+}
 
 fn main() {
     let with_pgo = pgo_enabled();
@@ -36,6 +75,42 @@ fn main() {
             println!("  - {f}");
         }
     }
+
+    header("Phloem stall attribution (metrics aggregator, first test input)");
+    let cfg = machine();
+    let v = Variant::phloem();
+    if let Some(gi) = test_graphs(scale()).first() {
+        for app in GRAPH_APPS {
+            let (r, sink) = run_graph_app_traced(
+                app,
+                &v,
+                &gi.graph,
+                &cfg,
+                gi.name,
+                Box::new(MetricsSink::new()),
+            );
+            match (r, sink.downcast_ref::<MetricsSink>()) {
+                (Ok(_), Some(m)) => print_attribution(app, gi.name, m),
+                _ => println!("  {app:<8} {}: traced run failed", gi.name),
+            }
+        }
+    }
+    if let Some(mi) = spmm_test_matrices(scale()).first() {
+        let bt = mi.matrix.transpose();
+        let (r, sink) = spmm::run_traced(
+            &v,
+            &mi.matrix,
+            &bt,
+            &cfg,
+            mi.name,
+            Box::new(MetricsSink::new()),
+        );
+        match (r, sink.downcast_ref::<MetricsSink>()) {
+            (Ok(_), Some(m)) => print_attribution("SpMM", mi.name, m),
+            _ => println!("  SpMM     {}: traced run failed", mi.name),
+        }
+    }
+
     println!();
     println!("paper: Phloem gmean 1.7x; 85% of manual; BFS/Radii beat manual;");
     println!("       SpMM ~1x (bespoke manual merge-skip unavailable to Phloem).");

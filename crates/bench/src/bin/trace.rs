@@ -1,0 +1,297 @@
+//! Perfetto trace + profile report for any benchsuite workload.
+//!
+//! Runs one benchmark variant with the tracing layer on — a
+//! [`PerfettoSink`] (Chrome `trace.json`, loadable in Perfetto/
+//! `chrome://tracing`) teed with a [`MetricsSink`] (per-stage
+//! utilization, queue occupancy, critical-stage attribution) — and
+//! writes the trace next to a human-readable profile on stdout.
+//!
+//! ```text
+//! trace [app] [input] [--variant phloem|serial|manual|dp]
+//!       [--out trace.json] [--no-ra] [--smoke]
+//! ```
+//!
+//! * `app`: bfs | cc | prd | radii | spmm | taco-spmv | taco-sddmm |
+//!   taco-residual | taco-mtmul (default: bfs)
+//! * `input`: substring of a catalog input name (default: the first
+//!   test input of the app's catalog)
+//! * `--variant`: which implementation to trace (default: phloem)
+//! * `--out FILE`: where to write the Chrome trace (default
+//!   `trace.json`)
+//! * `--no-ra`: drop RA FSM transition instants (they dominate event
+//!   counts on RA-heavy pipelines)
+//! * `--smoke`: CI mode — run bfs on the smallest test graph, validate
+//!   the emitted JSON against the Chrome trace schema in-process, write
+//!   nothing unless `--out` was given explicitly.
+//!
+//! `SCALE=tiny|small|full` selects the input catalog as usual.
+//! The run also cross-checks the trace against the run's own
+//! [`pipette_sim::RunStats`]-derived measurement: enabling tracing must
+//! not change a single simulated cycle, so the measured cycles are
+//! asserted equal to an untraced run of the same configuration.
+
+use phloem_bench::{header, machine, run_graph_app, run_graph_app_traced, scale};
+use phloem_benchsuite::taco::{self, TacoApp};
+use phloem_benchsuite::{spmm, Measurement, Variant};
+use phloem_ir::Trap;
+use phloem_workloads::{spmm_test_matrices, taco_test_matrices, test_graphs};
+use pipette_sim::{MetricsSink, PerfettoSink, TeeSink, TraceSink};
+
+struct Args {
+    app: String,
+    input: Option<String>,
+    variant: Variant,
+    out: String,
+    out_explicit: bool,
+    with_ra: bool,
+    smoke: bool,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        app: "bfs".into(),
+        input: None,
+        variant: Variant::phloem(),
+        out: "trace.json".into(),
+        out_explicit: false,
+        with_ra: true,
+        smoke: false,
+    };
+    let mut positional = Vec::new();
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--out" => {
+                args.out = it.next().expect("--out needs a file name");
+                args.out_explicit = true;
+            }
+            "--variant" => {
+                let v = it.next().expect("--variant needs a name");
+                args.variant = match v.as_str() {
+                    "phloem" => Variant::phloem(),
+                    "serial" => Variant::Serial,
+                    "manual" => Variant::Manual,
+                    "dp" => Variant::DataParallel(machine().smt_threads),
+                    other => panic!("unknown variant {other} (phloem|serial|manual|dp)"),
+                };
+            }
+            "--no-ra" => args.with_ra = false,
+            "--smoke" => args.smoke = true,
+            other if other.starts_with("--") => panic!("unknown flag {other}"),
+            other => positional.push(other.to_string()),
+        }
+    }
+    if let Some(app) = positional.first() {
+        args.app = app.clone();
+    }
+    args.input = positional.get(1).cloned();
+    args
+}
+
+/// Picks the catalog input whose name contains `want` (first input when
+/// `want` is `None`).
+fn pick<T>(inputs: Vec<T>, name: impl Fn(&T) -> &str, want: &Option<String>) -> T {
+    let names: Vec<String> = inputs.iter().map(|i| name(i).to_string()).collect();
+    match want {
+        None => inputs.into_iter().next().expect("non-empty catalog"),
+        Some(w) => inputs
+            .into_iter()
+            .find(|i| name(i).contains(w.as_str()))
+            .unwrap_or_else(|| panic!("no input matching `{w}` in {names:?}")),
+    }
+}
+
+/// Runs the selected workload twice — once traced, once not — and
+/// returns `(input name, untraced, traced, sink)`.
+#[allow(clippy::type_complexity)]
+fn run(
+    args: &Args,
+    sink: Box<dyn TraceSink>,
+) -> (
+    String,
+    Result<Measurement, Trap>,
+    Result<Measurement, Trap>,
+    Box<dyn TraceSink>,
+) {
+    let cfg = machine();
+    let v = &args.variant;
+    match args.app.as_str() {
+        "bfs" | "cc" | "prd" | "radii" => {
+            let app = match args.app.as_str() {
+                "bfs" => "BFS",
+                "cc" => "CC",
+                "prd" => "PRD",
+                _ => "Radii",
+            };
+            let gi = pick(test_graphs(scale()), |g| g.name, &args.input);
+            let plain = run_graph_app(app, v, &gi.graph, &cfg, gi.name);
+            let (traced, sink) = run_graph_app_traced(app, v, &gi.graph, &cfg, gi.name, sink);
+            (gi.name.to_string(), plain, traced, sink)
+        }
+        "spmm" => {
+            let mi = pick(spmm_test_matrices(scale()), |m| m.name, &args.input);
+            let bt = mi.matrix.transpose();
+            let plain = spmm::run(v, &mi.matrix, &bt, &cfg, mi.name);
+            let (traced, sink) = spmm::run_traced(v, &mi.matrix, &bt, &cfg, mi.name, sink);
+            (mi.name.to_string(), plain, traced, sink)
+        }
+        taco_name if taco_name.starts_with("taco-") => {
+            let app = match taco_name {
+                "taco-spmv" => TacoApp::Spmv,
+                "taco-sddmm" => TacoApp::Sddmm,
+                "taco-residual" => TacoApp::Residual,
+                "taco-mtmul" => TacoApp::Mtmul,
+                other => panic!("unknown taco app {other}"),
+            };
+            let mi = pick(taco_test_matrices(scale()), |m| m.name, &args.input);
+            let plain = taco::run(app, v, &mi.matrix, &cfg, mi.name);
+            let (traced, sink) = taco::run_traced(app, v, &mi.matrix, &cfg, mi.name, sink);
+            (mi.name.to_string(), plain, traced, sink)
+        }
+        other => panic!("unknown app {other} (bfs|cc|prd|radii|spmm|taco-*)"),
+    }
+}
+
+// ---------------------------------------------------------------------
+// Minimal Chrome-trace schema validation (no JSON dependency): checks
+// the envelope and that every event object carries the fields Perfetto
+// requires for its phase. Structural, not a full JSON parser — but it
+// rejects truncated output, unbalanced braces, and missing fields,
+// which is what the CI smoke step is for.
+// ---------------------------------------------------------------------
+
+fn validate_chrome_trace(json: &str) -> Result<usize, String> {
+    let body = json.trim();
+    if !body.starts_with('{') || !body.ends_with('}') {
+        return Err("trace is not a JSON object".into());
+    }
+    if !body.contains("\"traceEvents\"") {
+        return Err("missing traceEvents key".into());
+    }
+    if !body.contains("\"displayTimeUnit\"") {
+        return Err("missing displayTimeUnit key".into());
+    }
+    // Balance check over the whole document (string-aware).
+    let (mut depth, mut in_str, mut esc) = (0i64, false, false);
+    let mut max_depth = 0i64;
+    for c in body.chars() {
+        if in_str {
+            match (esc, c) {
+                (true, _) => esc = false,
+                (false, '\\') => esc = true,
+                (false, '"') => in_str = false,
+                _ => {}
+            }
+            continue;
+        }
+        match c {
+            '"' => in_str = true,
+            '{' | '[' => {
+                depth += 1;
+                max_depth = max_depth.max(depth);
+            }
+            '}' | ']' => depth -= 1,
+            _ => {}
+        }
+        if depth < 0 {
+            return Err("unbalanced braces".into());
+        }
+    }
+    if depth != 0 || in_str {
+        return Err("truncated JSON".into());
+    }
+    // Per-event field checks. PerfettoSink emits one event object per
+    // line inside the traceEvents array; validate each.
+    let mut events = 0usize;
+    for line in body.lines() {
+        let line = line.trim().trim_end_matches(',');
+        if !line.starts_with("{\"name\":") {
+            continue;
+        }
+        events += 1;
+        let phase = line
+            .split("\"ph\":\"")
+            .nth(1)
+            .and_then(|r| r.chars().next())
+            .ok_or_else(|| format!("event missing ph field: {line}"))?;
+        let need: &[&str] = match phase {
+            'X' => &["\"ts\":", "\"dur\":", "\"pid\":", "\"tid\":"],
+            'C' => &["\"ts\":", "\"pid\":", "\"args\":"],
+            'I' | 'i' => &["\"ts\":", "\"pid\":", "\"s\":"],
+            'M' => &["\"pid\":", "\"args\":"],
+            other => return Err(format!("unexpected phase {other:?}: {line}")),
+        };
+        for field in need {
+            if !line.contains(field) {
+                return Err(format!("phase {phase} event missing {field}: {line}"));
+            }
+        }
+    }
+    if events == 0 {
+        return Err("no trace events emitted".into());
+    }
+    Ok(events)
+}
+
+fn main() {
+    let mut args = parse_args();
+    if args.smoke {
+        // CI smoke: smallest graph, fixed app, validation mandatory.
+        args.app = "bfs".into();
+        args.input = None;
+    }
+    let tee = TeeSink::new(vec![
+        Box::new(PerfettoSink::new().with_ra_transitions(args.with_ra)),
+        Box::new(MetricsSink::new()),
+    ]);
+    let (input, plain, traced, sink) = run(&args, Box::new(tee));
+
+    header(&format!("trace: {} / {input} / {}", args.app, {
+        args.variant.label()
+    }));
+    match (&plain, &traced) {
+        (Ok(p), Ok(t)) => {
+            assert_eq!(
+                p.cycles, t.cycles,
+                "tracing changed simulated cycles ({} vs {})",
+                p.cycles, t.cycles
+            );
+            println!(
+                "  {} simulated cycles (identical traced and untraced)",
+                t.cycles
+            );
+        }
+        (Err(p), Err(t)) => {
+            println!("  both runs trapped identically: {t}");
+            assert_eq!(p.to_string(), t.to_string(), "traced/untraced traps differ");
+        }
+        (p, t) => panic!("traced/untraced disagree: {p:?} vs {t:?}"),
+    }
+
+    let tee = sink.downcast_ref::<TeeSink>().expect("tee sink");
+    let sinks = tee.sinks();
+    let perfetto = sinks[0]
+        .downcast_ref::<PerfettoSink>()
+        .expect("perfetto sink");
+    let metrics = sinks[1]
+        .downcast_ref::<MetricsSink>()
+        .expect("metrics sink");
+
+    print!("{}", metrics.report());
+
+    let json = perfetto.to_json();
+    match validate_chrome_trace(&json) {
+        Ok(n) => println!("  trace: {n} Chrome trace events, schema OK"),
+        Err(e) => panic!("emitted trace failed schema validation: {e}"),
+    }
+    if !args.smoke || args.out_explicit {
+        std::fs::write(&args.out, &json).expect("write trace file");
+        println!(
+            "  wrote {} ({} bytes); load it in ui.perfetto.dev",
+            args.out,
+            json.len()
+        );
+    } else {
+        println!("  smoke mode: schema validated, no file written; OK");
+    }
+}

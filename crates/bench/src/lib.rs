@@ -120,9 +120,12 @@ pub fn speedups_vs_serial(per_input: &[Vec<Measurement>]) -> Vec<f64> {
 // Shared experiment drivers (fig9 / fig10 / fig11 / fig13 reuse these)
 // ---------------------------------------------------------------------
 
-use phloem_compiler::search::{search, ProfileBudget, ProfileOutcome, SearchOptions};
+use phloem_compiler::search::{
+    search_profiled, CandidateProfile, ProfileBudget, ProfileOutcome, SearchOptions,
+};
 use phloem_ir::{LoadId, Trap};
 use phloem_workloads::{spmm_test_matrices, spmm_training_matrices, test_graphs, training_graphs};
+use pipette_sim::{MetricsSink, TraceSink};
 
 /// The graph applications of the C-path evaluation.
 pub const GRAPH_APPS: [&str; 4] = ["BFS", "CC", "PRD", "Radii"];
@@ -146,6 +149,62 @@ pub fn run_graph_app(
     }
 }
 
+/// Like [`run_graph_app`], with a [`TraceSink`] observing every
+/// pipeline invocation; the sink is returned even when the run traps.
+pub fn run_graph_app_traced(
+    app: &str,
+    v: &Variant,
+    g: &phloem_workloads::Graph,
+    cfg: &MachineConfig,
+    input: &str,
+    sink: Box<dyn TraceSink>,
+) -> (Result<Measurement, Trap>, Box<dyn TraceSink>) {
+    match app {
+        "BFS" => phloem_benchsuite::bfs::run_traced(v, g, 0, cfg, input, sink),
+        "CC" => phloem_benchsuite::cc::run_traced(v, g, cfg, input, sink),
+        "PRD" => phloem_benchsuite::prd::run_traced(v, g, cfg, input, sink),
+        "Radii" => phloem_benchsuite::radii::run_traced(v, g, cfg, input, sink),
+        other => panic!("unknown app {other}"),
+    }
+}
+
+/// Reduces a metrics aggregate to the per-candidate profile the PGO
+/// search report carries: critical-stage attribution, per-stage
+/// utilization, and the critical stage's dominant stall kind.
+pub fn candidate_profile(m: &MetricsSink) -> CandidateProfile {
+    let stage_utilization = m
+        .stages
+        .iter()
+        .map(|s| (s.name.clone(), s.utilization()))
+        .collect();
+    match m.critical_stage() {
+        Some(i) => CandidateProfile {
+            critical_stage: m.stages[i].name.clone(),
+            stage_utilization,
+            dominant_stall: m.stages[i].dominant_stall().to_string(),
+        },
+        None => CandidateProfile {
+            stage_utilization,
+            ..Default::default()
+        },
+    }
+}
+
+/// Runs one graph-app variant on one input under a metrics aggregator
+/// and reduces it to a [`CandidateProfile`]; `None` if the run traps.
+pub fn profile_graph_app(
+    app: &str,
+    v: &Variant,
+    g: &phloem_workloads::Graph,
+    cfg: &MachineConfig,
+    input: &str,
+) -> Option<CandidateProfile> {
+    let (r, sink) = run_graph_app_traced(app, v, g, cfg, input, Box::new(MetricsSink::new()));
+    r.ok()?;
+    let m = sink.downcast_ref::<MetricsSink>().expect("metrics sink");
+    Some(candidate_profile(m))
+}
+
 /// The serial kernel of a graph app (for PGO enumeration).
 pub fn graph_app_kernel(app: &str) -> phloem_ir::Function {
     match app {
@@ -163,6 +222,9 @@ pub struct PgoOutcome {
     /// no viable candidate (the caller then falls back to the static
     /// cost model, which empty cuts encode).
     pub best_cuts: Vec<LoadId>,
+    /// Trace-derived profile of the best candidate (when the profiling
+    /// closure produced one; `None` under plain [`pgo_search`]).
+    pub best_profile: Option<CandidateProfile>,
     /// `(total stages incl. RAs, gmean training speedup)` per candidate.
     pub points: Vec<(usize, f64)>,
     /// Candidates (or the whole search) that trapped or timed out,
@@ -183,8 +245,22 @@ pub fn pgo_search(
     serial_train_cycles: f64,
     profile: impl Fn(&[LoadId], &ProfileBudget) -> ProfileOutcome + Sync,
 ) -> PgoOutcome {
+    pgo_search_profiled(kernel, serial_train_cycles, |cuts, budget| {
+        (profile(cuts, budget), None)
+    })
+}
+
+/// [`pgo_search`] with a profiling closure that also returns a
+/// trace-derived [`CandidateProfile`] per candidate (usually built with
+/// [`candidate_profile`] from a [`MetricsSink`] run); the best
+/// candidate's profile surfaces in [`PgoOutcome::best_profile`].
+pub fn pgo_search_profiled(
+    kernel: &phloem_ir::Function,
+    serial_train_cycles: f64,
+    profile: impl Fn(&[LoadId], &ProfileBudget) -> (ProfileOutcome, Option<CandidateProfile>) + Sync,
+) -> PgoOutcome {
     let opts = SearchOptions::default();
-    match search(kernel, &opts, |cuts, _pipe, budget| profile(cuts, budget)) {
+    match search_profiled(kernel, &opts, |cuts, _pipe, budget| profile(cuts, budget)) {
         Ok(report) => {
             let mut points = Vec::new();
             let mut failures = Vec::new();
@@ -203,12 +279,14 @@ pub fn pgo_search(
             }
             PgoOutcome {
                 best_cuts: report.candidates[report.best].cuts.clone(),
+                best_profile: report.candidates[report.best].profile.clone(),
                 points,
                 failures,
             }
         }
         Err(e) => PgoOutcome {
             best_cuts: Vec::new(),
+            best_profile: None,
             points: Vec::new(),
             failures: vec![format!("search failed, using static cuts: {e}")],
         },
@@ -259,6 +337,27 @@ pub fn train_graph_outcome(
         }
     }
     ProfileOutcome::Ok(gmean(vals))
+}
+
+/// [`train_graph_outcome`] plus a [`CandidateProfile`] built by
+/// re-running the first training graph under a metrics aggregator
+/// (the extra traced run only happens for viable candidates).
+pub fn train_graph_profiled(
+    app: &str,
+    v: &Variant,
+    cfg: &MachineConfig,
+    budget: &ProfileBudget,
+) -> (ProfileOutcome, Option<CandidateProfile>) {
+    let outcome = train_graph_outcome(app, v, cfg, budget);
+    if !matches!(outcome, ProfileOutcome::Ok(_)) {
+        return (outcome, None);
+    }
+    let cfg = budgeted(cfg, budget);
+    let profile = training_graphs(scale())
+        .into_iter()
+        .next()
+        .and_then(|gi| profile_graph_app(app, v, &gi.graph, &cfg, gi.name));
+    (outcome, profile)
 }
 
 /// Profiles a SpMM variant over the training matrices under the given
@@ -358,8 +457,8 @@ pub fn fig9_matrix(with_pgo: bool) -> Fig9Matrix {
             let kernel = graph_app_kernel(app);
             let serial =
                 train_graph_cycles(app, &Variant::Serial, &cfg).expect("serial training run");
-            let pgo = pgo_search(&kernel, serial, |cuts, budget| {
-                train_graph_outcome(
+            let pgo = pgo_search_profiled(&kernel, serial, |cuts, budget| {
+                train_graph_profiled(
                     app,
                     &Variant::Phloem {
                         passes: phloem_compiler::PassConfig::all(),
@@ -370,6 +469,12 @@ pub fn fig9_matrix(with_pgo: bool) -> Fig9Matrix {
                     budget,
                 )
             });
+            if let Some(p) = &pgo.best_profile {
+                eprintln!(
+                    "[fig9]   {app} pgo best candidate: critical stage `{}`, dominant stall {}",
+                    p.critical_stage, p.dominant_stall
+                );
+            }
             failures.extend(pgo.failures.iter().map(|f| format!("{app} pgo: {f}")));
             variants.push(Variant::Phloem {
                 passes: phloem_compiler::PassConfig::all(),

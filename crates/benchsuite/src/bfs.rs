@@ -22,7 +22,7 @@ use phloem_ir::{
     Pipeline, QueueId, RaConfig, RaMode, StageProgram, Trap, Value,
 };
 use phloem_workloads::Graph;
-use pipette_sim::{CompiledPipeline, MachineConfig, Session};
+use pipette_sim::{CompiledPipeline, MachineConfig, Session, TraceSink};
 
 const DONE: u32 = 0;
 const NEXT: u32 = 1;
@@ -358,6 +358,32 @@ pub fn run(
     cfg: &MachineConfig,
     input: &str,
 ) -> Result<Measurement, Trap> {
+    run_opt_traced(variant, g, root, cfg, input, None).0
+}
+
+/// Like [`run`], with a [`TraceSink`] observing every pipeline
+/// invocation. The sink is returned even when the run traps, so callers
+/// can inspect the partial trace of a failed run.
+pub fn run_traced(
+    variant: &Variant,
+    g: &Graph,
+    root: usize,
+    cfg: &MachineConfig,
+    input: &str,
+    sink: Box<dyn TraceSink>,
+) -> (Result<Measurement, Trap>, Box<dyn TraceSink>) {
+    let (r, s) = run_opt_traced(variant, g, root, cfg, input, Some(sink));
+    (r, s.expect("sink was installed"))
+}
+
+fn run_opt_traced(
+    variant: &Variant,
+    g: &Graph,
+    root: usize,
+    cfg: &MachineConfig,
+    input: &str,
+    sink: Option<Box<dyn TraceSink>>,
+) -> (Result<Measurement, Trap>, Option<Box<dyn TraceSink>>) {
     let threads = match variant {
         Variant::DataParallel(t) => *t,
         _ => 1,
@@ -365,61 +391,74 @@ pub fn run(
     let pipeline = pipeline_for(variant, g.num_vertices, cfg).expect("BFS pipeline construction");
     let (mem, arrays) = build_mem(g, root, threads);
     let mut session = Session::new(cfg.clone(), mem);
-    // Lower stage programs once: the flat engine would otherwise
-    // recompile the same pipeline every round.
-    let compiled = CompiledPipeline::new(&pipeline)?;
-    let mut len = 1i64;
-    let mut cur_dist = 1i64;
-    let mut rounds = 0;
-    while len > 0 {
-        session
-            .mem_mut()
-            .store(arrays.fringe_len, 0, Value::I64(len))
-            .unwrap();
-        session.run_compiled(&pipeline, &compiled, &[("cur_dist", Value::I64(cur_dist))])?;
-        // Gather next fringe (host work, free — pointer swap in the paper).
-        let n = g.num_vertices;
-        let mut next = Vec::new();
-        for t in 0..threads {
-            let tlen = session.mem().load(arrays.out_len, t as i64).unwrap();
-            let tlen = tlen.as_i64().unwrap();
-            for k in 0..tlen {
-                let v = session
-                    .mem()
-                    .load(arrays.next_fringe, (t * n) as i64 + k)
-                    .unwrap();
-                next.push(v);
-            }
-        }
-        len = next.len() as i64;
-        for (k, v) in next.iter().enumerate() {
+    if let Some(s) = sink {
+        session.set_trace(s);
+    }
+    let driven = (|session: &mut Session| -> Result<(), Trap> {
+        // Lower stage programs once: the flat engine would otherwise
+        // recompile the same pipeline every round.
+        let compiled = CompiledPipeline::new(&pipeline)?;
+        let mut len = 1i64;
+        let mut cur_dist = 1i64;
+        let mut rounds = 0;
+        while len > 0 {
             session
                 .mem_mut()
-                .store(arrays.fringe, k as i64, *v)
+                .store(arrays.fringe_len, 0, Value::I64(len))
                 .unwrap();
+            session.run_compiled(&pipeline, &compiled, &[("cur_dist", Value::I64(cur_dist))])?;
+            // Gather next fringe (host work, free — pointer swap in the paper).
+            let n = g.num_vertices;
+            let mut next = Vec::new();
+            for t in 0..threads {
+                let tlen = session.mem().load(arrays.out_len, t as i64).unwrap();
+                let tlen = tlen.as_i64().unwrap();
+                for k in 0..tlen {
+                    let v = session
+                        .mem()
+                        .load(arrays.next_fringe, (t * n) as i64 + k)
+                        .unwrap();
+                    next.push(v);
+                }
+            }
+            len = next.len() as i64;
+            for (k, v) in next.iter().enumerate() {
+                session
+                    .mem_mut()
+                    .store(arrays.fringe, k as i64, *v)
+                    .unwrap();
+            }
+            cur_dist += 1;
+            rounds += 1;
+            if rounds >= 100_000 {
+                return Err(Trap::Livelock {
+                    cycle: session.elapsed(),
+                    detail: format!(
+                        "BFS {} did not converge after {rounds} rounds",
+                        variant.label()
+                    ),
+                });
+            }
         }
-        cur_dist += 1;
-        rounds += 1;
-        if rounds >= 100_000 {
-            return Err(Trap::Livelock {
-                cycle: session.elapsed(),
-                detail: format!(
-                    "BFS {} did not converge after {rounds} rounds",
-                    variant.label()
-                ),
-            });
-        }
+        Ok(())
+    })(&mut session);
+    let sink = session.take_trace();
+    if let Err(e) = driven {
+        return (Err(e), sink);
     }
     let (mem, stats) = session.finish();
     let got = mem.i64_vec(arrays.dist);
     let want = g.bfs_distances(root);
     assert_eq!(got, want, "BFS distances wrong for {}", variant.label());
-    Ok(Measurement {
-        variant: variant.label(),
-        input: input.into(),
-        cycles: stats.cycles,
-        stats,
-    })
+    (
+        Ok(Measurement {
+            variant: variant.label(),
+            input: input.into(),
+            cycles: stats.cycles,
+            stats,
+        }),
+        sink,
+    )
 }
 
 /// Returns the kernel's load ids in program order (for explicit cuts):

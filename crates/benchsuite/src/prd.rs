@@ -19,7 +19,7 @@ use phloem_ir::{
     Pipeline, QueueId, RaConfig, RaMode, StageProgram, Trap, UnOp, Value,
 };
 use phloem_workloads::Graph;
-use pipette_sim::{MachineConfig, Session};
+use pipette_sim::{MachineConfig, Session, TraceSink};
 
 const DONE: u32 = 0;
 const NEXT: u32 = 1;
@@ -480,6 +480,34 @@ pub fn run_with_ranks(
     cfg: &MachineConfig,
     input: &str,
 ) -> Result<(Measurement, Vec<f64>), Trap> {
+    run_opt_traced(variant, g, cfg, input, None).0
+}
+
+/// Like [`run`], with a [`TraceSink`] observing every pipeline
+/// invocation (both the scatter and apply phases); the sink is returned
+/// even when the run traps.
+pub fn run_traced(
+    variant: &Variant,
+    g: &Graph,
+    cfg: &MachineConfig,
+    input: &str,
+    sink: Box<dyn TraceSink>,
+) -> (Result<Measurement, Trap>, Box<dyn TraceSink>) {
+    let (r, s) = run_opt_traced(variant, g, cfg, input, Some(sink));
+    (r.map(|(m, _)| m), s.expect("sink was installed"))
+}
+
+#[allow(clippy::type_complexity)]
+fn run_opt_traced(
+    variant: &Variant,
+    g: &Graph,
+    cfg: &MachineConfig,
+    input: &str,
+    sink: Option<Box<dyn TraceSink>>,
+) -> (
+    Result<(Measurement, Vec<f64>), Trap>,
+    Option<Box<dyn TraceSink>>,
+) {
     let threads = match variant {
         Variant::DataParallel(t) => *t,
         _ => 1,
@@ -488,50 +516,63 @@ pub fn run_with_ranks(
     let (scatter, apply) = pipelines_for(variant, n, cfg).expect("PRD pipelines");
     let (mem, arrays) = build_mem(g, threads);
     let mut session = Session::new(cfg.clone(), mem);
-    let mut len = n as i64;
-    for _ in 0..ITERATIONS {
-        if len == 0 {
-            break;
-        }
-        session
-            .mem_mut()
-            .store(arrays.fringe_len, 0, Value::I64(len))
-            .unwrap();
-        session.run(&scatter, &[])?;
-        session.run(&apply, &[("n", Value::I64(n as i64))])?;
-        // Gather per-thread active segments into a dense prefix.
-        let mut next = Vec::new();
-        for t in 0..threads {
-            let tlen = session
-                .mem()
-                .load(arrays.out_len, t as i64)
-                .unwrap()
-                .as_i64()
-                .unwrap();
-            let lo = (n as i64) * t as i64 / threads as i64;
-            for k in 0..tlen {
-                next.push(session.mem().load(arrays.active, lo + k).unwrap());
+    if let Some(s) = sink {
+        session.set_trace(s);
+    }
+    let driven = (|session: &mut Session| -> Result<(), Trap> {
+        let mut len = n as i64;
+        for _ in 0..ITERATIONS {
+            if len == 0 {
+                break;
             }
-        }
-        len = next.len() as i64;
-        for (k, v) in next.iter().enumerate() {
             session
                 .mem_mut()
-                .store(arrays.active, k as i64, *v)
+                .store(arrays.fringe_len, 0, Value::I64(len))
                 .unwrap();
+            session.run(&scatter, &[])?;
+            session.run(&apply, &[("n", Value::I64(n as i64))])?;
+            // Gather per-thread active segments into a dense prefix.
+            let mut next = Vec::new();
+            for t in 0..threads {
+                let tlen = session
+                    .mem()
+                    .load(arrays.out_len, t as i64)
+                    .unwrap()
+                    .as_i64()
+                    .unwrap();
+                let lo = (n as i64) * t as i64 / threads as i64;
+                for k in 0..tlen {
+                    next.push(session.mem().load(arrays.active, lo + k).unwrap());
+                }
+            }
+            len = next.len() as i64;
+            for (k, v) in next.iter().enumerate() {
+                session
+                    .mem_mut()
+                    .store(arrays.active, k as i64, *v)
+                    .unwrap();
+            }
         }
+        Ok(())
+    })(&mut session);
+    let sink = session.take_trace();
+    if let Err(e) = driven {
+        return (Err(e), sink);
     }
     let (mem, stats) = session.finish();
     let ranks = mem.f64_vec(arrays.rank);
-    Ok((
-        Measurement {
-            variant: variant.label(),
-            input: input.into(),
-            cycles: stats.cycles,
-            stats,
-        },
-        ranks,
-    ))
+    (
+        Ok((
+            Measurement {
+                variant: variant.label(),
+                input: input.into(),
+                cycles: stats.cycles,
+                stats,
+            },
+            ranks,
+        )),
+        sink,
+    )
 }
 
 /// Runs PRD and checks ranks against the serial reference (tolerance for

@@ -14,7 +14,7 @@ use phloem_ir::{
     Pipeline, QueueId, RaConfig, RaMode, StageProgram, Trap, Value,
 };
 use phloem_workloads::Graph;
-use pipette_sim::{CompiledPipeline, MachineConfig, Session};
+use pipette_sim::{CompiledPipeline, MachineConfig, Session, TraceSink};
 
 const DONE: u32 = 0;
 const NEXT: u32 = 1;
@@ -451,6 +451,29 @@ pub fn run(
     cfg: &MachineConfig,
     input: &str,
 ) -> Result<Measurement, Trap> {
+    run_opt_traced(variant, g, cfg, input, None).0
+}
+
+/// Like [`run`], with a [`TraceSink`] observing every pipeline
+/// invocation; the sink is returned even when the run traps.
+pub fn run_traced(
+    variant: &Variant,
+    g: &Graph,
+    cfg: &MachineConfig,
+    input: &str,
+    sink: Box<dyn TraceSink>,
+) -> (Result<Measurement, Trap>, Box<dyn TraceSink>) {
+    let (r, s) = run_opt_traced(variant, g, cfg, input, Some(sink));
+    (r, s.expect("sink was installed"))
+}
+
+fn run_opt_traced(
+    variant: &Variant,
+    g: &Graph,
+    cfg: &MachineConfig,
+    input: &str,
+    sink: Option<Box<dyn TraceSink>>,
+) -> (Result<Measurement, Trap>, Option<Box<dyn TraceSink>>) {
     let threads = match variant {
         Variant::DataParallel(t) => *t,
         _ => 1,
@@ -458,53 +481,63 @@ pub fn run(
     let pipeline = pipeline_for(variant, segment(g), cfg).expect("radii pipeline");
     let (mem, arrays) = build_mem(g, threads);
     let mut session = Session::new(cfg.clone(), mem);
-    let compiled = CompiledPipeline::new(&pipeline)?;
-    let mut len = sources(g).len() as i64;
-    let mut round = 1i64;
-    while len > 0 {
-        session
-            .mem_mut()
-            .store(arrays.fringe_len, 0, Value::I64(len))
-            .unwrap();
-        session.run_compiled(&pipeline, &compiled, &[("round", Value::I64(round))])?;
-        let seg = segment(g);
-        let mut next = Vec::new();
-        for t in 0..threads {
-            let tlen = session
-                .mem()
-                .load(arrays.out_len, t as i64)
-                .unwrap()
-                .as_i64()
-                .unwrap();
-            for k in 0..tlen {
-                next.push(
-                    session
-                        .mem()
-                        .load(arrays.next_fringe, (t * seg) as i64 + k)
-                        .unwrap(),
-                );
-            }
-        }
-        len = next.len() as i64;
-        for (k, v) in next.iter().enumerate() {
+    if let Some(s) = sink {
+        session.set_trace(s);
+    }
+    let driven = (|session: &mut Session| -> Result<(), Trap> {
+        let compiled = CompiledPipeline::new(&pipeline)?;
+        let mut len = sources(g).len() as i64;
+        let mut round = 1i64;
+        while len > 0 {
             session
                 .mem_mut()
-                .store(arrays.fringe, k as i64, *v)
+                .store(arrays.fringe_len, 0, Value::I64(len))
                 .unwrap();
+            session.run_compiled(&pipeline, &compiled, &[("round", Value::I64(round))])?;
+            let seg = segment(g);
+            let mut next = Vec::new();
+            for t in 0..threads {
+                let tlen = session
+                    .mem()
+                    .load(arrays.out_len, t as i64)
+                    .unwrap()
+                    .as_i64()
+                    .unwrap();
+                for k in 0..tlen {
+                    next.push(
+                        session
+                            .mem()
+                            .load(arrays.next_fringe, (t * seg) as i64 + k)
+                            .unwrap(),
+                    );
+                }
+            }
+            len = next.len() as i64;
+            for (k, v) in next.iter().enumerate() {
+                session
+                    .mem_mut()
+                    .store(arrays.fringe, k as i64, *v)
+                    .unwrap();
+            }
+            // Double-buffer swap: visited <- nvisited (host work, free).
+            let nv = session.mem().values(arrays.nvisited).to_vec();
+            session.mem_mut().set_values(arrays.visited, nv);
+            round += 1;
+            if round >= 1_000_000 {
+                return Err(Trap::Livelock {
+                    cycle: session.elapsed(),
+                    detail: format!(
+                        "radii {} did not converge after {round} rounds",
+                        variant.label()
+                    ),
+                });
+            }
         }
-        // Double-buffer swap: visited <- nvisited (host work, free).
-        let nv = session.mem().values(arrays.nvisited).to_vec();
-        session.mem_mut().set_values(arrays.visited, nv);
-        round += 1;
-        if round >= 1_000_000 {
-            return Err(Trap::Livelock {
-                cycle: session.elapsed(),
-                detail: format!(
-                    "radii {} did not converge after {round} rounds",
-                    variant.label()
-                ),
-            });
-        }
+        Ok(())
+    })(&mut session);
+    let sink = session.take_trace();
+    if let Err(e) = driven {
+        return (Err(e), sink);
     }
     let (mem, stats) = session.finish();
     assert_eq!(
@@ -513,12 +546,15 @@ pub fn run(
         "radii wrong for {}",
         variant.label()
     );
-    Ok(Measurement {
-        variant: variant.label(),
-        input: input.into(),
-        cycles: stats.cycles,
-        stats,
-    })
+    (
+        Ok(Measurement {
+            variant: variant.label(),
+            input: input.into(),
+            cycles: stats.cycles,
+            stats,
+        }),
+        sink,
+    )
 }
 
 #[cfg(test)]

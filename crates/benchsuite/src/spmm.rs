@@ -20,7 +20,7 @@ use phloem_ir::{
     RaConfig, RaMode, StageProgram, Trap, UnOp, Value,
 };
 use phloem_workloads::SparseMatrix;
-use pipette_sim::{MachineConfig, Session};
+use pipette_sim::{MachineConfig, Session, TraceSink};
 
 const DONE: u32 = 0;
 const NEXT: u32 = 1;
@@ -493,6 +493,31 @@ pub fn run(
     cfg: &MachineConfig,
     input: &str,
 ) -> Result<Measurement, Trap> {
+    run_opt_traced(variant, a, bt, cfg, input, None).0
+}
+
+/// Like [`run`], with a [`TraceSink`] observing the pipeline
+/// invocation; the sink is returned even when the run traps.
+pub fn run_traced(
+    variant: &Variant,
+    a: &SparseMatrix,
+    bt: &SparseMatrix,
+    cfg: &MachineConfig,
+    input: &str,
+    sink: Box<dyn TraceSink>,
+) -> (Result<Measurement, Trap>, Box<dyn TraceSink>) {
+    let (r, s) = run_opt_traced(variant, a, bt, cfg, input, Some(sink));
+    (r, s.expect("sink was installed"))
+}
+
+fn run_opt_traced(
+    variant: &Variant,
+    a: &SparseMatrix,
+    bt: &SparseMatrix,
+    cfg: &MachineConfig,
+    input: &str,
+    sink: Option<Box<dyn TraceSink>>,
+) -> (Result<Measurement, Trap>, Option<Box<dyn TraceSink>>) {
     let threads = match variant {
         Variant::DataParallel(t) => *t,
         _ => 1,
@@ -500,7 +525,14 @@ pub fn run(
     let pipeline = pipeline_for(variant, cfg).expect("SpMM pipeline");
     let (mem, arrays) = build_mem(a, bt, threads);
     let mut session = Session::new(cfg.clone(), mem);
-    session.run(&pipeline, &[("n", Value::I64(a.rows as i64))])?;
+    if let Some(s) = sink {
+        session.set_trace(s);
+    }
+    let driven = session.run(&pipeline, &[("n", Value::I64(a.rows as i64))]);
+    let sink = session.take_trace();
+    if let Err(e) = driven {
+        return (Err(e), sink);
+    }
     let (mem, stats) = session.finish();
     let cnt: i64 = mem.i64_vec(arrays.out_cnt).iter().sum();
     let sum: f64 = mem.f64_vec(arrays.out_sum).iter().sum();
@@ -511,12 +543,15 @@ pub fn run(
         "SpMM sum wrong for {}: {sum} vs {want_sum}",
         variant.label()
     );
-    Ok(Measurement {
-        variant: variant.label(),
-        input: input.into(),
-        cycles: stats.cycles,
-        stats,
-    })
+    (
+        Ok(Measurement {
+            variant: variant.label(),
+            input: input.into(),
+            cycles: stats.cycles,
+            stats,
+        }),
+        sink,
+    )
 }
 
 #[cfg(test)]

@@ -416,6 +416,7 @@ impl<'p> FlatInterp<'p> {
                                 if let Value::Ctrl(tag) = w {
                                     if let Some(h) = prog.find_handler(queue, tag) {
                                         let t_jump = world.uop(tid, UopClass::CtrlJump, t);
+                                        world.note_ctrl_handler(tid, queue, tag, t_jump);
                                         flow = flow.max(t_jump);
                                         if let Some(bind) = h.bind {
                                             self.set(bind, w, t_jump);

@@ -531,6 +531,7 @@ impl<'p> StepInterp<'p> {
                     if let Value::Ctrl(tag) = w {
                         if let Some(h) = self.find_handler(*queue, tag) {
                             let t_jump = world.uop(self.tid, UopClass::CtrlJump, t);
+                            world.note_ctrl_handler(self.tid, *queue, tag, t_jump);
                             self.flow_time = self.flow_time.max(t_jump);
                             if let Some(bind) = h.bind {
                                 self.write_var(bind, w, t_jump);

@@ -153,6 +153,12 @@ pub trait World {
     /// Traps on bad queue ids.
     fn try_deq(&mut self, t: Tid, q: QueueId, dep: Time) -> Result<Option<(Value, Time)>, Trap>;
 
+    /// Observability hook: a control-value handler on `q` (matching
+    /// `tag`) began executing at `at` (the completion time of its
+    /// dispatch jump). Purely informational — the default is a no-op and
+    /// timing worlds must not let it affect simulated time.
+    fn note_ctrl_handler(&mut self, _t: Tid, _q: QueueId, _tag: u32, _at: Time) {}
+
     /// Access to functional memory.
     fn mem(&self) -> &MemState;
 

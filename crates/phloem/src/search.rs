@@ -89,6 +89,23 @@ impl ProfileOutcome {
     }
 }
 
+/// Where a candidate's cycles went during profiling, as reported by a
+/// tracing profile closure (see [`search_profiled`]). Plain data so the
+/// search layer stays simulator-agnostic: the benchmark drivers build it
+/// from `pipette_sim`'s metrics aggregator.
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct CandidateProfile {
+    /// Name of the compute stage whose finish time bounds the makespan
+    /// (the stage a tuner should attack first).
+    pub critical_stage: String,
+    /// Per-stage `(name, utilization)` with utilization in `[0, 1]`,
+    /// in pipeline order (RA stages included).
+    pub stage_utilization: Vec<(String, f64)>,
+    /// Dominant stall class across all stages (e.g. `queue-full`,
+    /// `queue-empty`, `backend`, `frontend`).
+    pub dominant_stall: String,
+}
+
 /// One profiled candidate.
 #[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct Candidate {
@@ -101,6 +118,10 @@ pub struct Candidate {
     pub compute_stages: usize,
     /// How profiling ended for this candidate.
     pub outcome: ProfileOutcome,
+    /// Cycle-attribution report, when the profile closure produced one
+    /// (only [`search_profiled`] closures can; plain [`search`] leaves
+    /// it `None`).
+    pub profile: Option<CandidateProfile>,
 }
 
 impl Candidate {
@@ -182,9 +203,10 @@ fn profile_guarded<F>(
     cuts: &[LoadId],
     p: &Pipeline,
     budget: ProfileBudget,
-) -> ProfileOutcome
+) -> (ProfileOutcome, Option<CandidateProfile>)
 where
-    F: Fn(&[LoadId], &Pipeline, &ProfileBudget) -> ProfileOutcome + Sync,
+    F: Fn(&[LoadId], &Pipeline, &ProfileBudget) -> (ProfileOutcome, Option<CandidateProfile>)
+        + Sync,
 {
     match catch_unwind(AssertUnwindSafe(|| profile(cuts, p, &budget))) {
         Ok(outcome) => outcome,
@@ -194,7 +216,10 @@ where
                 .map(|s| s.to_string())
                 .or_else(|| payload.downcast_ref::<String>().cloned())
                 .unwrap_or_else(|| "non-string panic payload".to_string());
-            ProfileOutcome::Trapped(format!("profiling panicked: {msg}"))
+            (
+                ProfileOutcome::Trapped(format!("profiling panicked: {msg}")),
+                None,
+            )
         }
     }
 }
@@ -214,6 +239,23 @@ pub fn search(
     opts: &SearchOptions,
     profile: impl Fn(&[LoadId], &Pipeline, &ProfileBudget) -> ProfileOutcome + Sync,
 ) -> Result<SearchReport, SearchError> {
+    search_profiled(func, opts, |cuts, p, b| (profile(cuts, p, b), None))
+}
+
+/// Like [`search`], with a profile closure that also returns a
+/// per-candidate [`CandidateProfile`] (typically built from a tracing
+/// metrics aggregator run on one training input). The report's
+/// candidates carry the profiles, so callers can explain *why* the
+/// winner won — which stage is critical and what the losers stalled on.
+///
+/// # Errors
+/// See [`search`].
+pub fn search_profiled(
+    func: &Function,
+    opts: &SearchOptions,
+    profile: impl Fn(&[LoadId], &Pipeline, &ProfileBudget) -> (ProfileOutcome, Option<CandidateProfile>)
+        + Sync,
+) -> Result<SearchReport, SearchError> {
     let pipelines = enumerate_pipelines(func, opts);
     if pipelines.is_empty() {
         return Err(SearchError::NoPipelines);
@@ -221,7 +263,8 @@ pub fn search(
     // Each worker owns a disjoint contiguous slice of the result vector,
     // so no locking is needed: `chunks_mut` proves the disjointness to
     // the borrow checker, and scoped threads tie the lifetimes down.
-    let mut results: Vec<Option<ProfileOutcome>> = vec![None; pipelines.len()];
+    let mut results: Vec<Option<(ProfileOutcome, Option<CandidateProfile>)>> =
+        vec![None; pipelines.len()];
     let workers = opts.workers.max(1).min(pipelines.len());
     let chunk = pipelines.len().div_ceil(workers);
     let base = ProfileBudget {
@@ -239,7 +282,7 @@ pub fn search(
             scope.spawn(move || {
                 for (slot, (cuts, p)) in out.iter_mut().zip(&pipelines[w * chunk..]) {
                     let mut outcome = profile_guarded(profile, cuts, p, base);
-                    if outcome == ProfileOutcome::TimedOut && retry.cycle_cap > base.cycle_cap {
+                    if outcome.0 == ProfileOutcome::TimedOut && retry.cycle_cap > base.cycle_cap {
                         // One bounded retry: distinguishes "slow
                         // candidate" from "diverging candidate" without
                         // letting either hang a worker.
@@ -253,8 +296,8 @@ pub fn search(
 
     let mut candidates = Vec::with_capacity(pipelines.len());
     let mut best: Option<(usize, f64)> = None;
-    for (i, ((cuts, p), outcome)) in pipelines.iter().zip(&results).enumerate() {
-        let outcome = outcome.clone().expect("every slot profiled");
+    for (i, ((cuts, p), slot)) in pipelines.iter().zip(&results).enumerate() {
+        let (outcome, profile) = slot.clone().expect("every slot profiled");
         if let ProfileOutcome::Ok(c) = outcome {
             if best.map(|(_, b)| c < b).unwrap_or(true) {
                 best = Some((i, c));
@@ -265,6 +308,7 @@ pub fn search(
             total_stages: p.total_stages(),
             compute_stages: p.compute_stages(),
             outcome,
+            profile,
         });
     }
     let Some((best, _)) = best else {

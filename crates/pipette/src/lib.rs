@@ -54,10 +54,12 @@ pub mod config;
 pub mod energy;
 pub mod faults;
 pub mod machine;
+pub mod metrics;
 mod queue;
 mod scheduler;
 pub mod stats;
 mod timing;
+pub mod trace;
 pub mod watchdog;
 
 pub use cache::{CacheStats, HitLevel, MemHierarchy};
@@ -65,6 +67,12 @@ pub use config::{CacheParams, MachineConfig};
 pub use energy::{EnergyBreakdown, EnergyModel};
 pub use faults::{Fault, FaultPlan};
 pub use machine::{CompiledPipeline, Machine, RunOutcome, SchedulerKind, Session};
+pub use metrics::{MetricsSink, QueueMetrics, StageMetrics};
 pub use phloem_ir::ExecEngine;
 pub use stats::{CycleBreakdown, QueueStats, RunStats, ThreadStats};
+pub use trace::{
+    digest_events, DigestSink, NoopSink, PerfettoSink, RingSink, StageMeta, StallKind, TeeSink,
+    TraceEvent, TraceMeta, TraceSink, TraceVerdict, EV_ALL, EV_CTRL, EV_FAULT, EV_QUEUE, EV_RA,
+    EV_SCHED, EV_STALL, EV_WATCHDOG,
+};
 pub use watchdog::WatchdogConfig;

@@ -19,6 +19,7 @@ use crate::scheduler;
 pub use crate::scheduler::SchedulerKind;
 use crate::stats::RunStats;
 use crate::timing::{build_flat_interps, build_interps, compile_pipeline, TimingWorld};
+use crate::trace::{StageMeta, TraceMeta, TraceSink};
 use phloem_ir::{ExecEngine, MemState, Pipeline, StageKind, Time, Trap, Value};
 
 /// Per-thread step budget for timed runs.
@@ -66,6 +67,10 @@ pub struct Session {
     /// Injected faults applied to every subsequent invocation (see
     /// [`crate::faults`]); `None` keeps the timed hot path fault-free.
     faults: Option<FaultPlan>,
+    /// Structured-event trace sink observing every subsequent invocation
+    /// (see [`crate::trace`]); `None` keeps the timed hot path
+    /// trace-free.
+    trace: Option<Box<dyn TraceSink>>,
 }
 
 impl Session {
@@ -81,6 +86,7 @@ impl Session {
             stats: RunStats::default(),
             active_cores: std::collections::BTreeSet::new(),
             faults: None,
+            trace: None,
         }
     }
 
@@ -95,6 +101,20 @@ impl Session {
     /// Removes any injected fault plan.
     pub fn clear_faults(&mut self) {
         self.faults = None;
+    }
+
+    /// Installs a trace sink observing every subsequent invocation. The
+    /// sink sees `begin`/`end` per invocation plus every structured
+    /// event whose interest bit it declares; tracing never changes a
+    /// single simulated cycle (`tests/trace_oracle.rs` pins this).
+    pub fn set_trace(&mut self, sink: Box<dyn TraceSink>) {
+        self.trace = Some(sink);
+    }
+
+    /// Removes and returns the installed trace sink (typically to
+    /// downcast it and read what it collected).
+    pub fn take_trace(&mut self) -> Option<Box<dyn TraceSink>> {
+        self.trace.take()
     }
 
     /// The machine configuration.
@@ -222,6 +242,24 @@ impl Session {
         let base = self.now + self.cfg.launch_overhead;
         let nstages = pipeline.stages.len();
 
+        if let Some(sink) = self.trace.as_deref_mut() {
+            let nq = pipeline.num_queues.max(1) as usize;
+            let meta = TraceMeta {
+                pipeline: pipeline.name.clone(),
+                base,
+                stages: pipeline
+                    .stages
+                    .iter()
+                    .map(|s| StageMeta {
+                        name: s.program.func.name.clone(),
+                        core: s.core,
+                        is_ra: matches!(s.kind, StageKind::Ra(_)),
+                    })
+                    .collect(),
+                queue_capacity: vec![self.cfg.queue_capacity; nq],
+            };
+            sink.begin(&meta);
+        }
         let mut world = TimingWorld::new(
             &self.cfg,
             &mut self.hier,
@@ -230,6 +268,7 @@ impl Session {
             base,
             scheduler,
             self.faults.as_ref(),
+            self.trace.as_deref_mut(),
         );
         let is_compute: Vec<bool> = pipeline
             .stages
@@ -237,10 +276,10 @@ impl Session {
             .map(|s| matches!(s.kind, StageKind::Compute))
             .collect();
 
-        match engine {
+        let sched_result = match engine {
             ExecEngine::Tree => {
                 let mut interps = build_interps(pipeline, params, DEFAULT_BUDGET);
-                scheduler::run(&mut world, &mut interps, &is_compute, pipeline, scheduler)?;
+                scheduler::run(&mut world, &mut interps, &is_compute, pipeline, scheduler)
             }
             ExecEngine::Flat => {
                 let owned;
@@ -252,9 +291,9 @@ impl Session {
                     }
                 };
                 let mut interps = build_flat_interps(progs, pipeline, params, DEFAULT_BUDGET);
-                scheduler::run(&mut world, &mut interps, &is_compute, pipeline, scheduler)?;
+                scheduler::run(&mut world, &mut interps, &is_compute, pipeline, scheduler)
             }
-        }
+        };
 
         // Makespan: last completion among the pipeline's threads.
         let end = world
@@ -267,6 +306,13 @@ impl Session {
         let thread_states = std::mem::take(&mut world.threads);
         let queue_states = std::mem::take(&mut world.queues);
         drop(world);
+        // Trapped invocations still close the trace (sinks flush open
+        // spans at `end`); the trap itself is already in the stream as a
+        // `Verdict` event when the watchdog or scheduler raised it.
+        if let Some(sink) = self.trace.as_deref_mut() {
+            sink.end(end);
+        }
+        sched_result?;
 
         // Fold per-thread stats into the session (positional by stage).
         let mut invocation = RunStats {

@@ -15,14 +15,46 @@
 use crate::stats::QueueStats;
 use phloem_ir::{QueueId, Time, Value};
 use std::collections::VecDeque;
+use std::fmt;
 
-/// A queue state change that can unblock waiting threads.
+/// A queue state change that can unblock waiting threads. Carries the
+/// operation's completion time so wakeup trace events get grid-identical
+/// timestamps.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub(crate) enum QueueEvent {
     /// A value was enqueued (wakes threads blocked on *empty*).
-    Enq(QueueId),
+    Enq(QueueId, Time),
     /// A value was dequeued (wakes threads blocked on *full*).
-    Deq(QueueId),
+    Deq(QueueId, Time),
+}
+
+/// One-line occupancy description of a queue, e.g. `q3 full 24/24`.
+///
+/// The single formatting path for queue occupancy in diagnostics: the
+/// watchdog snapshot, deadlock wait-cycle edges, and trap messages all
+/// render through this `Display` impl, so the format cannot drift
+/// between them.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) struct QueueOcc {
+    /// Architectural queue index.
+    pub(crate) id: u16,
+    /// Current entries held.
+    pub(crate) len: usize,
+    /// Physical capacity.
+    pub(crate) cap: usize,
+}
+
+impl fmt::Display for QueueOcc {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let fill = if self.len >= self.cap {
+            "full"
+        } else if self.len == 0 {
+            "empty"
+        } else {
+            "partial"
+        };
+        write!(f, "q{} {} {}/{}", self.id, fill, self.len, self.cap)
+    }
 }
 
 #[derive(Clone, Debug)]
@@ -122,6 +154,15 @@ impl HwQueue {
     pub(crate) fn front(&self) -> Option<&QueueEntry> {
         self.entries.front()
     }
+
+    /// Occupancy snapshot for diagnostics rendering.
+    pub(crate) fn occ(&self, id: u16) -> QueueOcc {
+        QueueOcc {
+            id,
+            len: self.len(),
+            cap: self.capacity(),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -166,5 +207,25 @@ mod tests {
         // Levels left behind: 1, 2, 3 (enqs), 2 (deq).
         assert_eq!(q.stats.occupancy_hist, vec![0, 1, 2, 1, 0]);
         assert!((q.stats.mean_occupancy() - 2.0).abs() < 1e-12);
+    }
+
+    /// Pins the one shared occupancy format used by every stall-shaped
+    /// diagnostic (watchdog snapshot, deadlock edges).
+    #[test]
+    fn occupancy_display_format_is_pinned() {
+        let mut q = HwQueue::new(2);
+        assert_eq!(q.occ(3).to_string(), "q3 empty 0/2");
+        q.push(QueueEntry {
+            value: Value::I64(1),
+            ready: 0,
+            core: 0,
+        });
+        assert_eq!(q.occ(3).to_string(), "q3 partial 1/2");
+        q.push(QueueEntry {
+            value: Value::I64(2),
+            ready: 0,
+            core: 0,
+        });
+        assert_eq!(q.occ(3).to_string(), "q3 full 2/2");
     }
 }

@@ -41,6 +41,7 @@
 
 use crate::queue::QueueEvent;
 use crate::timing::{TimingWorld, WAIT_EMPTY, WAIT_FULL};
+use crate::trace::{TraceEvent, TraceVerdict, EV_FAULT, EV_SCHED, EV_WATCHDOG};
 use crate::watchdog::{self, ThreadCond};
 use phloem_ir::{BlockReason, Pipeline, QueueId, StageExec, StageProgram, StepResult, Stmt, Trap};
 use serde::{Deserialize, Serialize};
@@ -130,6 +131,11 @@ pub(crate) fn run<E: StageExec>(
                     killed[i] = true;
                     state[i] = ThreadState::Finished;
                     progressed = true;
+                    let at_atoms = interps[i].steps();
+                    world.emit(EV_FAULT, || TraceEvent::FaultKill {
+                        thread: i as u32,
+                        at_atoms,
+                    });
                     continue;
                 }
             }
@@ -154,6 +160,11 @@ pub(crate) fn run<E: StageExec>(
                     progressed = true;
                     state[i] = ThreadState::Finished;
                     world.note_finish(i);
+                    let at = world.threads[i].stats.finish_time;
+                    world.emit(EV_SCHED, || TraceEvent::Finish {
+                        thread: i as u32,
+                        at,
+                    });
                 }
                 StepResult::Blocked(BlockReason::Budget) => {
                     // Slice preemption: still runnable next round.
@@ -168,22 +179,38 @@ pub(crate) fn run<E: StageExec>(
                     let reparked = was_parked && steps == 0 && state[i] == ThreadState::Waiting(b);
                     state[i] = ThreadState::Waiting(b);
                     if !reparked {
-                        match b {
+                        // A *fresh* park (not a fruitless polling-mode
+                        // re-poll), so the event is grid-identical.
+                        let (queue, full) = match b {
                             BlockReason::QueueFull(q) => {
                                 wait_full[q.0 as usize].push(i);
                                 world.wait_flags[q.0 as usize] |= WAIT_FULL;
+                                (q.0, true)
                             }
                             BlockReason::QueueEmpty(q) => {
                                 wait_empty[q.0 as usize].push(i);
                                 world.wait_flags[q.0 as usize] |= WAIT_EMPTY;
+                                (q.0, false)
                             }
                             BlockReason::Budget => unreachable!("matched above"),
-                        }
+                        };
+                        let at = world.threads[i].cursor();
+                        world.emit(EV_SCHED, || TraceEvent::Park {
+                            thread: i as u32,
+                            queue,
+                            full,
+                            at,
+                        });
                     }
                     if was_woken && steps == 0 {
                         // Woken, but another thread claimed the entry or
                         // slot first.
                         world.threads[i].stats.spurious_wakeups += 1;
+                        let at = world.threads[i].cursor();
+                        world.emit(EV_SCHED, || TraceEvent::SpuriousWake {
+                            thread: i as u32,
+                            at,
+                        });
                     }
                 }
                 StepResult::Progress => unreachable!("run_slice never returns bare Progress"),
@@ -194,9 +221,9 @@ pub(crate) fn run<E: StageExec>(
             // wait flag is set, so this loop is empty on most slices.
             world.drain_events_into(&mut events);
             for ev in events.drain(..) {
-                let (waiters, flag) = match ev {
-                    QueueEvent::Enq(q) => (&mut wait_empty[q.0 as usize], WAIT_EMPTY),
-                    QueueEvent::Deq(q) => (&mut wait_full[q.0 as usize], WAIT_FULL),
+                let (waiters, flag, at) = match ev {
+                    QueueEvent::Enq(q, at) => (&mut wait_empty[q.0 as usize], WAIT_EMPTY, at),
+                    QueueEvent::Deq(q, at) => (&mut wait_full[q.0 as usize], WAIT_FULL, at),
                 };
                 for j in waiters.drain(..) {
                     if state[j] == ThreadState::Finished {
@@ -207,9 +234,17 @@ pub(crate) fn run<E: StageExec>(
                     state[j] = ThreadState::Ready;
                     woken[j] = true;
                     world.threads[j].stats.wakeups += 1;
+                    let queue = match ev {
+                        QueueEvent::Enq(q, _) | QueueEvent::Deq(q, _) => q.0,
+                    };
+                    world.emit(EV_SCHED, || TraceEvent::Wake {
+                        thread: j as u32,
+                        queue,
+                        at,
+                    });
                 }
                 let q = match ev {
-                    QueueEvent::Enq(q) | QueueEvent::Deq(q) => q.0 as usize,
+                    QueueEvent::Enq(q, _) | QueueEvent::Deq(q, _) => q.0 as usize,
                 };
                 world.wait_flags[q] &= !flag;
             }
@@ -219,6 +254,11 @@ pub(crate) fn run<E: StageExec>(
                 // Every compute stage either finished or was killed: a
                 // kill-bearing run must still end in a structured trap,
                 // never a silent success.
+                let at = world.last_progress();
+                world.emit(EV_WATCHDOG, || TraceEvent::Verdict {
+                    verdict: TraceVerdict::Killed,
+                    at,
+                });
                 return Err(watchdog::killed_trap(
                     world,
                     interps,
@@ -229,9 +269,20 @@ pub(crate) fn run<E: StageExec>(
             return Ok(());
         }
         if !progressed {
+            let at = world.last_progress();
+            world.emit(EV_WATCHDOG, || TraceEvent::Verdict {
+                verdict: TraceVerdict::Deadlock,
+                at,
+            });
             return Err(deadlock_trap(world, interps, &state, &killed, pipeline));
         }
         if let Some(v) = watchdog::verdict(world) {
+            let tv = match v {
+                watchdog::Verdict::CycleLimit => TraceVerdict::CycleLimit,
+                watchdog::Verdict::Livelock => TraceVerdict::Livelock,
+            };
+            let at = world.last_progress();
+            world.emit(EV_WATCHDOG, || TraceEvent::Verdict { verdict: tv, at });
             return Err(watchdog::fire(
                 v,
                 world,

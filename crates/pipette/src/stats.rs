@@ -260,4 +260,118 @@ mod tests {
         assert_eq!(b.issue, 10.0);
         assert_eq!(b.backend, 10.0);
     }
+
+    #[test]
+    fn breakdown_total_sums_all_categories() {
+        let b = CycleBreakdown {
+            issue: 1.0,
+            backend: 2.0,
+            queue: 3.0,
+            other: 4.0,
+        };
+        assert_eq!(b.total(), 10.0);
+    }
+
+    #[test]
+    fn queue_stats_record_ignores_out_of_range_occupancy() {
+        let mut q = QueueStats::new(2);
+        q.record(0);
+        q.record(2);
+        q.record(99); // beyond capacity: dropped, not a panic
+        assert_eq!(q.occupancy_hist, vec![1, 0, 1]);
+        // max_occupancy still tracks the raw value (diagnostic).
+        assert_eq!(q.max_occupancy, 99);
+    }
+
+    #[test]
+    fn queue_stats_merge_adds_counters_and_grows_the_histogram() {
+        let mut a = QueueStats::new(2);
+        a.enqs = 3;
+        a.deqs = 2;
+        a.record(1);
+        let mut b = QueueStats::new(4);
+        b.enqs = 10;
+        b.deqs = 20;
+        b.record(4);
+        a.merge(&b);
+        assert_eq!(a.capacity, 4);
+        assert_eq!(a.enqs, 13);
+        assert_eq!(a.deqs, 22);
+        assert_eq!(a.max_occupancy, 4);
+        assert_eq!(a.occupancy_hist, vec![0, 1, 0, 0, 1]);
+        // Mean over both samples: (1 + 4) / 2.
+        assert!((a.mean_occupancy() - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mean_occupancy_of_an_untouched_queue_is_zero() {
+        assert_eq!(QueueStats::new(8).mean_occupancy(), 0.0);
+    }
+
+    #[test]
+    fn accumulate_merges_threads_positionally_and_keeps_maxima() {
+        let t = |name: &str, uops, stall, finish| ThreadStats {
+            name: name.into(),
+            uops,
+            backend_stall_cycles: stall,
+            finish_time: finish,
+            wakeups: 1,
+            ..Default::default()
+        };
+        let mut acc = RunStats {
+            cycles: 100,
+            invocations: 1,
+            threads: vec![t("s0", 10, 5, 90)],
+            queues: vec![QueueStats::new(2)],
+            ..Default::default()
+        };
+        let other = RunStats {
+            cycles: 80,
+            invocations: 2,
+            threads: vec![t("s0", 7, 3, 95), t("ra", 100, 0, 70)],
+            queues: vec![QueueStats::new(2), QueueStats::new(2)],
+            ..Default::default()
+        };
+        acc.accumulate(&other);
+        // Makespan keeps the max, invocations add.
+        assert_eq!(acc.cycles, 100);
+        assert_eq!(acc.invocations, 3);
+        // Positional merge: counters add, finish keeps the max, the new
+        // thread slot appears with the incoming name.
+        assert_eq!(acc.threads.len(), 2);
+        assert_eq!(acc.threads[0].uops, 17);
+        assert_eq!(acc.threads[0].backend_stall_cycles, 8);
+        assert_eq!(acc.threads[0].finish_time, 95);
+        assert_eq!(acc.threads[0].wakeups, 2);
+        assert_eq!(acc.threads[1].name, "ra");
+        assert_eq!(acc.queues.len(), 2);
+    }
+
+    #[test]
+    fn accumulate_near_u64_max_saturates_finish_and_cycle_maxima() {
+        // The max-based fields must survive extreme counter values
+        // without wrapping (additions are the caller's contract; the
+        // max/merge paths are ours).
+        let big = ThreadStats {
+            name: "s0".into(),
+            finish_time: u64::MAX,
+            ..Default::default()
+        };
+        let mut acc = RunStats {
+            cycles: u64::MAX,
+            threads: vec![big.clone()],
+            ..Default::default()
+        };
+        acc.accumulate(&RunStats {
+            cycles: 1,
+            threads: vec![ThreadStats {
+                name: "s0".into(),
+                finish_time: 1,
+                ..Default::default()
+            }],
+            ..Default::default()
+        });
+        assert_eq!(acc.cycles, u64::MAX);
+        assert_eq!(acc.threads[0].finish_time, u64::MAX);
+    }
 }

@@ -39,6 +39,9 @@ use crate::faults::FaultPlan;
 use crate::queue::{HwQueue, QueueEntry, QueueEvent};
 use crate::scheduler::SchedulerKind;
 use crate::stats::ThreadStats;
+use crate::trace::{
+    StallKind, TraceEvent, TraceSink, EV_CTRL, EV_FAULT, EV_QUEUE, EV_RA, EV_STALL,
+};
 use crate::watchdog::WatchdogConfig;
 use phloem_ir::{
     ArrayId, BinOp, BranchId, MemState, QueueId, StageKind, StageSpec, StepInterp, Tid, Time, Trap,
@@ -64,6 +67,14 @@ pub(crate) struct ThreadTiming {
     /// (successful queue op or finish); feeds the watchdog snapshot.
     pub(crate) last_progress: Time,
     pub(crate) stats: ThreadStats,
+}
+
+impl ThreadTiming {
+    /// The thread's issue cursor (grid-identical; used as the timestamp
+    /// of scheduler-level trace events like parks).
+    pub(crate) fn cursor(&self) -> Time {
+        self.cursor
+    }
 }
 
 /// Per-core issue-bandwidth tracker: micro-ops issued per cycle, as a
@@ -128,6 +139,12 @@ pub(crate) struct TimingWorld<'a> {
     /// monitor only makes sense when queue activity *is* the progress
     /// signal (a queue-less serial stage never produces any).
     monitor_queues: bool,
+    /// Trace sink for this invocation, if one is installed.
+    trace: Option<&'a mut dyn TraceSink>,
+    /// Cached [`TraceSink::interest`] mask (zero with no sink): every
+    /// emit site tests this one register before constructing anything,
+    /// which is what makes tracing free when off.
+    trace_mask: u32,
 }
 
 /// Bit in [`TimingWorld::wait_flags`]: a thread is parked on this queue
@@ -142,6 +159,7 @@ impl<'a> TimingWorld<'a> {
     /// cycle `base`. `stages` describes each hardware thread (core,
     /// kind, name); window partitioning follows the per-core compute
     /// thread count.
+    #[allow(clippy::too_many_arguments)]
     pub(crate) fn new(
         cfg: &'a MachineConfig,
         hier: &'a mut MemHierarchy,
@@ -150,6 +168,7 @@ impl<'a> TimingWorld<'a> {
         base: Time,
         kind: SchedulerKind,
         faults: Option<&'a FaultPlan>,
+        trace: Option<&'a mut dyn TraceSink>,
     ) -> TimingWorld<'a> {
         let mut compute_per_core = vec![0usize; cfg.cores];
         for s in &pipeline.stages {
@@ -206,6 +225,20 @@ impl<'a> TimingWorld<'a> {
             faults,
             last_progress: base,
             monitor_queues: pipeline.num_queues > 0,
+            trace_mask: trace.as_ref().map_or(0, |s| s.interest()),
+            trace,
+        }
+    }
+
+    /// Emits one trace event if the sink's interest covers `bit`. The
+    /// closure defers event construction past the mask test, so a
+    /// disabled (or absent) sink costs exactly one branch per site.
+    #[inline(always)]
+    pub(crate) fn emit(&mut self, bit: u32, ev: impl FnOnce() -> TraceEvent) {
+        if self.trace_mask & bit != 0 {
+            if let Some(sink) = self.trace.as_deref_mut() {
+                sink.event(&ev());
+            }
         }
     }
 
@@ -338,27 +371,40 @@ impl<'a> TimingWorld<'a> {
         } else {
             self.alloc_issue(core, want)
         };
-        let th = &mut self.threads[ti];
         let gap = t_issue.saturating_sub(cursor.max(self.base));
         if gap > 0 {
-            match attr {
-                Attr::QueueFull => {
+            let kind = match attr {
+                Attr::QueueFull => StallKind::QueueFull,
+                Attr::QueueEmpty => StallKind::QueueEmpty,
+                Attr::Normal => {
+                    if dep <= flow && flow > cursor {
+                        StallKind::Frontend
+                    } else {
+                        StallKind::Backend
+                    }
+                }
+            };
+            let th = &mut self.threads[ti];
+            match kind {
+                StallKind::QueueFull => {
                     th.stats.queue_stall_cycles += gap;
                     th.stats.queue_full_stall_cycles += gap;
                 }
-                Attr::QueueEmpty => {
+                StallKind::QueueEmpty => {
                     th.stats.queue_stall_cycles += gap;
                     th.stats.queue_empty_stall_cycles += gap;
                 }
-                Attr::Normal => {
-                    if dep <= flow && flow > cursor {
-                        th.stats.frontend_stall_cycles += gap;
-                    } else {
-                        th.stats.backend_stall_cycles += gap;
-                    }
-                }
+                StallKind::Frontend => th.stats.frontend_stall_cycles += gap,
+                StallKind::Backend => th.stats.backend_stall_cycles += gap,
             }
+            self.emit(EV_STALL, || TraceEvent::Stall {
+                thread: t.0,
+                kind,
+                cycles: gap,
+                at: t_issue,
+            });
         }
+        let th = &mut self.threads[ti];
         th.cursor = th.cursor.max(t_issue);
         t_issue
     }
@@ -436,12 +482,31 @@ impl World for TimingWorld<'_> {
         let lat = self.op_latency(t, class);
         let ti = self.issue_at(t, dep, Attr::Normal);
         let lat = match self.faults {
-            Some(f) => lat + f.latency_extra(t.0 as usize, ti),
+            Some(f) => {
+                let extra = f.latency_extra(t.0 as usize, ti);
+                if extra > 0 {
+                    self.emit(EV_FAULT, || TraceEvent::FaultLatency {
+                        thread: t.0,
+                        extra,
+                        at: ti,
+                    });
+                }
+                lat + extra
+            }
             None => lat,
         };
         let tc = ti + lat;
         self.complete(t, tc).stats.uops += 1;
         tc
+    }
+
+    fn note_ctrl_handler(&mut self, t: Tid, q: QueueId, tag: u32, at: Time) {
+        self.emit(EV_CTRL, || TraceEvent::HandlerFire {
+            thread: t.0,
+            queue: q.0,
+            tag,
+            at,
+        });
     }
 
     fn branch(&mut self, t: Tid, site: BranchId, taken: bool, cond_ready: Time) -> Time {
@@ -451,16 +516,30 @@ impl World for TimingWorld<'_> {
         let th = self.complete(t, tc);
         th.stats.branches += 1;
         if th.is_ra {
-            // RA FSM sequencing has no speculation.
-            return th.flow;
+            // RA FSM sequencing has no speculation; each branch is a
+            // state transition of the accelerator's FSM.
+            let flow = th.flow;
+            self.emit(EV_RA, || TraceEvent::RaTransition {
+                thread: t.0,
+                site: site.0,
+                taken,
+                at: tc,
+            });
+            return flow;
         }
         if th.predictor.mispredicted(site, taken) {
             th.stats.mispredicts += 1;
             let resume = tc + penalty;
             th.stats.frontend_stall_cycles += penalty;
             th.flow = th.flow.max(resume);
+            self.emit(EV_STALL, || TraceEvent::Stall {
+                thread: t.0,
+                kind: StallKind::Frontend,
+                cycles: penalty,
+                at: resume,
+            });
         }
-        th.flow
+        self.threads[t.0 as usize].flow
     }
 
     fn load(
@@ -473,7 +552,17 @@ impl World for TimingWorld<'_> {
         let (v, addr) = self.mem.load_with_addr(array, index)?;
         let (lat, mut ti) = self.mem_access(t, addr, dep);
         let lat = match self.faults {
-            Some(f) => lat + f.latency_extra(t.0 as usize, ti),
+            Some(f) => {
+                let extra = f.latency_extra(t.0 as usize, ti);
+                if extra > 0 {
+                    self.emit(EV_FAULT, || TraceEvent::FaultLatency {
+                        thread: t.0,
+                        extra,
+                        at: ti,
+                    });
+                }
+                lat + extra
+            }
             None => lat,
         };
         if self.threads[t.0 as usize].is_ra {
@@ -527,15 +616,17 @@ impl World for TimingWorld<'_> {
         if qi >= self.queues.len() {
             return Err(Trap::BadId(format!("queue {}", q.0)));
         }
-        let full = match self.faults {
+        let (full, squeeze) = match self.faults {
             // A squeeze clamps the *admission* check only; physical
             // slot-recycling timing is untouched (effective cap <=
             // physical cap, so the seed full-check is subsumed).
             Some(f) => {
                 let q = &self.queues[qi];
-                q.len() >= f.queue_cap(qi, q.enq_ord(), q.capacity())
+                let cap = f.queue_cap(qi, q.enq_ord(), q.capacity());
+                let clamped = if cap < q.capacity() { Some(cap) } else { None };
+                (q.len() >= cap, clamped)
             }
-            None => self.queues[qi].is_full(),
+            None => (self.queues[qi].is_full(), None),
         };
         if full {
             return Ok(None);
@@ -556,23 +647,48 @@ impl World for TimingWorld<'_> {
             self.issue_at(t, dep.max(slot_free), Attr::QueueFull)
         };
         let tc = (ti + lat).max(if is_ra { dep } else { 0 });
+        let extra = waited.saturating_sub(ti.saturating_sub(cursor));
         let core = {
             let th = self.complete(t, tc);
             th.stats.enqs += 1;
-            let extra = waited.saturating_sub(ti.saturating_sub(cursor));
             th.stats.queue_stall_cycles += extra;
             th.stats.queue_full_stall_cycles += extra;
             th.last_progress = th.last_progress.max(tc);
             th.core
         };
+        if extra > 0 {
+            // Back-pressure wait not already covered by the issue gap:
+            // reported as its own QueueFull stall span so event sums
+            // reconcile with `queue_full_stall_cycles` exactly.
+            self.emit(EV_STALL, || TraceEvent::Stall {
+                thread: t.0,
+                kind: StallKind::QueueFull,
+                cycles: extra,
+                at: tc,
+            });
+        }
+        if let Some(cap) = squeeze {
+            self.emit(EV_FAULT, || TraceEvent::FaultSqueeze {
+                queue: q.0,
+                cap: cap as u32,
+                at: tc,
+            });
+        }
         self.last_progress = self.last_progress.max(tc);
         self.queues[qi].push(QueueEntry {
             value: w,
             ready: tc,
             core,
         });
+        let occupancy = self.queues[qi].len() as u32;
+        self.emit(EV_QUEUE, || TraceEvent::Enq {
+            queue: q.0,
+            thread: t.0,
+            at: tc,
+            occupancy,
+        });
         if self.wait_flags[qi] & WAIT_EMPTY != 0 {
-            self.events.push(QueueEvent::Enq(q));
+            self.events.push(QueueEvent::Enq(q, tc));
         }
         Ok(Some(tc))
     }
@@ -598,10 +714,11 @@ impl World for TimingWorld<'_> {
         // A dequeue-stall fault delays delivery of the entry itself (a
         // pure latency addition: it can never turn this successful
         // dequeue into a blocked one).
-        let avail = match self.faults {
-            Some(f) => avail + f.deq_extra(qi, self.queues[qi].deq_ord()),
-            None => avail,
+        let deq_extra = match self.faults {
+            Some(f) => f.deq_extra(qi, self.queues[qi].deq_ord()),
+            None => 0,
         };
+        let avail = avail + deq_extra;
         let lat = self.op_latency(t, UopClass::QueuePop);
         let ti = self.issue_at(t, dep.max(avail.saturating_sub(lat)), Attr::QueueEmpty);
         let tc = (ti + lat).max(avail);
@@ -612,9 +729,23 @@ impl World for TimingWorld<'_> {
             th.last_progress = th.last_progress.max(tc);
         }
         self.last_progress = self.last_progress.max(tc);
+        if deq_extra > 0 {
+            self.emit(EV_FAULT, || TraceEvent::FaultDeqStall {
+                queue: q.0,
+                extra: deq_extra,
+                at: tc,
+            });
+        }
         let entry = self.queues[qi].pop(tc);
+        let occupancy = self.queues[qi].len() as u32;
+        self.emit(EV_QUEUE, || TraceEvent::Deq {
+            queue: q.0,
+            thread: t.0,
+            at: tc,
+            occupancy,
+        });
         if self.wait_flags[qi] & WAIT_FULL != 0 {
-            self.events.push(QueueEvent::Deq(q));
+            self.events.push(QueueEvent::Deq(q, tc));
         }
         if self.trace_deq {
             eprintln!(

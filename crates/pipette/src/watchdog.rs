@@ -116,17 +116,11 @@ pub(crate) enum ThreadCond {
     Killed,
 }
 
-/// One-line occupancy description of a queue (`q3 full 24/24`).
+/// One-line occupancy description of a queue (`q3 full 24/24`): the
+/// deadlock wait-cycle edges and this snapshot both render through
+/// [`crate::queue::QueueOcc`]'s single `Display` impl.
 pub(crate) fn qdesc(world: &TimingWorld<'_>, q: phloem_ir::QueueId) -> String {
-    let hq = &world.queues[q.0 as usize];
-    let fill = if hq.is_full() {
-        "full"
-    } else if hq.is_empty() {
-        "empty"
-    } else {
-        "partial"
-    };
-    format!("q{} {} {}/{}", q.0, fill, hq.len(), hq.capacity())
+    world.queues[q.0 as usize].occ(q.0).to_string()
 }
 
 /// Renders the shared diagnostics snapshot: per-thread state, atoms

@@ -14,7 +14,7 @@
 use phloem_benchsuite::fig14::{run_bfs_replicated, run_cc_replicated, RepVariant};
 use phloem_benchsuite::{bfs, cc, spmm, taco, Variant};
 use phloem_workloads::{graph, matrix};
-use pipette_sim::{ExecEngine, MachineConfig, SchedulerKind};
+use pipette_sim::{DigestSink, ExecEngine, MachineConfig, SchedulerKind, TraceSink};
 
 /// `(label, cycles)` pinned from the seed timing model (verified
 /// unchanged by the stream-prefetcher sentinel fix on these workloads).
@@ -157,6 +157,88 @@ fn polling_scheduler_matches_event_driven_exactly() {
         assert_eq!(
             golden, got,
             "Polling/{engine:?} changed simulated time vs EventDriven/Flat"
+        );
+    }
+}
+
+/// `(label, digest)` — golden order-sensitive digests of the canonical
+/// trace event stream. The trace-oracle suite proves the stream is
+/// grid-identical, so pinning one grid point (event-driven × flat) pins
+/// all four; any change here means the *semantic event sequence*
+/// changed, not just its rendering.
+const GOLDEN_TRACE: &[(&str, u64)] = &[
+    ("bfs/phloem/power_law_500", 0x9ed73ba4e6f7d62e),
+    ("taco-spmv/phloem/rnd_48", 0x359e146c78bcc5de),
+];
+
+fn trace_digests(engine: ExecEngine, scheduler: SchedulerKind) -> Vec<(&'static str, u64)> {
+    let mut cfg = MachineConfig::paper_1core();
+    cfg.engine = engine;
+    cfg.scheduler = scheduler;
+    let digest_of = |sink: Box<dyn TraceSink>| {
+        sink.downcast_ref::<DigestSink>()
+            .expect("digest sink")
+            .digest()
+    };
+    let mut out = Vec::new();
+
+    let g = graph::power_law(500, 3, 3);
+    let (m, sink) = bfs::run_traced(
+        &Variant::phloem(),
+        &g,
+        0,
+        &cfg,
+        "power_law_500",
+        Box::new(DigestSink::new()),
+    );
+    m.expect("golden run");
+    out.push(("bfs/phloem/power_law_500", digest_of(sink)));
+
+    let a = matrix::random_square(48, 4.0, 7);
+    let (m, sink) = taco::run_traced(
+        taco::TacoApp::Spmv,
+        &Variant::phloem(),
+        &a,
+        &cfg,
+        "rnd_48",
+        Box::new(DigestSink::new()),
+    );
+    m.expect("golden run");
+    out.push(("taco-spmv/phloem/rnd_48", digest_of(sink)));
+    out
+}
+
+#[test]
+fn trace_digests_match_the_pinned_event_streams() {
+    let got = trace_digests(ExecEngine::Flat, SchedulerKind::EventDriven);
+    if std::env::var("GOLDEN_PRINT").is_ok() {
+        for (label, digest) in &got {
+            println!("    (\"{label}\", {digest:#018x}),");
+        }
+        return;
+    }
+    assert_eq!(got.len(), GOLDEN_TRACE.len());
+    for ((label, digest), (glabel, golden)) in got.iter().zip(GOLDEN_TRACE) {
+        assert_eq!(label, glabel);
+        assert_eq!(
+            digest, golden,
+            "{label}: the semantic trace event stream diverged from the pinned digest"
+        );
+    }
+}
+
+#[test]
+fn trace_digests_are_grid_identical_on_the_golden_workloads() {
+    let golden = trace_digests(ExecEngine::Flat, SchedulerKind::EventDriven);
+    for (engine, sched) in [
+        (ExecEngine::Tree, SchedulerKind::EventDriven),
+        (ExecEngine::Flat, SchedulerKind::Polling),
+        (ExecEngine::Tree, SchedulerKind::Polling),
+    ] {
+        assert_eq!(
+            golden,
+            trace_digests(engine, sched),
+            "{sched:?}/{engine:?} produced a different event stream"
         );
     }
 }

@@ -17,7 +17,10 @@ cargo test -q
 echo "==> cargo test --workspace -q"
 cargo test --workspace -q
 
-echo "==> simspeed --smoke (scheduler x engine cycle/atom equality)"
+echo "==> simspeed --smoke (grid cycle/atom equality + throughput regression gate)"
+# Besides the cycle/atom-equality asserts, smoke mode gates the measured
+# event x flat throughput against the recorded BENCH_simspeed.json and
+# fails on a >15% regression (skips with a note if the file is absent).
 cargo run --release -q -p phloem-bench --bin simspeed -- --smoke
 
 echo "==> trace-smoke (Perfetto schema + trace-vs-untraced cycle identity)"

@@ -5,13 +5,13 @@
 //! indirect loads, filters, atomic RMWs, write-then-read hazards, early
 //! breaks), compiles each at every cut subset of its top-ranked
 //! decoupling points across the pass-ablation grid, runs every pipeline
-//! that compiles on the timed machine across the scheduler × engine
-//! grid, and compares:
+//! that compiles on the timed machine across the scheduler × engine ×
+//! fast-forward grid, and compares:
 //!
 //! * final memory against [`phloem_ir::interp::run_serial`] (the
 //!   correctness oracle), and
-//! * simulated cycles across every scheduler × engine combination
-//!   (which must be bit-identical).
+//! * simulated cycles across every scheduler × engine × fast-forward
+//!   combination (which must be bit-identical).
 //!
 //! A successfully compiled pipeline that traps at runtime is also a
 //! failure: the validator and `Pipeline::check` are supposed to reject
@@ -377,11 +377,18 @@ fn presets() -> Vec<PassConfig> {
     ]
 }
 
-const GRID: [(SchedulerKind, ExecEngine); 4] = [
-    (SchedulerKind::EventDriven, ExecEngine::Tree),
-    (SchedulerKind::EventDriven, ExecEngine::Flat),
-    (SchedulerKind::Polling, ExecEngine::Tree),
-    (SchedulerKind::Polling, ExecEngine::Flat),
+/// Scheduler × engine × fast-forward points that must all agree
+/// bit-identically. Every sched/engine cell runs with the ring-based
+/// issue calendar (fast-forward on, the default); two cells repeat with
+/// the dense reference calendar, so any cycle the ring reclaims too
+/// eagerly shows up as a grid divergence without doubling the sweep.
+const GRID: [(SchedulerKind, ExecEngine, bool); 6] = [
+    (SchedulerKind::EventDriven, ExecEngine::Tree, true),
+    (SchedulerKind::EventDriven, ExecEngine::Flat, true),
+    (SchedulerKind::Polling, ExecEngine::Tree, true),
+    (SchedulerKind::Polling, ExecEngine::Flat, true),
+    (SchedulerKind::EventDriven, ExecEngine::Flat, false),
+    (SchedulerKind::Polling, ExecEngine::Tree, false),
 ];
 
 #[derive(Default)]
@@ -438,8 +445,9 @@ fn check(g: &Genome, totals: &mut Totals) -> Option<String> {
     None
 }
 
-/// Runs one compiled pipeline over the scheduler × engine grid and
-/// diffs memory against the oracle and cycles across the grid.
+/// Runs one compiled pipeline over the scheduler × engine ×
+/// fast-forward grid and diffs memory against the oracle and cycles
+/// across the grid.
 fn diff_pipeline(
     pipe: &Pipeline,
     mem: &MemState,
@@ -449,23 +457,25 @@ fn diff_pipeline(
     totals: &mut Totals,
 ) -> Option<String> {
     let mut cycles: Option<u64> = None;
-    for (sched, engine) in GRID {
+    for (sched, engine, ff) in GRID {
         totals.runs += 1;
-        let mut session = pipette_sim::Session::new(cfg.clone(), mem.clone());
+        let mut point_cfg = cfg.clone();
+        point_cfg.fast_forward = ff;
+        let mut session = pipette_sim::Session::new(point_cfg, mem.clone());
         if let Err(t) = session.run_with_engine(pipe, params, sched, engine) {
-            return Some(format!("{sched:?}/{engine:?} trapped: {t}"));
+            return Some(format!("{sched:?}/{engine:?}/ff={ff} trapped: {t}"));
         }
         let (final_mem, stats) = session.finish();
         if !final_mem.same_contents(&oracle.mem) {
             return Some(format!(
-                "{sched:?}/{engine:?}: final memory differs from the serial oracle"
+                "{sched:?}/{engine:?}/ff={ff}: final memory differs from the serial oracle"
             ));
         }
         match cycles {
             None => cycles = Some(stats.cycles),
             Some(c) if c != stats.cycles => {
                 return Some(format!(
-                    "{sched:?}/{engine:?}: {} cycles, other grid points took {c}",
+                    "{sched:?}/{engine:?}/ff={ff}: {} cycles, other grid points took {c}",
                     stats.cycles
                 ));
             }
@@ -583,10 +593,13 @@ fn faulted_outcome(
     plan: &FaultPlan,
     sched: SchedulerKind,
     engine: ExecEngine,
+    fast_forward: bool,
     cfg: &MachineConfig,
     ref_mem: &MemState,
 ) -> String {
-    let mut session = pipette_sim::Session::new(cfg.clone(), target.mem.clone());
+    let mut cfg = cfg.clone();
+    cfg.fast_forward = fast_forward;
+    let mut session = pipette_sim::Session::new(cfg, target.mem.clone());
     session.set_faults(plan.clone());
     match session.run_with_engine(&target.pipeline, &target.params, sched, engine) {
         Ok(_) => {
@@ -605,10 +618,11 @@ fn faulted_outcome(
 }
 
 /// Runs every fault target under `plans_per_target` seeded fault plans,
-/// across the full scheduler × engine grid, and checks that every
-/// faulted run (a) terminates within the watchdog budget, (b) never
-/// silently corrupts memory, and (c) resolves to the *same* outcome —
-/// same trap or same completion cycle — at all four grid points.
+/// across the full scheduler × engine × fast-forward grid, and checks
+/// that every faulted run (a) terminates within the watchdog budget,
+/// (b) never silently corrupts memory, and (c) resolves to the *same*
+/// outcome — same trap or same completion cycle — at all six grid
+/// points.
 fn fault_mode(seed: u64, plans_per_target: u64) -> i32 {
     let base_cfg = MachineConfig::paper_1core();
     let start = std::time::Instant::now();
@@ -651,10 +665,10 @@ fn fault_mode(seed: u64, plans_per_target: u64) -> i32 {
             );
             plans += 1;
             let mut outcomes: Vec<(String, String)> = Vec::new();
-            for (sched, engine) in GRID {
+            for (sched, engine, ff) in GRID {
                 runs += 1;
-                let o = faulted_outcome(target, &plan, sched, engine, &cfg, &ref_mem);
-                outcomes.push((format!("{sched:?}/{engine:?}"), o));
+                let o = faulted_outcome(target, &plan, sched, engine, ff, &cfg, &ref_mem);
+                outcomes.push((format!("{sched:?}/{engine:?}/ff={ff}"), o));
             }
             let first = &outcomes[0].1;
             let diverged = outcomes.iter().any(|(_, o)| o != first);

@@ -299,6 +299,7 @@ impl std::error::Error for Trap {}
 /// # Errors
 /// Traps on control-value operands, division by zero, and float operands
 /// to integer-only operators.
+#[inline]
 pub fn eval_binop(op: BinOp, a: Value, b: Value) -> Result<Value, Trap> {
     use BinOp::*;
     if a.is_float() || b.is_float() {
@@ -374,6 +375,7 @@ pub fn eval_binop(op: BinOp, a: Value, b: Value) -> Result<Value, Trap> {
 ///
 /// # Errors
 /// Traps on control-value operands (except [`UnOp::IsCtrl`]).
+#[inline]
 pub fn eval_unop(op: UnOp, a: Value) -> Result<Value, Trap> {
     let v = match op {
         UnOp::IsCtrl => Value::from(a.is_ctrl()),

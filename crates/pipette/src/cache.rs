@@ -107,41 +107,53 @@ impl CacheArray {
         self.stamps[base + victim] = self.clock;
     }
 
-    /// Single-scan combination of [`CacheArray::access`] and
-    /// [`CacheArray::insert`]: looks the line up and, in the same pass,
-    /// tracks the victim way (first invalid, else LRU). On hit refreshes
-    /// LRU and returns true; on miss installs the line over the victim
-    /// and returns false. State transitions (including the two clock
-    /// bumps of the access-then-insert pair) are bit-identical to
-    /// calling the two methods back to back, but the set is scanned
-    /// once instead of twice — this is the demand-path hot loop.
+    /// The demand-path hot loop: branchless hit probe, then the miss
+    /// path. The probe is a fixed-trip scan over the set's tags with no
+    /// early exit and no data-dependent branch inside the loop (the
+    /// match index accumulates via conditional move), so the common
+    /// L1-hit case costs one set-mask index, one predictable
+    /// hit-or-miss branch, and no allocation or division. State
+    /// transitions (including the two clock bumps of the
+    /// access-then-insert pair) are bit-identical to calling
+    /// [`CacheArray::access`] then [`CacheArray::insert`]; the
+    /// `fused_scan_matches_access_then_insert` test pins this.
+    #[inline]
     fn access_or_victim(&mut self, line: u64) -> bool {
-        let set = (line & self.set_mask) as usize;
-        let base = set * self.ways;
+        let base = (line & self.set_mask) as usize * self.ways;
         self.clock += 1;
+        let mut hit = usize::MAX;
+        for (w, &tag) in self.tags[base..base + self.ways].iter().enumerate() {
+            if tag == line {
+                hit = w;
+            }
+        }
+        if hit != usize::MAX {
+            self.stamps[base + hit] = self.clock;
+            return true;
+        }
+        self.miss_install(base, line);
+        false
+    }
+
+    /// Miss path of [`CacheArray::access_or_victim`]: victim scan (first
+    /// invalid way, else LRU) and install — [`CacheArray::insert`]'s
+    /// exact policy, with the set index already resolved.
+    fn miss_install(&mut self, base: usize, line: u64) {
         let mut victim = 0;
         let mut oldest = u64::MAX;
-        let mut have_invalid = false;
         for w in 0..self.ways {
-            let tag = self.tags[base + w];
-            if tag == line {
-                self.stamps[base + w] = self.clock;
-                return true;
+            if self.tags[base + w] == u64::MAX {
+                victim = w;
+                break;
             }
-            if !have_invalid {
-                if tag == u64::MAX {
-                    have_invalid = true;
-                    victim = w;
-                } else if self.stamps[base + w] < oldest {
-                    oldest = self.stamps[base + w];
-                    victim = w;
-                }
+            if self.stamps[base + w] < oldest {
+                oldest = self.stamps[base + w];
+                victim = w;
             }
         }
         self.clock += 1;
         self.tags[base + victim] = line;
         self.stamps[base + victim] = self.clock;
-        false
     }
 
     fn contains(&self, line: u64) -> bool {
@@ -181,6 +193,11 @@ pub struct MemHierarchy {
     dram_latency: u64,
     dram_cycles_per_line: u64,
     controllers: Vec<Time>,
+    /// `controllers.len() - 1` when the count is a power of two (the
+    /// paper config: 2), letting [`MemHierarchy::dram_access`] pick the
+    /// controller with a mask instead of a division; `usize::MAX`
+    /// flags the modulo fallback for odd counts.
+    ctrl_mask: usize,
     prefetch: bool,
     prefetch_degree: u64,
     streams: Vec<[StreamEntry; 8]>,
@@ -205,6 +222,11 @@ impl MemHierarchy {
             dram_latency: cfg.dram_latency,
             dram_cycles_per_line: cfg.dram_cycles_per_line,
             controllers: vec![0; cfg.dram_controllers.max(1)],
+            ctrl_mask: if cfg.dram_controllers.max(1).is_power_of_two() {
+                cfg.dram_controllers.max(1) - 1
+            } else {
+                usize::MAX
+            },
             prefetch: cfg.prefetch,
             prefetch_degree: cfg.prefetch_degree,
             streams: vec![[StreamEntry::default(); 8]; cfg.cores],
@@ -213,7 +235,11 @@ impl MemHierarchy {
     }
 
     fn dram_access(&mut self, line: u64, now: Time) -> u64 {
-        let ctrl = (line as usize) % self.controllers.len();
+        let ctrl = if self.ctrl_mask != usize::MAX {
+            line as usize & self.ctrl_mask
+        } else {
+            line as usize % self.controllers.len()
+        };
         let start = self.controllers[ctrl].max(now);
         self.controllers[ctrl] = start + self.dram_cycles_per_line;
         (start - now) + self.dram_latency
@@ -227,6 +253,7 @@ impl MemHierarchy {
 
     /// Performs a demand access from `core` to byte address `addr` at
     /// time `now`; returns `(latency, level)`.
+    #[inline]
     pub fn access(&mut self, core: usize, addr: u64, now: Time) -> (u64, HitLevel) {
         let line = addr >> LINE_SHIFT;
         // Each level is probed once: a miss installs the line during the
@@ -407,6 +434,47 @@ mod tests {
             assert_eq!(split.tags, fused.tags, "tags diverged at op {i}");
             assert_eq!(split.stamps, fused.stamps, "stamps diverged at op {i}");
             assert_eq!(split.clock, fused.clock, "clock diverged at op {i}");
+        }
+    }
+
+    #[test]
+    fn masked_set_index_equals_the_modulo_computation() {
+        // The set count is forced to a power of two at construction, so
+        // `line & set_mask` must agree with the reference `line % sets`
+        // over a sweep of addresses — for every cache geometry in the
+        // paper config (and a degenerate 1-set array).
+        for (kb, ways) in [(32, 8), (256, 8), (2048, 16), (4, 4), (1, 16)] {
+            let c = CacheArray::new(kb, ways);
+            let sets = c.set_mask + 1;
+            assert!(sets.is_power_of_two());
+            for addr in (0..1u64 << 22).step_by(1 << 6) {
+                let line = addr >> LINE_SHIFT;
+                assert_eq!(
+                    line & c.set_mask,
+                    line % sets,
+                    "kb={kb} ways={ways} line={line}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn masked_controller_index_equals_the_modulo_computation() {
+        // Two controllers (the paper config) -> mask path; three -> the
+        // modulo fallback. Both must agree with `line % n`.
+        for n in [1usize, 2, 3, 4] {
+            let mut c = cfg();
+            c.dram_controllers = n;
+            let h = MemHierarchy::new(&c);
+            for line in 0..4096u64 {
+                let want = (line as usize) % n;
+                let got = if h.ctrl_mask != usize::MAX {
+                    line as usize & h.ctrl_mask
+                } else {
+                    line as usize % h.controllers.len()
+                };
+                assert_eq!(got, want, "n={n} line={line}");
+            }
         }
     }
 

@@ -87,6 +87,18 @@ pub struct MachineConfig {
     /// it raises a structured trap instead of hanging the host.
     #[serde(default)]
     pub watchdog: WatchdogConfig,
+    /// Idle-cycle fast-forward: the per-core issue calendar is a
+    /// bounded ring whose base skips past reclaimed cycles at round
+    /// boundaries, instead of a dense array spanning the invocation.
+    /// Host-side only — simulated cycles are bit-identical either way
+    /// (`tests/fast_forward.rs` and fuzzdiff enforce it); `false` keeps
+    /// the dense reference layout for differential testing.
+    #[serde(default = "default_true")]
+    pub fast_forward: bool,
+}
+
+fn default_true() -> bool {
+    true
 }
 
 impl MachineConfig {
@@ -128,6 +140,7 @@ impl MachineConfig {
             scheduler: SchedulerKind::EventDriven,
             engine: ExecEngine::Flat,
             watchdog: WatchdogConfig::default(),
+            fast_forward: default_true(),
         }
     }
 

@@ -75,6 +75,13 @@ pub(crate) struct HwQueue {
     deq_ring: Vec<Time>,
     enq_count: u64,
     deq_count: u64,
+    /// `deq_count % cap`, maintained incrementally (the ring cursors
+    /// keep the per-op path free of the `%` a non-power-of-two capacity
+    /// would otherwise cost).
+    deq_pos: usize,
+    /// `(enq_count - cap) % cap` once `enq_count >= cap` (the slot the
+    /// next enqueue waits on); 0 before the ring wraps.
+    free_pos: usize,
     pub(crate) stats: QueueStats,
 }
 
@@ -86,6 +93,8 @@ impl HwQueue {
             deq_ring: vec![0; cap],
             enq_count: 0,
             deq_count: 0,
+            deq_pos: 0,
+            free_pos: 0,
             stats: QueueStats::new(cap),
         }
     }
@@ -120,7 +129,11 @@ impl HwQueue {
     /// Earliest cycle at which the next enqueue's slot is free.
     pub(crate) fn slot_free_time(&self) -> Time {
         if self.enq_count >= self.cap as u64 {
-            self.deq_ring[((self.enq_count - self.cap as u64) % self.cap as u64) as usize]
+            debug_assert_eq!(
+                self.free_pos as u64,
+                (self.enq_count - self.cap as u64) % self.cap as u64
+            );
+            self.deq_ring[self.free_pos]
         } else {
             0
         }
@@ -131,6 +144,12 @@ impl HwQueue {
         debug_assert!(!self.is_full());
         self.entries.push_back(entry);
         self.enq_count += 1;
+        if self.enq_count > self.cap as u64 {
+            self.free_pos += 1;
+            if self.free_pos == self.cap {
+                self.free_pos = 0;
+            }
+        }
         self.stats.enqs += 1;
         self.stats.record(self.entries.len());
     }
@@ -142,8 +161,12 @@ impl HwQueue {
     /// Panics if the queue is empty (callers check [`Self::is_empty`]).
     pub(crate) fn pop(&mut self, free_at: Time) -> QueueEntry {
         let entry = self.entries.pop_front().expect("nonempty");
-        let pos = (self.deq_count % self.cap as u64) as usize;
-        self.deq_ring[pos] = free_at;
+        debug_assert_eq!(self.deq_pos as u64, self.deq_count % self.cap as u64);
+        self.deq_ring[self.deq_pos] = free_at;
+        self.deq_pos += 1;
+        if self.deq_pos == self.cap {
+            self.deq_pos = 0;
+        }
         self.deq_count += 1;
         self.stats.deqs += 1;
         self.stats.record(self.entries.len());

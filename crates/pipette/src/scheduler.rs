@@ -40,7 +40,7 @@
 //! the cycle-exactness against a reference polling implementation.
 
 use crate::queue::QueueEvent;
-use crate::timing::{TimingWorld, WAIT_EMPTY, WAIT_FULL};
+use crate::timing::{AdvanceEvent, TimingWorld, WAIT_EMPTY, WAIT_FULL};
 use crate::trace::{TraceEvent, TraceVerdict, EV_FAULT, EV_SCHED, EV_WATCHDOG};
 use crate::watchdog::{self, ThreadCond};
 use phloem_ir::{BlockReason, Pipeline, QueueId, StageExec, StageProgram, StepResult, Stmt, Trap};
@@ -62,11 +62,12 @@ enum ThreadState {
 ///
 /// Both produce **bit-identical simulated cycles** (blocked queue polls
 /// have no timing side effects); they differ only in host work and in
-/// the `stall_polls` counter. `Polling` is the seed simulator's full
-/// host model — its round-robin re-polling loop *and* its map-based
-/// issue tracker — kept as the reference implementation for
-/// differential tests and host-throughput baselines
-/// (`BENCH_simspeed.json`).
+/// the `stall_polls` counter. `Polling` is the seed simulator's
+/// round-robin re-polling host loop, kept as the reference
+/// implementation for differential tests and host-throughput baselines
+/// (`BENCH_simspeed.json`). Both kinds share the calendar-ring issue
+/// tracker; its dense reference layout is selected independently via
+/// [`crate::MachineConfig::fast_forward`].
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub enum SchedulerKind {
     /// Wait-list based: blocked threads are parked and only re-stepped
@@ -74,8 +75,7 @@ pub enum SchedulerKind {
     #[default]
     EventDriven,
     /// The seed model: round-robin re-polling of every unfinished
-    /// thread (every fruitless re-poll increments `stall_polls`) over
-    /// the seed's map-based per-cycle issue tracker.
+    /// thread (every fruitless re-poll increments `stall_polls`).
     Polling,
 }
 
@@ -160,7 +160,7 @@ pub(crate) fn run<E: StageExec>(
                     progressed = true;
                     state[i] = ThreadState::Finished;
                     world.note_finish(i);
-                    let at = world.threads[i].stats.finish_time;
+                    let at = world.threads[i].finish_time;
                     world.emit(EV_SCHED, || TraceEvent::Finish {
                         thread: i as u32,
                         at,
@@ -276,7 +276,10 @@ pub(crate) fn run<E: StageExec>(
             });
             return Err(deadlock_trap(world, interps, &state, &killed, pipeline));
         }
-        if let Some(v) = watchdog::verdict(world) {
+        // One advance point per round: reclaim issue-calendar slots
+        // (the idle-cycle fast-forward) and run the watchdog verdict —
+        // consolidated so fast-forward can never skip a watchdog check.
+        if let Some(v) = world.advance_to(AdvanceEvent::RoundEnd) {
             let tv = match v {
                 watchdog::Verdict::CycleLimit => TraceVerdict::CycleLimit,
                 watchdog::Verdict::Livelock => TraceVerdict::Livelock,

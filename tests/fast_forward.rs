@@ -1,0 +1,160 @@
+//! Idle-cycle fast-forward is host-side only.
+//!
+//! `MachineConfig::fast_forward` selects the issue-calendar layout: a
+//! bounded ring whose base skips reclaimed cycles (on, the default) or
+//! the dense reference array (off). The pin: for random fault plans and
+//! watchdog windows — including cycle caps tight enough to trap — the
+//! two layouts produce identical outcomes (makespan or trap), identical
+//! `RunStats` and final memory, and identical trace digests, on every
+//! point of the scheduler × engine grid. In other words, fast-forward
+//! never skips a cycle in which a thread, queue, RA, fault, or watchdog
+//! action is schedulable.
+
+use proptest::prelude::*;
+
+use phloem_benchsuite::fault_targets::{targets, FaultTarget};
+use pipette_sim::{
+    DigestSink, ExecEngine, FaultPlan, MachineConfig, SchedulerKind, Session, WatchdogConfig,
+};
+
+const GRID: [(SchedulerKind, ExecEngine); 4] = [
+    (SchedulerKind::EventDriven, ExecEngine::Flat),
+    (SchedulerKind::EventDriven, ExecEngine::Tree),
+    (SchedulerKind::Polling, ExecEngine::Flat),
+    (SchedulerKind::Polling, ExecEngine::Tree),
+];
+
+/// Everything observable from one run: the outcome (makespan or the
+/// trap, rendered), `RunStats` and final memory via `Debug`, and the
+/// trace digest. Trapped runs still digest their partial trace.
+struct Observed {
+    outcome: String,
+    stats: String,
+    mem: String,
+    digest: u64,
+}
+
+fn observe(target: &FaultTarget, cfg: &MachineConfig, plan: &FaultPlan) -> Observed {
+    let mut session = Session::new(cfg.clone(), target.mem.clone());
+    if !plan.is_empty() {
+        session.set_faults(plan.clone());
+    }
+    session.set_trace(Box::new(DigestSink::new()));
+    let outcome = match session.run(&target.pipeline, &target.params) {
+        Ok(end) => format!("end={end}"),
+        Err(e) => format!("trap={e}"),
+    };
+    let sink = session.take_trace().unwrap();
+    let digest = sink.downcast_ref::<DigestSink>().unwrap().digest();
+    let (mem, stats) = session.finish();
+    Observed {
+        outcome,
+        stats: format!("{stats:?}"),
+        mem: format!("{mem:?}"),
+        digest,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Fast-forward on vs. off under random faults and watchdog limits:
+    /// same outcome, same stats/memory, same trace digest.
+    #[test]
+    fn fast_forward_on_off_are_bit_identical(
+        target_idx in 0usize..6,
+        grid_idx in 0usize..4,
+        fault_seed in any::<u64>(),
+        watchdog_sel in 0usize..3,
+    ) {
+        let base = MachineConfig::paper_1core();
+        let all = targets(&base);
+        let target = &all[target_idx % all.len()];
+        let (sched, engine) = GRID[grid_idx];
+        // Random 1–3 fault plan (squeezes, latency spikes, dequeue
+        // stalls, kills) with horizons sized to these single-invocation
+        // targets, plus a watchdog that is always at least
+        // livelock-armed and sometimes has a cycle cap tight enough to
+        // fire mid-run — a trap must land on the same cycle either way.
+        let plan = FaultPlan::random(
+            fault_seed,
+            target.pipeline.stages.len(),
+            target.pipeline.num_queues as usize,
+            50_000,
+            5_000,
+        );
+        let watchdog = match watchdog_sel {
+            0 => WatchdogConfig::default(),
+            1 => WatchdogConfig::with_cycle_cap(30_000),
+            _ => WatchdogConfig::with_cycle_cap(8_000),
+        };
+        let mut results = Vec::new();
+        for fast_forward in [true, false] {
+            let mut cfg = base.clone();
+            cfg.scheduler = sched;
+            cfg.engine = engine;
+            cfg.watchdog = watchdog;
+            cfg.fast_forward = fast_forward;
+            results.push(observe(target, &cfg, &plan));
+        }
+        let (on, off) = (&results[0], &results[1]);
+        prop_assert_eq!(&on.outcome, &off.outcome,
+            "outcome diverged on {} ({sched:?}/{engine:?})", target.name);
+        prop_assert_eq!(&on.stats, &off.stats,
+            "RunStats diverged on {} ({sched:?}/{engine:?})", target.name);
+        prop_assert_eq!(&on.mem, &off.mem,
+            "final memory diverged on {} ({sched:?}/{engine:?})", target.name);
+        prop_assert_eq!(on.digest, off.digest,
+            "trace digest diverged on {} ({sched:?}/{engine:?})", target.name);
+    }
+}
+
+/// The full {scheduler} × {engine} × {fast-forward} grid on one queue-
+/// heavy target, unfaulted. Two layers of agreement: within each
+/// scheduler × engine cell, the ff-on and ff-off runs must be
+/// indistinguishable down to the full `RunStats` (host-model counters
+/// like poll counts legitimately differ *across* schedulers, so the
+/// whole-stats pin lives inside the cell); across all eight cells, the
+/// makespan, final memory, and trace digest must agree.
+#[test]
+fn the_eight_point_grid_agrees_on_everything() {
+    let base = MachineConfig::paper_1core();
+    let all = targets(&base);
+    let target = &all[0]; // bfs/manual: dense queue traffic
+    let empty = FaultPlan::new(vec![]);
+    let mut first: Option<Observed> = None;
+    for (sched, engine) in GRID {
+        let cell: Vec<Observed> = [true, false]
+            .iter()
+            .map(|&fast_forward| {
+                let mut cfg = base.clone();
+                cfg.scheduler = sched;
+                cfg.engine = engine;
+                cfg.fast_forward = fast_forward;
+                observe(target, &cfg, &empty)
+            })
+            .collect();
+        assert_eq!(
+            cell[0].stats, cell[1].stats,
+            "{sched:?}/{engine:?}: RunStats diverged between ff on and off"
+        );
+        for (got, ff) in cell.iter().zip([true, false]) {
+            let label = format!("{sched:?}/{engine:?}/ff={ff}");
+            match &first {
+                None => {
+                    first = Some(Observed {
+                        outcome: got.outcome.clone(),
+                        stats: String::new(),
+                        mem: got.mem.clone(),
+                        digest: got.digest,
+                    })
+                }
+                Some(want) => {
+                    assert_eq!(want.outcome, got.outcome, "{label}: makespan diverged");
+                    assert_eq!(want.mem, got.mem, "{label}: final memory diverged");
+                    assert_eq!(want.digest, got.digest, "{label}: trace digest diverged");
+                }
+            }
+        }
+    }
+}

@@ -36,12 +36,22 @@ fn measure_all(engine: ExecEngine) -> Vec<(&'static str, u64)> {
 }
 
 fn measure_with(engine: ExecEngine, scheduler: SchedulerKind) -> Vec<(&'static str, u64)> {
+    measure_grid(engine, scheduler, true)
+}
+
+fn measure_grid(
+    engine: ExecEngine,
+    scheduler: SchedulerKind,
+    fast_forward: bool,
+) -> Vec<(&'static str, u64)> {
     let mut cfg1 = MachineConfig::paper_1core();
     cfg1.engine = engine;
     cfg1.scheduler = scheduler;
+    cfg1.fast_forward = fast_forward;
     let mut cfg4 = MachineConfig::paper_multicore(4);
     cfg4.engine = engine;
     cfg4.scheduler = scheduler;
+    cfg4.fast_forward = fast_forward;
     let mut out = Vec::new();
 
     let g = graph::power_law(500, 3, 3);
@@ -239,6 +249,23 @@ fn trace_digests_are_grid_identical_on_the_golden_workloads() {
             golden,
             trace_digests(engine, sched),
             "{sched:?}/{engine:?} produced a different event stream"
+        );
+    }
+}
+
+/// The dense reference issue calendar (fast-forward off) must land on
+/// the same pinned cycle counts as the default ring calendar: the ring
+/// only reclaims cycles no thread can issue into, so it is a host-side
+/// layout choice, never a timing-model change.
+#[test]
+fn fast_forward_off_matches_the_golden_pins() {
+    let got = measure_grid(ExecEngine::Flat, SchedulerKind::EventDriven, false);
+    assert_eq!(got.len(), GOLDEN.len());
+    for ((label, cycles), (glabel, golden)) in got.iter().zip(GOLDEN) {
+        assert_eq!(label, glabel);
+        assert_eq!(
+            cycles, golden,
+            "{label}: the dense issue calendar diverged from the pinned cycles"
         );
     }
 }

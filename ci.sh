@@ -38,6 +38,18 @@ cargo run --release -q -p phloem-bench --bin fuzzdiff -- --faults --smoke
 echo "==> sim_robustness (watchdog/fault/degradation pins)"
 cargo test -q --test sim_robustness
 
+echo "==> phloem-pool unit tests (steal fairness, park/unpark, panic containment)"
+cargo test -q -p phloem-pool
+
+echo "==> pool_determinism (bit-identical reports across worker counts)"
+cargo test -q --test pool_determinism
+
+echo "==> parallel --smoke (fleet scaling: determinism + overhead gates)"
+# Asserts >=1.5x host speedup at 4 workers when the host has >=4 cores;
+# on smaller hosts the speedup gate is skipped (hardware-bounded) but
+# the determinism and overhead assertions still run.
+cargo run --release -q -p phloem-bench --bin parallel -- --smoke
+
 echo "==> cargo clippy --workspace --all-targets -- -D warnings"
 cargo clippy --workspace --all-targets -q -- -D warnings
 

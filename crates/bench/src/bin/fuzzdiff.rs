@@ -1,5 +1,6 @@
 //! Differential fuzzing of the Phloem compiler against the functional
-//! oracle.
+//! oracle. The genome generator, per-genome exhaustive check, and
+//! minimizer live in [`phloem_bench::fuzz`]; this binary is the CLI.
 //!
 //! Generates seeded random PhloemC-shaped loop nests (nested for/while,
 //! indirect loads, filters, atomic RMWs, write-then-read hazards, early
@@ -21,12 +22,19 @@
 //! (segments dropped, trip counts halved, loop shape simplified) and
 //! printed as a ready-to-paste regression test body.
 //!
+//! Genome checks and fault plans fan out over the shared work-stealing
+//! fleet (`phloem-pool`); the sweep's totals, failure list, and
+//! per-plan outcomes are keyed by index, so the report is byte-identical
+//! at every `--jobs` count.
+//!
 //! Usage:
 //!
 //! ```text
 //! fuzzdiff                      # full run: 1000 programs, seed 1
 //! fuzzdiff --smoke              # CI: 100 programs, fixed seed, <60 s
 //! fuzzdiff --seed S --count N   # custom sweep
+//! fuzzdiff --jobs N             # host workers (default: PHLOEM_WORKERS
+//!                               # or available parallelism)
 //! fuzzdiff --validate-benchsuite  # validate every benchsuite/PGO pipeline
 //! fuzzdiff --faults             # fault injection: 40 plans x 6 targets x grid
 //! fuzzdiff --faults --smoke     # CI: 6 plans per target
@@ -35,491 +43,21 @@
 //! Exits nonzero on any divergence (or any validator rejection in
 //! `--validate-benchsuite` mode).
 
+use phloem_bench::fuzz::{fuzz_sweep, minimize, render_failure, GRID};
+use phloem_bench::jobs;
 use phloem_benchsuite::fault_targets::targets as fault_targets;
 use phloem_benchsuite::{bfs, cc, radii, spmm, taco, Variant};
 use phloem_compiler::search::{enumerate_pipelines, SearchOptions};
-use phloem_compiler::{analyze, decouple_with_cuts, CompileOptions, PassConfig};
-use phloem_ir::{
-    interp, pretty, ArrayDecl, ArrayId, BinOp, Expr, Function, FunctionBuilder, LoadId, MemState,
-    Pipeline, Value,
-};
-use pipette_sim::{ExecEngine, FaultPlan, MachineConfig, SchedulerKind, WatchdogConfig};
-
-// ---------------------------------------------------------------------
-// Deterministic RNG (xorshift64*): no external crates, stable across
-// platforms, so a seed printed by a failing run reproduces it exactly.
-// ---------------------------------------------------------------------
-
-struct Rng(u64);
-
-impl Rng {
-    fn new(seed: u64) -> Rng {
-        Rng(seed | 1)
-    }
-    fn next(&mut self) -> u64 {
-        self.0 ^= self.0 << 13;
-        self.0 ^= self.0 >> 7;
-        self.0 ^= self.0 << 17;
-        self.0.wrapping_mul(0x2545F4914F6CDD1D)
-    }
-    fn below(&mut self, n: u64) -> u64 {
-        self.next() % n.max(1)
-    }
-    fn chance(&mut self, pct: u64) -> bool {
-        self.below(100) < pct
-    }
-}
-
-// ---------------------------------------------------------------------
-// Program genome: a compact recipe the generator expands into a
-// Function + MemState. Minimization edits the genome, not the IR.
-// ---------------------------------------------------------------------
-
-/// One body segment of the outer loop, in PhloemC shapes.
-#[derive(Clone, Copy, Debug, PartialEq)]
-enum Segment {
-    /// `x = idx[i]; y = data[x]; acc += y*3 + 1` — the paper's
-    /// introductory kernel; with `filter`, the fetch+accumulate is
-    /// guarded by `if (x % 2 == 0)`.
-    IndirectSum { filter: bool },
-    /// `s = bounds[i]; e = bounds[i+1]; for (j in s..e) { v = items[j];
-    /// acc += v; }` — the BFS/CSR nest.
-    NestedSum,
-    /// `h = idx[i]; atomic hist[h] += 1` — histogram RMW.
-    Histogram,
-    /// `wr[i] = acc; z = wr[widx[i]]; acc ^= z` — a same-array
-    /// write-then-read hazard; cuts separating the store from the load
-    /// must be rejected (the Fig. 4 race) or ordered correctly.
-    WriteRace,
-    /// `d = dense[i]; acc += d` — dense streaming (never a cut
-    /// candidate; exercises adjacency/recompute paths).
-    DenseAcc,
-}
-
-#[derive(Clone, Debug)]
-struct Genome {
-    seed: u64,
-    /// Outer trip count.
-    n: i64,
-    /// Indexable data/array length.
-    data_len: i64,
-    segments: Vec<Segment>,
-    /// Lower the outer loop as `while(1) { ...; k++; if (k>=n) break; }`.
-    while_shape: bool,
-    /// Add `if (acc > limit) break` at the end of the outer body.
-    early_break: Option<i64>,
-}
-
-impl Genome {
-    fn random(rng: &mut Rng) -> Genome {
-        let nsegs = 1 + rng.below(3) as usize;
-        let mut segments = Vec::with_capacity(nsegs);
-        for _ in 0..nsegs {
-            segments.push(match rng.below(6) {
-                0 => Segment::IndirectSum { filter: false },
-                1 | 2 => Segment::IndirectSum { filter: true },
-                3 => Segment::NestedSum,
-                4 => Segment::Histogram,
-                _ => {
-                    if rng.chance(50) {
-                        Segment::WriteRace
-                    } else {
-                        Segment::DenseAcc
-                    }
-                }
-            });
-        }
-        Genome {
-            seed: rng.next(),
-            n: 8 + rng.below(40) as i64,
-            data_len: 8 + rng.below(56) as i64,
-            segments,
-            while_shape: rng.chance(25),
-            early_break: if rng.chance(20) {
-                Some(1 + rng.below(5000) as i64)
-            } else {
-                None
-            },
-        }
-    }
-
-    /// Simpler variants for delta-debugging, most aggressive first.
-    fn shrink_candidates(&self) -> Vec<Genome> {
-        let mut out = Vec::new();
-        for k in 0..self.segments.len() {
-            if self.segments.len() > 1 {
-                let mut g = self.clone();
-                g.segments.remove(k);
-                out.push(g);
-            }
-        }
-        if self.early_break.is_some() {
-            let mut g = self.clone();
-            g.early_break = None;
-            out.push(g);
-        }
-        if self.while_shape {
-            let mut g = self.clone();
-            g.while_shape = false;
-            out.push(g);
-        }
-        if self.n > 2 {
-            let mut g = self.clone();
-            g.n /= 2;
-            out.push(g);
-        }
-        if self.data_len > 2 {
-            let mut g = self.clone();
-            g.data_len /= 2;
-            out.push(g);
-        }
-        out
-    }
-}
-
-/// Arrays of the generated program, in declaration = allocation order.
-struct Arrays {
-    idx: ArrayId,
-    data: ArrayId,
-    bounds: ArrayId,
-    items: ArrayId,
-    hist: ArrayId,
-    widx: ArrayId,
-    wr: ArrayId,
-    dense: ArrayId,
-    out: ArrayId,
-}
-
-fn declare_arrays(b: &mut FunctionBuilder) -> Arrays {
-    Arrays {
-        idx: b.array_i64("idx"),
-        data: b.array_i64("data"),
-        bounds: b.array_i64("bounds"),
-        items: b.array_i64("items"),
-        hist: b.array_i64("hist"),
-        widx: b.array_i64("widx"),
-        wr: b.array_i64("wr"),
-        dense: b.array_i64("dense"),
-        out: b.array_i64("out"),
-    }
-}
-
-fn build_mem(g: &Genome) -> MemState {
-    let mut rng = Rng::new(g.seed);
-    let n = g.n as usize;
-    let dl = g.data_len as usize;
-    let items_len = dl.max(4);
-    let mut mem = MemState::new();
-    mem.alloc_i64(
-        ArrayDecl::i64("idx"),
-        (0..n).map(|_| rng.below(dl as u64) as i64),
-    );
-    mem.alloc_i64(
-        ArrayDecl::i64("data"),
-        (0..dl).map(|_| rng.below(1000) as i64 - 500),
-    );
-    // Nondecreasing CSR-style bounds into items.
-    let mut acc = 0i64;
-    let mut bounds = Vec::with_capacity(n + 1);
-    bounds.push(0);
-    for _ in 0..n {
-        acc = (acc + rng.below(3) as i64).min(items_len as i64);
-        bounds.push(acc);
-    }
-    mem.alloc_i64(ArrayDecl::i64("bounds"), bounds);
-    mem.alloc_i64(
-        ArrayDecl::i64("items"),
-        (0..items_len).map(|_| rng.below(100) as i64),
-    );
-    mem.alloc(ArrayDecl::i64("hist"), dl);
-    mem.alloc_i64(
-        ArrayDecl::i64("widx"),
-        (0..n).map(|_| rng.below(n as u64) as i64),
-    );
-    mem.alloc(ArrayDecl::i64("wr"), n.max(1));
-    mem.alloc_i64(
-        ArrayDecl::i64("dense"),
-        (0..n).map(|_| rng.below(50) as i64),
-    );
-    mem.alloc(ArrayDecl::i64("out"), 2);
-    mem
-}
-
-fn build_func(g: &Genome) -> Function {
-    let mut b = FunctionBuilder::new("fuzz");
-    let n = b.param_i64("n");
-    let a = declare_arrays(&mut b);
-    let acc = b.var_i64("acc");
-    let i = b.var_i64("i");
-    let body = |f: &mut FunctionBuilder, iv: phloem_ir::VarId| {
-        for (si, seg) in g.segments.iter().enumerate() {
-            emit_segment(f, &a, *seg, si, iv, acc);
-        }
-        if let Some(limit) = g.early_break {
-            f.if_then(
-                Expr::bin(BinOp::Gt, Expr::var(acc), Expr::i64(limit)),
-                |f| f.break_out(1),
-            );
-        }
-    };
-    if g.while_shape {
-        b.while_true(|f| {
-            body(f, i);
-            f.assign(i, Expr::add(Expr::var(i), Expr::i64(1)));
-            f.if_then(Expr::bin(BinOp::Ge, Expr::var(i), Expr::var(n)), |f| {
-                f.break_out(1)
-            });
-        });
-    } else {
-        b.for_loop(i, Expr::i64(0), Expr::var(n), |f| body(f, i));
-    }
-    b.store(a.out, Expr::i64(0), Expr::var(acc));
-    b.build()
-}
-
-fn emit_segment(
-    f: &mut FunctionBuilder,
-    a: &Arrays,
-    seg: Segment,
-    si: usize,
-    i: phloem_ir::VarId,
-    acc: phloem_ir::VarId,
-) {
-    match seg {
-        Segment::IndirectSum { filter } => {
-            let x = f.var_i64(format!("x{si}"));
-            let y = f.var_i64(format!("y{si}"));
-            let lx = f.load(a.idx, Expr::var(i));
-            f.assign(x, lx);
-            let fetch_acc = |f: &mut FunctionBuilder| {
-                let ly = f.load(a.data, Expr::var(x));
-                f.assign(y, ly);
-                f.assign(
-                    acc,
-                    Expr::add(
-                        Expr::var(acc),
-                        Expr::add(Expr::mul(Expr::var(y), Expr::i64(3)), Expr::i64(1)),
-                    ),
-                );
-            };
-            if filter {
-                f.if_then(
-                    Expr::bin(
-                        BinOp::Eq,
-                        Expr::bin(BinOp::Rem, Expr::var(x), Expr::i64(2)),
-                        Expr::i64(0),
-                    ),
-                    fetch_acc,
-                );
-            } else {
-                fetch_acc(f);
-            }
-        }
-        Segment::NestedSum => {
-            let s = f.var_i64(format!("s{si}"));
-            let e = f.var_i64(format!("e{si}"));
-            let j = f.var_i64(format!("j{si}"));
-            let v = f.var_i64(format!("v{si}"));
-            let ls = f.load(a.bounds, Expr::var(i));
-            f.assign(s, ls);
-            let le = f.load(a.bounds, Expr::add(Expr::var(i), Expr::i64(1)));
-            f.assign(e, le);
-            f.for_loop(j, Expr::var(s), Expr::var(e), |f| {
-                let lv = f.load(a.items, Expr::var(j));
-                f.assign(v, lv);
-                f.assign(acc, Expr::add(Expr::var(acc), Expr::var(v)));
-            });
-        }
-        Segment::Histogram => {
-            let h = f.var_i64(format!("h{si}"));
-            let lh = f.load(a.idx, Expr::var(i));
-            f.assign(h, lh);
-            f.atomic_rmw(BinOp::Add, a.hist, Expr::var(h), Expr::i64(1), None);
-        }
-        Segment::WriteRace => {
-            let w = f.var_i64(format!("w{si}"));
-            let z = f.var_i64(format!("z{si}"));
-            f.store(a.wr, Expr::var(i), Expr::var(acc));
-            let lw = f.load(a.widx, Expr::var(i));
-            f.assign(w, lw);
-            let lz = f.load(a.wr, Expr::var(w));
-            f.assign(z, lz);
-            f.assign(
-                acc,
-                Expr::add(
-                    Expr::var(acc),
-                    Expr::bin(BinOp::And, Expr::var(z), Expr::i64(7)),
-                ),
-            );
-        }
-        Segment::DenseAcc => {
-            let d = f.var_i64(format!("d{si}"));
-            let ld = f.load(a.dense, Expr::var(i));
-            f.assign(d, ld);
-            f.assign(acc, Expr::add(Expr::var(acc), Expr::var(d)));
-        }
-    }
-}
-
-// ---------------------------------------------------------------------
-// The differential check itself.
-// ---------------------------------------------------------------------
-
-fn presets() -> Vec<PassConfig> {
-    vec![
-        PassConfig::queues_only(),
-        PassConfig::with_recompute(),
-        PassConfig::with_cv(),
-        PassConfig::with_dce(),
-        PassConfig::with_handlers(),
-        PassConfig::all(),
-        PassConfig::all_streaming(),
-    ]
-}
-
-/// Scheduler × engine × fast-forward points that must all agree
-/// bit-identically. Every sched/engine cell runs with the ring-based
-/// issue calendar (fast-forward on, the default); two cells repeat with
-/// the dense reference calendar, so any cycle the ring reclaims too
-/// eagerly shows up as a grid divergence without doubling the sweep.
-const GRID: [(SchedulerKind, ExecEngine, bool); 6] = [
-    (SchedulerKind::EventDriven, ExecEngine::Tree, true),
-    (SchedulerKind::EventDriven, ExecEngine::Flat, true),
-    (SchedulerKind::Polling, ExecEngine::Tree, true),
-    (SchedulerKind::Polling, ExecEngine::Flat, true),
-    (SchedulerKind::EventDriven, ExecEngine::Flat, false),
-    (SchedulerKind::Polling, ExecEngine::Tree, false),
-];
-
-#[derive(Default)]
-struct Totals {
-    programs: u64,
-    compiles: u64,
-    pipelines: u64,
-    runs: u64,
-}
-
-/// Checks one genome exhaustively. Returns the first divergence as a
-/// human-readable description, or `None` if everything agrees.
-fn check(g: &Genome, totals: &mut Totals) -> Option<String> {
-    let func = build_func(g);
-    let mem = build_mem(g);
-    let params = [("n", Value::I64(g.n))];
-
-    let oracle = match interp::run_serial(&func, mem.clone(), &params) {
-        Ok(r) => r,
-        // A generator bug, not a compiler bug: surface it loudly.
-        Err(t) => return Some(format!("oracle trapped on the serial program: {t}")),
-    };
-
-    // Cut subsets over the top-ranked candidates (the cost model orders
-    // them; 3 keeps the sweep exponent small while covering 1-4 stage
-    // pipelines, the paper's sweet spot).
-    let cand: Vec<LoadId> = analyze(&func).candidates().into_iter().take(3).collect();
-    let cfg = MachineConfig::paper_1core();
-    for mask in 0u32..(1 << cand.len()) {
-        let cuts: Vec<LoadId> = (0..cand.len())
-            .filter(|b| mask & (1 << b) != 0)
-            .map(|b| cand[b])
-            .collect();
-        for passes in presets() {
-            let opts = CompileOptions {
-                passes,
-                ..CompileOptions::default()
-            };
-            totals.compiles += 1;
-            let pipe = match decouple_with_cuts(&func, &cuts, &opts) {
-                Ok(p) => p,
-                Err(_) => continue, // rejecting a cut is legal
-            };
-            totals.pipelines += 1;
-            if let Some(d) = diff_pipeline(&pipe, &mem, &params, &oracle, &cfg, totals) {
-                return Some(format!(
-                    "cuts {:?}, passes [{}]: {d}",
-                    cuts.iter().map(|c| c.0).collect::<Vec<_>>(),
-                    passes.label(),
-                ));
-            }
-        }
-    }
-    None
-}
-
-/// Runs one compiled pipeline over the scheduler × engine ×
-/// fast-forward grid and diffs memory against the oracle and cycles
-/// across the grid.
-fn diff_pipeline(
-    pipe: &Pipeline,
-    mem: &MemState,
-    params: &[(&str, Value)],
-    oracle: &interp::FunctionalRun,
-    cfg: &MachineConfig,
-    totals: &mut Totals,
-) -> Option<String> {
-    let mut cycles: Option<u64> = None;
-    for (sched, engine, ff) in GRID {
-        totals.runs += 1;
-        let mut point_cfg = cfg.clone();
-        point_cfg.fast_forward = ff;
-        let mut session = pipette_sim::Session::new(point_cfg, mem.clone());
-        if let Err(t) = session.run_with_engine(pipe, params, sched, engine) {
-            return Some(format!("{sched:?}/{engine:?}/ff={ff} trapped: {t}"));
-        }
-        let (final_mem, stats) = session.finish();
-        if !final_mem.same_contents(&oracle.mem) {
-            return Some(format!(
-                "{sched:?}/{engine:?}/ff={ff}: final memory differs from the serial oracle"
-            ));
-        }
-        match cycles {
-            None => cycles = Some(stats.cycles),
-            Some(c) if c != stats.cycles => {
-                return Some(format!(
-                    "{sched:?}/{engine:?}/ff={ff}: {} cycles, other grid points took {c}",
-                    stats.cycles
-                ));
-            }
-            Some(_) => {}
-        }
-    }
-    None
-}
-
-/// Delta-debugs a failing genome to a local minimum, then returns it
-/// with the (re-derived) divergence description.
-fn minimize(mut g: Genome, mut why: String) -> (Genome, String) {
-    loop {
-        let mut reduced = false;
-        for cand in g.shrink_candidates() {
-            if let Some(w) = check(&cand, &mut Totals::default()) {
-                g = cand;
-                why = w;
-                reduced = true;
-                break;
-            }
-        }
-        if !reduced {
-            return (g, why);
-        }
-    }
-}
-
-fn report_failure(g: &Genome, why: &str) {
-    println!("\n=== DIVERGENCE ===");
-    println!("{why}");
-    println!(
-        "genome: seed={:#x} n={} data_len={} while={} break={:?} segments={:?}",
-        g.seed, g.n, g.data_len, g.while_shape, g.early_break, g.segments
-    );
-    println!("--- minimized program (paste into a regression test) ---");
-    println!("{}", pretty::function_to_string(&build_func(g)));
-}
+use phloem_compiler::CompileOptions;
+use phloem_ir::{MemState, Pipeline};
+use phloem_pool::Pool;
+use pipette_sim::{ExecEngine, FaultPlan, MachineConfig, SchedulerKind, Session, WatchdogConfig};
 
 // ---------------------------------------------------------------------
 // Benchsuite/PGO validation mode (used by results/run_all.sh).
 // ---------------------------------------------------------------------
 
-fn validate_benchsuite() -> i32 {
+fn validate_benchsuite(pool: &Pool) -> i32 {
     let cfg = MachineConfig::paper_1core();
     let limits = phloem_ir::ValidateLimits {
         queues_per_core: cfg.max_queues,
@@ -562,13 +100,21 @@ fn validate_benchsuite() -> i32 {
             }
         }
     }
+    // Validation is pure per pipeline: fan out, report in order.
+    let verdicts = pool.map(&pipes, |_i, (_name, p)| {
+        phloem_ir::validate_pipeline(p, &limits, "final").map_err(|e| e.to_string())
+    });
     let mut failures = 0;
     let total = pipes.len();
-    for (name, p) in &pipes {
-        match phloem_ir::validate_pipeline(p, &limits, "final") {
-            Ok(()) => {}
-            Err(e) => {
+    for ((name, _), verdict) in pipes.iter().zip(&verdicts) {
+        match verdict {
+            Ok(Ok(())) => {}
+            Ok(Err(e)) => {
                 println!("FAIL {name}: {e}");
+                failures += 1;
+            }
+            Err(panic) => {
+                println!("FAIL {name}: validator panicked: {}", panic.message);
                 failures += 1;
             }
         }
@@ -599,7 +145,7 @@ fn faulted_outcome(
 ) -> String {
     let mut cfg = cfg.clone();
     cfg.fast_forward = fast_forward;
-    let mut session = pipette_sim::Session::new(cfg, target.mem.clone());
+    let mut session = Session::new(cfg, target.mem.clone());
     session.set_faults(plan.clone());
     match session.run_with_engine(&target.pipeline, &target.params, sched, engine) {
         Ok(_) => {
@@ -617,13 +163,24 @@ fn faulted_outcome(
     }
 }
 
+/// What one fault plan resolved to across the whole grid.
+enum PlanVerdict {
+    /// All grid points completed with the same clean outcome.
+    Completed,
+    /// All grid points trapped identically.
+    Trapped,
+    /// Grid divergence or silent corruption: the rendered report.
+    Failed(String),
+}
+
 /// Runs every fault target under `plans_per_target` seeded fault plans,
 /// across the full scheduler × engine × fast-forward grid, and checks
 /// that every faulted run (a) terminates within the watchdog budget,
 /// (b) never silently corrupts memory, and (c) resolves to the *same*
 /// outcome — same trap or same completion cycle — at all six grid
-/// points.
-fn fault_mode(seed: u64, plans_per_target: u64) -> i32 {
+/// points. Plans fan out over the pool; verdicts are reported in plan
+/// order, so the output is worker-count-independent.
+fn fault_mode(seed: u64, plans_per_target: u64, pool: &Pool) -> i32 {
     let base_cfg = MachineConfig::paper_1core();
     let start = std::time::Instant::now();
     let mut failures = 0u64;
@@ -635,7 +192,7 @@ fn fault_mode(seed: u64, plans_per_target: u64) -> i32 {
         // Unfaulted reference on the default combo: cycles bound the
         // fault horizons and the watchdog budget; memory is the
         // corruption oracle.
-        let mut session = pipette_sim::Session::new(base_cfg.clone(), target.mem.clone());
+        let mut session = Session::new(base_cfg.clone(), target.mem.clone());
         if let Err(t) = session.run(&target.pipeline, &target.params) {
             println!("FAIL {}: unfaulted reference trapped: {t}", target.name);
             return 1;
@@ -654,8 +211,8 @@ fn fault_mode(seed: u64, plans_per_target: u64) -> i32 {
             cycle_cap: ref_stats.cycles.saturating_mul(32) + 1_000_000,
             ..WatchdogConfig::default()
         };
-        for pi in 0..plans_per_target {
-            let plan_seed = seed ^ ((ti as u64 + 1) << 32) ^ (pi + 1);
+        let verdicts = pool.run(plans_per_target as usize, |pi| {
+            let plan_seed = seed ^ ((ti as u64 + 1) << 32) ^ (pi as u64 + 1);
             let plan = FaultPlan::random(
                 plan_seed,
                 target.pipeline.total_stages(),
@@ -663,32 +220,49 @@ fn fault_mode(seed: u64, plans_per_target: u64) -> i32 {
                 ref_stats.cycles,
                 atom_horizon,
             );
-            plans += 1;
             let mut outcomes: Vec<(String, String)> = Vec::new();
             for (sched, engine, ff) in GRID {
-                runs += 1;
                 let o = faulted_outcome(target, &plan, sched, engine, ff, &cfg, &ref_mem);
                 outcomes.push((format!("{sched:?}/{engine:?}/ff={ff}"), o));
             }
             let first = &outcomes[0].1;
             let diverged = outcomes.iter().any(|(_, o)| o != first);
             if diverged || first.contains("SILENT CORRUPTION") {
-                failures += 1;
-                println!(
-                    "FAIL {} plan_seed={plan_seed:#x} ({} faults):",
+                let mut report = format!(
+                    "FAIL {} plan_seed={plan_seed:#x} ({} faults):\n",
                     target.name,
                     plan.faults.len()
                 );
                 for f in &plan.faults {
-                    println!("    {f:?}");
+                    report.push_str(&format!("    {f:?}\n"));
                 }
                 for (combo, o) in &outcomes {
-                    println!("    {combo:<22} -> {o}");
+                    report.push_str(&format!("    {combo:<22} -> {o}\n"));
                 }
+                PlanVerdict::Failed(report)
             } else if first.starts_with("trap") {
-                trapped += 1;
+                PlanVerdict::Trapped
             } else {
-                completed += 1;
+                PlanVerdict::Completed
+            }
+        });
+        for v in verdicts {
+            plans += 1;
+            runs += GRID.len() as u64;
+            match v {
+                Ok(PlanVerdict::Completed) => completed += 1,
+                Ok(PlanVerdict::Trapped) => trapped += 1,
+                Ok(PlanVerdict::Failed(report)) => {
+                    failures += 1;
+                    print!("{report}");
+                }
+                Err(panic) => {
+                    failures += 1;
+                    println!(
+                        "FAIL {}: fault check panicked: {}",
+                        target.name, panic.message
+                    );
+                }
             }
         }
         println!(
@@ -719,8 +293,9 @@ fn main() {
             .and_then(|i| args.get(i + 1))
             .and_then(|v| v.parse::<u64>().ok())
     };
+    let pool = Pool::new(jobs());
     if has("--validate-benchsuite") {
-        std::process::exit(validate_benchsuite());
+        std::process::exit(validate_benchsuite(&pool));
     }
     if has("--faults") {
         let plans = if has("--smoke") {
@@ -728,7 +303,7 @@ fn main() {
         } else {
             val("--count").unwrap_or(40)
         };
-        std::process::exit(fault_mode(val("--seed").unwrap_or(0xFA17), plans));
+        std::process::exit(fault_mode(val("--seed").unwrap_or(0xFA17), plans, &pool));
     }
 
     let (seed, count) = if has("--smoke") {
@@ -738,36 +313,19 @@ fn main() {
     };
 
     let start = std::time::Instant::now();
-    let mut rng = Rng::new(seed);
-    let mut totals = Totals::default();
-    let mut failures = 0u64;
-    for k in 0..count {
-        let g = Genome::random(&mut rng);
-        totals.programs += 1;
-        if let Some(why) = check(&g, &mut totals) {
-            failures += 1;
-            let (min_g, min_why) = minimize(g, why);
-            report_failure(&min_g, &min_why);
-        }
-        if (k + 1) % 200 == 0 {
-            println!(
-                "... {}/{count} programs, {} pipelines, {} runs, {failures} divergences",
-                k + 1,
-                totals.pipelines,
-                totals.runs
-            );
-        }
+    let progress = |k: u64| println!("... {k}/{count} programs done");
+    let outcome = fuzz_sweep(seed, count, &pool, Some(&progress));
+    for (_, g, why) in &outcome.failures {
+        let (min_g, min_why) = minimize(g.clone(), why.clone());
+        println!("{}", render_failure(&min_g, &min_why));
     }
     println!(
-        "fuzzdiff: seed {seed:#x}: {} programs, {} compile points, {} pipelines, \
-         {} timed runs, {failures} divergences ({:.1}s)",
-        totals.programs,
-        totals.compiles,
-        totals.pipelines,
-        totals.runs,
-        start.elapsed().as_secs_f64()
+        "{} ({:.1}s, {} workers)",
+        outcome.summary(seed),
+        start.elapsed().as_secs_f64(),
+        pool.workers(),
     );
-    if failures > 0 {
+    if !outcome.failures.is_empty() {
         std::process::exit(1);
     }
 }

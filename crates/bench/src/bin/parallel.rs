@@ -1,0 +1,262 @@
+//! Host-parallel scaling (`BENCH_parallel.json`): wall-clock speedup of
+//! the work-stealing fleet (`phloem-pool`) on the repo's two heaviest
+//! fleet workloads, at worker counts {1, 2, 4, 8}:
+//!
+//! * **PGO search** — every BFS candidate pipeline profiled over the
+//!   training graphs (the Fig. 13 inner loop, the simulator's heaviest
+//!   consumer); candidate costs are wildly uneven, which is exactly
+//!   where stealing beats the old static chunking.
+//! * **fuzzdiff** — a fixed-seed differential sweep (genome checks are
+//!   pure and independent).
+//!
+//! Determinism is asserted, not assumed: at every worker count, and on
+//! a repeated run at the same count, the per-candidate simulated-cycle
+//! vector and the fuzz sweep's full report must be **byte-identical**
+//! to the single-worker baseline. The pool schedules whole simulations
+//! onto host threads and never touches the simulated clock, so any
+//! difference is a bug.
+//!
+//! Speedup expectations are gated on the *host's* core count: a fleet
+//! cannot scale past the hardware, so on a host with fewer cores than
+//! workers the bench records the measured (flat) curve and notes the
+//! limit instead of failing. With `--smoke` (CI) the workload shrinks,
+//! no JSON is written, and a ≥1.5x-at-4-workers gate applies when the
+//! host has ≥4 cores (loose bound: CI hosts are noisy and shared).
+//!
+//! `SCALE=tiny|small|full` sizes the PGO inputs as usual; `REPS=<n>`
+//! (default 2) controls timed repetitions (best kept).
+
+use std::time::Instant;
+
+use phloem_bench::fuzz::{fuzz_sweep, render_failure, FuzzOutcome};
+use phloem_bench::{header, machine, scale};
+use phloem_benchsuite::{bfs, Variant};
+use phloem_compiler::search::{enumerate_pipelines, SearchOptions};
+use phloem_compiler::PassConfig;
+use phloem_ir::LoadId;
+use phloem_pool::Pool;
+use phloem_workloads::{training_graphs, GraphInput};
+use pipette_sim::MachineConfig;
+
+/// Profiles one candidate cut set over the training graphs (total
+/// simulated cycles; `None` when the candidate fails to compile or
+/// run). Identical semantics at every worker count by construction.
+fn profile_candidate(cuts: &[LoadId], cfg: &MachineConfig, graphs: &[GraphInput]) -> Option<u64> {
+    let v = Variant::Phloem {
+        passes: PassConfig::all(),
+        stages: 4,
+        cuts: cuts.to_vec(),
+    };
+    let mut total = 0u64;
+    for gi in graphs {
+        total += bfs::run(&v, &gi.graph, 0, cfg, gi.name).ok()?.cycles;
+    }
+    Some(total)
+}
+
+/// One timed PGO fleet at a worker count: wall seconds + the
+/// per-candidate cycle vector (the determinism witness).
+fn pgo_fleet(
+    workers: usize,
+    candidates: &[Vec<LoadId>],
+    cfg: &MachineConfig,
+    graphs: &[GraphInput],
+) -> (f64, Vec<Option<u64>>) {
+    let pool = Pool::new(workers);
+    let t0 = Instant::now();
+    let results = pool.map(candidates, |_i, cuts| profile_candidate(cuts, cfg, graphs));
+    let secs = t0.elapsed().as_secs_f64();
+    let per: Vec<Option<u64>> = results
+        .into_iter()
+        .map(|r| r.expect("candidate profiling panicked"))
+        .collect();
+    (secs, per)
+}
+
+/// One timed fuzz sweep at a worker count: wall seconds + the rendered
+/// report (summary plus any failure renderings, the determinism
+/// witness).
+fn fuzz_fleet(workers: usize, seed: u64, count: u64) -> (f64, String) {
+    let pool = Pool::new(workers);
+    let t0 = Instant::now();
+    let outcome = fuzz_sweep(seed, count, &pool, None);
+    let secs = t0.elapsed().as_secs_f64();
+    (secs, render_fuzz(seed, &outcome))
+}
+
+fn render_fuzz(seed: u64, o: &FuzzOutcome) -> String {
+    let mut s = o.summary(seed);
+    for (k, g, why) in &o.failures {
+        s.push_str(&format!("\n[{k}] {}", render_failure(g, why)));
+    }
+    s
+}
+
+/// Best-of-reps wall time for one closure.
+fn best_of<T>(reps: usize, mut f: impl FnMut() -> (f64, T)) -> (f64, T) {
+    let (mut best, mut witness) = f();
+    for _ in 1..reps {
+        let (secs, w) = f();
+        if secs < best {
+            best = secs;
+        }
+        witness = w;
+    }
+    (best, witness)
+}
+
+struct Row {
+    workers: usize,
+    pgo_secs: f64,
+    pgo_speedup: f64,
+    fuzz_secs: f64,
+    fuzz_speedup: f64,
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let reps: usize = std::env::var("REPS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(2)
+        .max(1);
+    let host_cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let cfg = machine();
+    let kernel = bfs::kernel();
+    let mut candidates: Vec<Vec<LoadId>> = enumerate_pipelines(&kernel, &SearchOptions::default())
+        .into_iter()
+        .map(|(cuts, _)| cuts)
+        .collect();
+    let graphs = training_graphs(scale());
+    let (fuzz_seed, fuzz_count) = (0xBEEF_u64, if smoke { 60 } else { 400 });
+    let worker_counts: &[usize] = if smoke { &[1, 4] } else { &[1, 2, 4, 8] };
+    if smoke {
+        candidates.truncate(8);
+    }
+
+    header("Host-parallel scaling: work-stealing fleet");
+    println!(
+        "  host cores: {host_cores}; PGO workload: {} candidates x {} graphs; \
+         fuzz workload: {fuzz_count} genomes; {reps} reps (best kept)",
+        candidates.len(),
+        graphs.len()
+    );
+
+    // Single-worker baselines double as the determinism reference.
+    let (pgo_base_secs, pgo_ref) = best_of(reps, || pgo_fleet(1, &candidates, &cfg, &graphs));
+    let (fuzz_base_secs, fuzz_ref) = best_of(reps, || fuzz_fleet(1, fuzz_seed, fuzz_count));
+    // Repeated single-worker run: same count, bit-identical results.
+    let (_, pgo_again) = pgo_fleet(1, &candidates, &cfg, &graphs);
+    assert_eq!(pgo_again, pgo_ref, "PGO fleet not reproducible at 1 worker");
+
+    let mut rows = vec![Row {
+        workers: 1,
+        pgo_secs: pgo_base_secs,
+        pgo_speedup: 1.0,
+        fuzz_secs: fuzz_base_secs,
+        fuzz_speedup: 1.0,
+    }];
+    for &w in worker_counts.iter().filter(|&&w| w > 1) {
+        let (pgo_secs, pgo_per) = best_of(reps, || pgo_fleet(w, &candidates, &cfg, &graphs));
+        assert_eq!(
+            pgo_per, pgo_ref,
+            "PGO fleet at {w} workers diverged from the 1-worker cycle vector"
+        );
+        let (fuzz_secs, fuzz_report) = best_of(reps, || fuzz_fleet(w, fuzz_seed, fuzz_count));
+        assert_eq!(
+            fuzz_report, fuzz_ref,
+            "fuzz sweep at {w} workers diverged from the 1-worker report"
+        );
+        rows.push(Row {
+            workers: w,
+            pgo_secs,
+            pgo_speedup: pgo_base_secs / pgo_secs,
+            fuzz_secs,
+            fuzz_speedup: fuzz_base_secs / fuzz_secs,
+        });
+    }
+
+    println!("  determinism: bit-identical cycle vectors and fuzz reports at every worker count");
+    println!(
+        "  {:<8} {:>10} {:>9} {:>10} {:>9}",
+        "workers", "pgo_s", "pgo_x", "fuzz_s", "fuzz_x"
+    );
+    for r in &rows {
+        println!(
+            "  {:<8} {:>10.3} {:>8.2}x {:>10.3} {:>8.2}x",
+            r.workers, r.pgo_secs, r.pgo_speedup, r.fuzz_secs, r.fuzz_speedup
+        );
+    }
+
+    // Scaling gates, bounded by the hardware: a w-worker fleet can at
+    // best approach min(w, host_cores)x. Bounds are deliberately loose
+    // (CI hosts are shared and noisy); a host with fewer cores than the
+    // gate's worker count records its measured curve and notes the
+    // limit instead of failing on physics.
+    for r in &rows {
+        // The fleet must never *cost* throughput: even oversubscribed
+        // (8 workers on fewer cores), coarse tasks keep overhead small.
+        assert!(
+            r.pgo_speedup > 0.5 && r.fuzz_speedup > 0.5,
+            "fleet overhead pathology at {} workers: pgo {:.2}x fuzz {:.2}x",
+            r.workers,
+            r.pgo_speedup,
+            r.fuzz_speedup
+        );
+        let gate = match r.workers {
+            4 if host_cores >= 4 => Some(1.5),
+            8 if host_cores >= 8 => Some(3.0),
+            _ => None,
+        };
+        match gate {
+            Some(min) => assert!(
+                r.pgo_speedup >= min,
+                "PGO host scaling regression: {:.2}x at {} workers (gate {min}x, {host_cores} cores)",
+                r.pgo_speedup,
+                r.workers
+            ),
+            None if r.workers > host_cores => println!(
+                "  note: {}-worker gate skipped, host has only {host_cores} core(s) \
+                 (speedup is hardware-bounded at min(workers, cores))",
+                r.workers
+            ),
+            None => {}
+        }
+    }
+
+    if smoke {
+        println!("  smoke mode: determinism + overhead gates held; OK");
+        return;
+    }
+
+    let row_json = |r: &Row| {
+        format!(
+            "    {{ \"workers\": {}, \"pgo_wall_s\": {:.6}, \"pgo_speedup\": {:.4}, \
+             \"fuzz_wall_s\": {:.6}, \"fuzz_speedup\": {:.4} }}",
+            r.workers, r.pgo_secs, r.pgo_speedup, r.fuzz_secs, r.fuzz_speedup
+        )
+    };
+    let json = format!(
+        "{{\n  \"bench\": \"parallel\",\n  \"pool\": \"phloem-pool work-stealing fleet \
+         (per-worker deques, global injector, steal-half, park/unpark)\",\n  \
+         \"host_cores\": {host_cores},\n  \"scale\": \"{:?}\",\n  \
+         \"pgo_workload\": \"{} BFS candidate pipelines x {} training graphs\",\n  \
+         \"fuzz_workload\": \"{fuzz_count} genomes, seed {fuzz_seed:#x}\",\n  \
+         \"reps\": {reps},\n  \"scaling\": [\n{}\n  ],\n  \
+         \"determinism\": \"per-candidate simulated-cycle vectors and full fuzz reports \
+         asserted byte-identical at every worker count and across repeated runs; the pool \
+         schedules whole simulations onto host threads and never touches the simulated \
+         clock\",\n  \"note\": \"speedup is hardware-bounded at min(workers, host_cores): \
+         gates (>=1.5x at 4 workers, >=3x at 8) apply only when the host has that many \
+         cores; a host-limited recording keeps the measured curve with a note instead of \
+         failing on physics. Wall times are best-of-reps to shed shared-host noise.\"\n}}\n",
+        scale(),
+        candidates.len(),
+        graphs.len(),
+        rows.iter().map(row_json).collect::<Vec<_>>().join(",\n"),
+    );
+    std::fs::write("BENCH_parallel.json", &json).expect("write BENCH_parallel.json");
+    println!("  wrote BENCH_parallel.json");
+}

@@ -22,6 +22,7 @@
 
 #![warn(missing_docs)]
 
+pub mod fuzz;
 pub mod microbench;
 
 use phloem_benchsuite::{gmean, run_guarded, Measurement, Variant};
@@ -35,6 +36,21 @@ pub fn scale() -> Scale {
         Ok("full") => Scale::Full,
         _ => Scale::Small,
     }
+}
+
+/// Host worker count for fleet-shaped work (PGO searches, fuzz sweeps):
+/// a `--jobs N` argument when the harness got one, else the shared
+/// `PHLOEM_WORKERS` env override, else the host's available
+/// parallelism. This is the single `--jobs` path `results/run_all.sh`
+/// routes every figure harness through.
+pub fn jobs() -> usize {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == "--jobs")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|&n| n >= 1)
+        .unwrap_or_else(phloem_pool::default_workers)
 }
 
 /// True unless `PGO=0`.
@@ -259,8 +275,23 @@ pub fn pgo_search_profiled(
     serial_train_cycles: f64,
     profile: impl Fn(&[LoadId], &ProfileBudget) -> (ProfileOutcome, Option<CandidateProfile>) + Sync,
 ) -> PgoOutcome {
-    let opts = SearchOptions::default();
-    match search_profiled(kernel, &opts, |cuts, _pipe, budget| profile(cuts, budget)) {
+    let opts = SearchOptions {
+        workers: jobs(),
+        ..SearchOptions::default()
+    };
+    pgo_search_with(&opts, kernel, serial_train_cycles, profile)
+}
+
+/// [`pgo_search_profiled`] with explicit [`SearchOptions`] — the
+/// determinism suite uses this to run the same fig-style sweep at
+/// several worker counts without touching env/argv.
+pub fn pgo_search_with(
+    opts: &SearchOptions,
+    kernel: &phloem_ir::Function,
+    serial_train_cycles: f64,
+    profile: impl Fn(&[LoadId], &ProfileBudget) -> (ProfileOutcome, Option<CandidateProfile>) + Sync,
+) -> PgoOutcome {
+    match search_profiled(kernel, opts, |cuts, _pipe, budget| profile(cuts, budget)) {
         Ok(report) => {
             let mut points = Vec::new();
             let mut failures = Vec::new();

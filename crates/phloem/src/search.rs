@@ -8,7 +8,11 @@
 //! profiles each on small training inputs, and keeps the best.
 //!
 //! Profiling is delegated to a caller-supplied closure (each benchmark
-//! has its own host driver); candidates are profiled in parallel.
+//! has its own host driver); candidates are profiled in parallel on the
+//! shared work-stealing fleet ([`phloem_pool`]), which keeps every host
+//! core busy when candidate costs are uneven and lands results in a
+//! pre-sized index-keyed partition, so the report is bit-identical at
+//! every worker count.
 //!
 //! ## Robustness contract
 //!
@@ -16,17 +20,17 @@
 //! closure receives a per-candidate [`ProfileBudget`] (a simulated-cycle
 //! cap it should hand to the simulator's watchdog), every candidate
 //! records a [`ProfileOutcome`] instead of a bare `Option`, a panicking
-//! profile run is caught and recorded as [`ProfileOutcome::Trapped`],
-//! and a candidate that times out gets exactly one retry at
-//! [`SearchOptions::retry_cap_factor`] times the budget. [`search`]
-//! itself never panics: it returns [`SearchError`] when nothing
-//! enumerates or nothing profiles successfully.
+//! profile run is caught *by the pool* and recorded as
+//! [`ProfileOutcome::Trapped`], and a candidate that times out gets
+//! exactly one retry at [`SearchOptions::retry_cap_factor`] times the
+//! budget. [`search`] itself never panics: it returns [`SearchError`]
+//! when nothing enumerates or nothing profiles successfully.
 
 use crate::{analyze, decouple_with_cuts, CompileOptions};
 use phloem_ir::{Function, LoadId, Pipeline};
+use phloem_pool::Pool;
 use serde::{Deserialize, Serialize};
 use std::fmt;
-use std::panic::{catch_unwind, AssertUnwindSafe};
 
 /// Options for the profile-guided search.
 #[derive(Clone, Debug)]
@@ -37,7 +41,9 @@ pub struct SearchOptions {
     pub top_k: usize,
     /// Compilation options (passes etc.).
     pub compile: CompileOptions,
-    /// Worker threads used to profile candidates.
+    /// Worker threads used to profile candidates. Defaults to the
+    /// host's available parallelism, honoring the shared
+    /// `PHLOEM_WORKERS` override (see [`phloem_pool::default_workers`]).
     pub workers: usize,
     /// Per-candidate profiling budget in simulated cycles (the closure
     /// should wire it into the simulator's watchdog cycle cap).
@@ -53,7 +59,7 @@ impl Default for SearchOptions {
             max_stages: 4,
             top_k: 6,
             compile: CompileOptions::default(),
-            workers: 8,
+            workers: phloem_pool::default_workers(),
             profile_cycle_cap: 200_000_000,
             retry_cap_factor: 4,
         }
@@ -195,35 +201,6 @@ pub fn enumerate_pipelines(func: &Function, opts: &SearchOptions) -> Vec<(Vec<Lo
     out
 }
 
-/// Profiles one candidate under a budget, converting panics into
-/// [`ProfileOutcome::Trapped`] so a broken candidate cannot take its
-/// worker thread (and the whole search) down.
-fn profile_guarded<F>(
-    profile: &F,
-    cuts: &[LoadId],
-    p: &Pipeline,
-    budget: ProfileBudget,
-) -> (ProfileOutcome, Option<CandidateProfile>)
-where
-    F: Fn(&[LoadId], &Pipeline, &ProfileBudget) -> (ProfileOutcome, Option<CandidateProfile>)
-        + Sync,
-{
-    match catch_unwind(AssertUnwindSafe(|| profile(cuts, p, &budget))) {
-        Ok(outcome) => outcome,
-        Err(payload) => {
-            let msg = payload
-                .downcast_ref::<&str>()
-                .map(|s| s.to_string())
-                .or_else(|| payload.downcast_ref::<String>().cloned())
-                .unwrap_or_else(|| "non-string panic payload".to_string());
-            (
-                ProfileOutcome::Trapped(format!("profiling panicked: {msg}")),
-                None,
-            )
-        }
-    }
-}
-
 /// Runs the profile-guided search. `profile` runs one candidate
 /// (identified by its cuts and compiled pipeline) on the training inputs
 /// under the given budget and reports how it went; candidates that time
@@ -260,13 +237,6 @@ pub fn search_profiled(
     if pipelines.is_empty() {
         return Err(SearchError::NoPipelines);
     }
-    // Each worker owns a disjoint contiguous slice of the result vector,
-    // so no locking is needed: `chunks_mut` proves the disjointness to
-    // the borrow checker, and scoped threads tie the lifetimes down.
-    let mut results: Vec<Option<(ProfileOutcome, Option<CandidateProfile>)>> =
-        vec![None; pipelines.len()];
-    let workers = opts.workers.max(1).min(pipelines.len());
-    let chunk = pipelines.len().div_ceil(workers);
     let base = ProfileBudget {
         cycle_cap: opts.profile_cycle_cap,
     };
@@ -275,29 +245,30 @@ pub fn search_profiled(
             .profile_cycle_cap
             .saturating_mul(opts.retry_cap_factor.max(1)),
     };
-    std::thread::scope(|scope| {
-        for (w, out) in results.chunks_mut(chunk).enumerate() {
-            let pipelines = &pipelines;
-            let profile = &profile;
-            scope.spawn(move || {
-                for (slot, (cuts, p)) in out.iter_mut().zip(&pipelines[w * chunk..]) {
-                    let mut outcome = profile_guarded(profile, cuts, p, base);
-                    if outcome.0 == ProfileOutcome::TimedOut && retry.cycle_cap > base.cycle_cap {
-                        // One bounded retry: distinguishes "slow
-                        // candidate" from "diverging candidate" without
-                        // letting either hang a worker.
-                        outcome = profile_guarded(profile, cuts, p, retry);
-                    }
-                    *slot = Some(outcome);
-                }
-            });
+    // The fleet keys results by candidate index into a pre-sized
+    // partition, so the report below is independent of how the
+    // candidates interleave across workers; a candidate whose profiling
+    // panics is isolated by the pool and recorded as `Trapped`.
+    let results = Pool::new(opts.workers).map(&pipelines, |_i, (cuts, p)| {
+        let mut outcome = profile(cuts, p, &base);
+        if outcome.0 == ProfileOutcome::TimedOut && retry.cycle_cap > base.cycle_cap {
+            // One bounded retry: distinguishes "slow candidate" from
+            // "diverging candidate" without letting either hang a worker.
+            outcome = profile(cuts, p, &retry);
         }
+        outcome
     });
 
     let mut candidates = Vec::with_capacity(pipelines.len());
     let mut best: Option<(usize, f64)> = None;
-    for (i, ((cuts, p), slot)) in pipelines.iter().zip(&results).enumerate() {
-        let (outcome, profile) = slot.clone().expect("every slot profiled");
+    for (i, ((cuts, p), slot)) in pipelines.iter().zip(results).enumerate() {
+        let (outcome, profile) = match slot {
+            Ok(outcome) => outcome,
+            Err(panic) => (
+                ProfileOutcome::Trapped(format!("profiling panicked: {}", panic.message)),
+                None,
+            ),
+        };
         if let ProfileOutcome::Ok(c) = outcome {
             if best.map(|(_, b)| c < b).unwrap_or(true) {
                 best = Some((i, c));

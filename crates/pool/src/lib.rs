@@ -1,0 +1,439 @@
+//! # phloem-pool
+//!
+//! Work-stealing host-execution fleet: the one scheduling layer every
+//! fleet-shaped consumer in the workspace routes through — the PGO
+//! candidate search, `fuzzdiff`'s plan × cut × ablation grids, and the
+//! figure harnesses' training sweeps.
+//!
+//! ## Why not static chunking
+//!
+//! The previous scheme split the task list into `len.div_ceil(workers)`
+//! contiguous chunks, one scoped thread each. Candidate costs are
+//! wildly uneven (a 4-stage pipeline over the big training graph can
+//! cost 50x a 1-stage one over the small graph), so whichever chunk
+//! drew the expensive candidates head-of-line-blocked its worker while
+//! the rest of the host idled. This pool keeps every worker busy:
+//!
+//! * **per-worker deques, seeded contiguously** — worker `w` starts
+//!   with the same contiguous index block static chunking gave it, so
+//!   the common case preserves the old cache locality;
+//! * **a global injector** — overflow/late work shared by everyone;
+//! * **steal-half** — a worker that runs dry takes half of the richest
+//!   neighbour's remaining block (from the back, preserving the
+//!   victim's locality at the front), amortizing steal traffic;
+//! * **park/unpark** — a worker that finds nothing while tasks are
+//!   still running parks on a condvar instead of spinning; it is woken
+//!   by new stealable work or by fleet completion (a 1 ms wait timeout
+//!   bounds any lost-wakeup race without busy-spinning);
+//! * **panic isolation** — each task runs under `catch_unwind`; a
+//!   panicking task yields `Err(TaskPanic)` in its own result slot and
+//!   cannot take a worker (or the whole fleet) down;
+//! * **optional core pinning** — `PHLOEM_PIN=1` pins worker `w` to core
+//!   `w % cores` (Linux `sched_setaffinity`; a no-op elsewhere).
+//!
+//! ## Determinism contract
+//!
+//! Tasks carry their index and results land in a pre-sized partition
+//! (`Vec` of once-set slots), so **output order and content are
+//! independent of interleaving**: scheduling decides only *when* and
+//! *where* a task runs, never what it computes or where its result
+//! lands. A fleet of pure tasks therefore produces byte-identical
+//! results at every worker count — the contract `tests/pool_determinism.rs`
+//! pins for the search, fuzzdiff, and figure-sweep consumers. Simulated
+//! cycles cannot change: the pool schedules whole simulations onto host
+//! threads and never reaches into the simulated clock.
+//!
+//! Mutexes guard the deques, but tasks here are coarse (whole
+//! simulations, milliseconds to seconds); the lock cost is noise, and
+//! the result partition itself is written without any lock.
+
+mod pin;
+
+pub use pin::pin_to_core;
+
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Condvar, Mutex, OnceLock, RwLock};
+use std::time::Duration;
+
+/// Shared worker-count default for every pool consumer: the
+/// `PHLOEM_WORKERS` env override when set (and ≥ 1), otherwise the
+/// host's available parallelism, clamped ≥ 1.
+pub fn default_workers() -> usize {
+    if let Ok(v) = std::env::var("PHLOEM_WORKERS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            if n >= 1 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// True when `PHLOEM_PIN=1`: fleets pin worker `w` to core `w % cores`
+/// and timing-sensitive benches pin their measuring thread.
+pub fn pinning_requested() -> bool {
+    std::env::var("PHLOEM_PIN").as_deref() == Ok("1")
+}
+
+/// A task that panicked: the fleet records it in the task's own result
+/// slot instead of unwinding the worker.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TaskPanic {
+    /// Index of the panicking task.
+    pub index: usize,
+    /// The panic payload, when it was a string (the common case).
+    pub message: String,
+}
+
+impl std::fmt::Display for TaskPanic {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "task {} panicked: {}", self.index, self.message)
+    }
+}
+
+impl std::error::Error for TaskPanic {}
+
+/// Host-side scheduling counters for one fleet run. None of these can
+/// affect task results; they exist for the steal-fairness and
+/// park/unpark unit tests and for bench diagnostics.
+#[derive(Clone, Debug, Default)]
+pub struct FleetStats {
+    /// Worker threads the fleet actually ran with (clamped to the task
+    /// count; 1 means the fleet ran inline on the caller's thread).
+    pub workers: usize,
+    /// Successful steal-half operations.
+    pub steals: u64,
+    /// Tasks moved by those steals.
+    pub stolen_tasks: u64,
+    /// Times a worker parked because it found no runnable task while
+    /// other tasks were still in flight.
+    pub parks: u64,
+    /// Tasks executed per worker (indexed by worker id).
+    pub per_worker_tasks: Vec<u64>,
+}
+
+/// Pool configuration. `Default` reads the shared env knobs.
+#[derive(Clone, Debug)]
+pub struct PoolConfig {
+    /// Worker threads per fleet (clamped to the task count at run time).
+    pub workers: usize,
+    /// Pin worker `w` to core `w % cores` (Linux only).
+    pub pin: bool,
+}
+
+impl Default for PoolConfig {
+    fn default() -> Self {
+        PoolConfig {
+            workers: default_workers(),
+            pin: pinning_requested(),
+        }
+    }
+}
+
+/// The work-stealing fleet executor. Construction is free: worker
+/// threads are scoped to each [`Pool::run`]/[`Pool::map`] call, so
+/// borrowed task closures need no `'static` bound and a dropped pool
+/// leaks nothing.
+#[derive(Clone, Debug, Default)]
+pub struct Pool {
+    cfg: PoolConfig,
+}
+
+impl Pool {
+    /// A pool with an explicit worker count.
+    pub fn new(workers: usize) -> Pool {
+        Pool {
+            cfg: PoolConfig {
+                workers: workers.max(1),
+                ..PoolConfig::default()
+            },
+        }
+    }
+
+    /// A pool configured from the environment (`PHLOEM_WORKERS`,
+    /// `PHLOEM_PIN`), falling back to the host's available parallelism.
+    pub fn from_env() -> Pool {
+        Pool::default()
+    }
+
+    /// The configured worker count (before per-fleet clamping).
+    pub fn workers(&self) -> usize {
+        self.cfg.workers.max(1)
+    }
+
+    /// Runs `n` indexed tasks and returns their results in index order,
+    /// one slot per task; a panicking task yields `Err(TaskPanic)` in
+    /// its slot. Deterministic by construction: slot `i` always holds
+    /// the result of task `i`, whatever the interleaving.
+    pub fn run<R, F>(&self, n: usize, f: F) -> Vec<Result<R, TaskPanic>>
+    where
+        R: Send + Sync,
+        F: Fn(usize) -> R + Sync,
+    {
+        self.run_stats(n, f).0
+    }
+
+    /// [`Pool::run`] over a slice: task `i` receives `(i, &items[i])`.
+    pub fn map<T, R, F>(&self, items: &[T], f: F) -> Vec<Result<R, TaskPanic>>
+    where
+        T: Sync,
+        R: Send + Sync,
+        F: Fn(usize, &T) -> R + Sync,
+    {
+        self.run(items.len(), |i| f(i, &items[i]))
+    }
+
+    /// [`Pool::run`], also returning the fleet's scheduling counters.
+    pub fn run_stats<R, F>(&self, n: usize, f: F) -> (Vec<Result<R, TaskPanic>>, FleetStats)
+    where
+        R: Send + Sync,
+        F: Fn(usize) -> R + Sync,
+    {
+        let workers = self.workers().min(n.max(1));
+        let mut stats = FleetStats {
+            workers,
+            per_worker_tasks: vec![0; workers],
+            ..FleetStats::default()
+        };
+        if n == 0 {
+            return (Vec::new(), stats);
+        }
+        // Fleets take the shared quiesce lock non-exclusively, so a
+        // `quiesced` timing section can exclude every in-process fleet.
+        let _fleet = quiesce_lock().read().unwrap_or_else(|e| e.into_inner());
+        let slots: Vec<OnceLock<Result<R, TaskPanic>>> = (0..n).map(|_| OnceLock::new()).collect();
+        if workers == 1 {
+            // Inline serial path: same panic isolation, no threads.
+            for (i, slot) in slots.iter().enumerate() {
+                let r = run_guarded(i, &f);
+                let _ = slot.set(r);
+                stats.per_worker_tasks[0] += 1;
+            }
+        } else {
+            let shared = Shared::new(workers, n);
+            let pin = self.cfg.pin;
+            std::thread::scope(|scope| {
+                for w in 0..workers {
+                    let shared = &shared;
+                    let slots = &slots;
+                    let f = &f;
+                    scope.spawn(move || {
+                        if pin {
+                            let cores = std::thread::available_parallelism()
+                                .map(|c| c.get())
+                                .unwrap_or(1);
+                            pin_to_core(w % cores);
+                        }
+                        worker_loop(w, shared, slots, f);
+                    });
+                }
+            });
+            stats.steals = shared.steals.load(Ordering::Relaxed);
+            stats.stolen_tasks = shared.stolen_tasks.load(Ordering::Relaxed);
+            stats.parks = shared.parks.load(Ordering::Relaxed);
+            for (w, c) in shared.per_worker_tasks.iter().enumerate() {
+                stats.per_worker_tasks[w] = c.load(Ordering::Relaxed);
+            }
+        }
+        let results = slots
+            .into_iter()
+            .map(|s| s.into_inner().expect("every fleet task ran exactly once"))
+            .collect();
+        (results, stats)
+    }
+}
+
+/// Runs `f(i)` under panic isolation.
+fn run_guarded<R, F>(i: usize, f: &F) -> Result<R, TaskPanic>
+where
+    F: Fn(usize) -> R + Sync,
+{
+    catch_unwind(AssertUnwindSafe(|| f(i))).map_err(|payload| {
+        let message = payload
+            .downcast_ref::<&str>()
+            .map(|s| s.to_string())
+            .or_else(|| payload.downcast_ref::<String>().cloned())
+            .unwrap_or_else(|| "non-string panic payload".to_string());
+        TaskPanic { index: i, message }
+    })
+}
+
+/// Fleet-shared scheduling state.
+struct Shared {
+    /// Per-worker deques of task indices. Workers pop their own from
+    /// the front; thieves take from the back.
+    deques: Vec<Mutex<VecDeque<usize>>>,
+    /// Global injector: overflow work shared by all workers (drained
+    /// after the local deque, before stealing).
+    injector: Mutex<VecDeque<usize>>,
+    /// Tasks not yet *completed*. Workers may park while this is
+    /// nonzero; the worker completing the last task wakes everyone.
+    remaining: AtomicUsize,
+    /// Park/unpark: idle workers wait here; notified on new stealable
+    /// work and on fleet completion.
+    idle: Mutex<()>,
+    idle_cv: Condvar,
+    steals: AtomicU64,
+    stolen_tasks: AtomicU64,
+    parks: AtomicU64,
+    per_worker_tasks: Vec<AtomicU64>,
+}
+
+impl Shared {
+    /// Seeds worker `w` with the contiguous index block static chunking
+    /// would have given it (locality), leaving the injector empty.
+    fn new(workers: usize, n: usize) -> Shared {
+        let chunk = n.div_ceil(workers);
+        let deques = (0..workers)
+            .map(|w| {
+                let lo = (w * chunk).min(n);
+                let hi = ((w + 1) * chunk).min(n);
+                Mutex::new((lo..hi).collect::<VecDeque<usize>>())
+            })
+            .collect();
+        Shared {
+            deques,
+            injector: Mutex::new(VecDeque::new()),
+            remaining: AtomicUsize::new(n),
+            idle: Mutex::new(()),
+            idle_cv: Condvar::new(),
+            steals: AtomicU64::new(0),
+            stolen_tasks: AtomicU64::new(0),
+            parks: AtomicU64::new(0),
+            per_worker_tasks: (0..workers).map(|_| AtomicU64::new(0)).collect(),
+        }
+    }
+
+    fn lock_deque(&self, w: usize) -> std::sync::MutexGuard<'_, VecDeque<usize>> {
+        self.deques[w].lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Marks one task complete; wakes all parked workers when it was
+    /// the last so they can observe termination and exit.
+    fn complete_one(&self) {
+        if self.remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
+            let _g = self.idle.lock().unwrap_or_else(|e| e.into_inner());
+            self.idle_cv.notify_all();
+        }
+    }
+
+    /// Steal-half from the richest victim's back. Returns the next task
+    /// to run; surplus goes into `w`'s own deque and parked workers are
+    /// notified (the surplus is itself stealable).
+    fn steal(&self, w: usize) -> Option<usize> {
+        let workers = self.deques.len();
+        // Richest-victim scan keeps steals rare and fair: one steal
+        // rebalances half of the worst backlog instead of one task.
+        let mut victim = None;
+        for off in 1..workers {
+            let v = (w + off) % workers;
+            let len = self.lock_deque(v).len();
+            if len > 0 && victim.map(|(_, best)| len > best).unwrap_or(true) {
+                victim = Some((v, len));
+            }
+        }
+        let (v, _) = victim?;
+        let mut taken: VecDeque<usize> = {
+            let mut vd = self.lock_deque(v);
+            let keep = vd.len() - vd.len().div_ceil(2);
+            vd.split_off(keep)
+        };
+        if taken.is_empty() {
+            return None; // the victim was drained while we scanned
+        }
+        self.steals.fetch_add(1, Ordering::Relaxed);
+        self.stolen_tasks
+            .fetch_add(taken.len() as u64, Ordering::Relaxed);
+        let first = taken.pop_front();
+        if !taken.is_empty() {
+            self.lock_deque(w).extend(taken);
+            // New stealable work: wake parked workers to share it.
+            let _g = self.idle.lock().unwrap_or_else(|e| e.into_inner());
+            self.idle_cv.notify_all();
+        }
+        first
+    }
+}
+
+/// One worker's scheduling loop: own deque front → injector → steal-half
+/// → park (until woken or a 1 ms timeout) while tasks remain in flight.
+fn worker_loop<R, F>(w: usize, shared: &Shared, slots: &[OnceLock<Result<R, TaskPanic>>], f: &F)
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+{
+    loop {
+        let task = {
+            let own = self_pop(shared, w);
+            match own {
+                Some(i) => Some(i),
+                None => injector_pop(shared).or_else(|| shared.steal(w)),
+            }
+        };
+        match task {
+            Some(i) => {
+                let r = run_guarded(i, f);
+                let _ = slots[i].set(r);
+                shared.per_worker_tasks[w].fetch_add(1, Ordering::Relaxed);
+                shared.complete_one();
+            }
+            None => {
+                if shared.remaining.load(Ordering::Acquire) == 0 {
+                    return;
+                }
+                // Tasks are still in flight elsewhere: park. The
+                // timeout bounds any lost-wakeup race (a steal that
+                // repopulated a deque between our scan and the wait).
+                shared.parks.fetch_add(1, Ordering::Relaxed);
+                let g = shared.idle.lock().unwrap_or_else(|e| e.into_inner());
+                if shared.remaining.load(Ordering::Acquire) == 0 {
+                    return;
+                }
+                let _ = shared
+                    .idle_cv
+                    .wait_timeout(g, Duration::from_millis(1))
+                    .map(|(g, _)| drop(g));
+            }
+        }
+    }
+}
+
+fn self_pop(shared: &Shared, w: usize) -> Option<usize> {
+    shared.lock_deque(w).pop_front()
+}
+
+fn injector_pop(shared: &Shared) -> Option<usize> {
+    shared
+        .injector
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+        .pop_front()
+}
+
+// ---------------------------------------------------------------------
+// Quiescing: timing-sensitive measurements vs. in-process fleets.
+// ---------------------------------------------------------------------
+
+fn quiesce_lock() -> &'static RwLock<()> {
+    static LOCK: OnceLock<RwLock<()>> = OnceLock::new();
+    LOCK.get_or_init(|| RwLock::new(()))
+}
+
+/// Runs `f` with every in-process fleet excluded: fleets hold the
+/// shared lock non-exclusively for their whole run, and this takes it
+/// exclusively, so the section starts only after running fleets drain
+/// and no new fleet starts until it ends. Used by timing-sensitive
+/// measurements (the simspeed regression gate) so a concurrent fleet
+/// in the same process cannot masquerade as a throughput regression.
+///
+/// Launching a fleet *inside* the section deadlocks by construction —
+/// quiesced sections must stay fleet-free (they are measuring exactly
+/// the absence of fleet load).
+pub fn quiesced<R>(f: impl FnOnce() -> R) -> R {
+    let _guard = quiesce_lock().write().unwrap_or_else(|e| e.into_inner());
+    f()
+}

@@ -1,0 +1,30 @@
+//! Optional core pinning (Linux `sched_setaffinity`).
+//!
+//! The workspace is otherwise 100% safe Rust with no external crates;
+//! pinning needs exactly one foreign call, declared here directly (the
+//! C library is always linked) and kept behind `PHLOEM_PIN=1`. On
+//! non-Linux targets pinning is a no-op that reports `false`.
+
+/// Pins the *calling thread* to `core`. Returns whether the kernel
+/// accepted the mask. Purely a host-side placement hint: it cannot
+/// affect task results or simulated cycles.
+#[cfg(target_os = "linux")]
+pub fn pin_to_core(core: usize) -> bool {
+    // sched_setaffinity(2): pid 0 means the calling thread.
+    extern "C" {
+        fn sched_setaffinity(pid: i32, cpusetsize: usize, mask: *const u64) -> i32;
+    }
+    const WORDS: usize = 16; // 1024-CPU mask, the kernel's default limit
+    let mut mask = [0u64; WORDS];
+    let c = core % (WORDS * 64);
+    mask[c / 64] |= 1u64 << (c % 64);
+    // SAFETY: the mask buffer outlives the call and its length matches
+    // `cpusetsize`; the kernel only reads it.
+    unsafe { sched_setaffinity(0, WORDS * 8, mask.as_ptr()) == 0 }
+}
+
+/// Non-Linux stub: pinning unsupported.
+#[cfg(not(target_os = "linux"))]
+pub fn pin_to_core(_core: usize) -> bool {
+    false
+}

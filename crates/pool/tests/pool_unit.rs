@@ -1,0 +1,167 @@
+//! Unit tests for the work-stealing fleet: result determinism, steal
+//! fairness, park/unpark, panic containment, and the empty/singleton
+//! edges. Timing-shaped scenarios use sleeps, which work on any host
+//! (including a single-core one: sleeping threads release the CPU).
+
+use phloem_pool::{Pool, TaskPanic};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Every slot holds its own task's result, in index order, at any
+/// worker count.
+#[test]
+fn results_land_in_index_order() {
+    for workers in [1, 2, 3, 8, 64] {
+        let pool = Pool::new(workers);
+        let out = pool.run(37, |i| i * i);
+        assert_eq!(out.len(), 37);
+        for (i, r) in out.iter().enumerate() {
+            assert_eq!(r.as_ref().unwrap(), &(i * i), "workers={workers}");
+        }
+    }
+}
+
+/// Each task runs exactly once even under heavy stealing pressure.
+#[test]
+fn each_task_runs_exactly_once() {
+    let counts: Vec<AtomicU64> = (0..200).map(|_| AtomicU64::new(0)).collect();
+    let pool = Pool::new(8);
+    let out = pool.run(200, |i| {
+        counts[i].fetch_add(1, Ordering::Relaxed);
+    });
+    assert_eq!(out.len(), 200);
+    for (i, c) in counts.iter().enumerate() {
+        assert_eq!(c.load(Ordering::Relaxed), 1, "task {i}");
+    }
+}
+
+/// Steal fairness: when worker 0's seeded block head-of-line-blocks on
+/// an expensive task, the rest of its block must be executed by other
+/// workers (this is exactly the static-chunking pathology the pool
+/// exists to fix).
+#[test]
+fn idle_workers_steal_a_blocked_workers_backlog() {
+    let pool = Pool::new(4);
+    // 40 tasks, 4 workers -> worker 0 is seeded indices 0..10. Task 0
+    // sleeps long enough for the other workers to drain everything else
+    // and come stealing.
+    let (out, stats) = pool.run_stats(40, |i| {
+        if i == 0 {
+            std::thread::sleep(Duration::from_millis(120));
+        }
+        i
+    });
+    assert!(out.iter().all(|r| r.is_ok()));
+    assert!(
+        stats.steals >= 1,
+        "no steal happened despite a blocked worker: {stats:?}"
+    );
+    // Worker 0 cannot have run its whole seeded block: it was asleep.
+    assert!(
+        stats.per_worker_tasks[0] < 10,
+        "worker 0 ran its whole block while blocked: {stats:?}"
+    );
+    // Everything still ran exactly once (sum over workers == tasks).
+    assert_eq!(stats.per_worker_tasks.iter().sum::<u64>(), 40);
+}
+
+/// Park/unpark: a worker that runs dry while another worker's task is
+/// still in flight parks instead of spinning, and wakes when the fleet
+/// completes.
+#[test]
+fn dry_workers_park_until_completion() {
+    let pool = Pool::new(2);
+    // Two tasks, two workers: worker 1's single task sleeps, worker 0
+    // finishes instantly, finds nothing to steal, and must park.
+    let (out, stats) = pool.run_stats(2, |i| {
+        if i == 1 {
+            std::thread::sleep(Duration::from_millis(60));
+        }
+        i
+    });
+    assert!(out.iter().all(|r| r.is_ok()));
+    assert!(
+        stats.parks >= 1,
+        "the dry worker never parked: {stats:?} (spinning would burn a host core)"
+    );
+}
+
+/// Panic containment: a panicking task fills its own slot with
+/// `Err(TaskPanic)` and nothing else.
+#[test]
+fn panics_are_contained_to_their_slot() {
+    for workers in [1, 4] {
+        let pool = Pool::new(workers);
+        let out = pool.run(9, |i| {
+            if i == 4 {
+                panic!("injected fleet panic {i}");
+            }
+            i + 1
+        });
+        for (i, r) in out.iter().enumerate() {
+            if i == 4 {
+                let e: &TaskPanic = r.as_ref().unwrap_err();
+                assert_eq!(e.index, 4);
+                assert!(e.message.contains("injected fleet panic"), "{e}");
+            } else {
+                assert_eq!(r.as_ref().unwrap(), &(i + 1));
+            }
+        }
+    }
+}
+
+/// Zero tasks: no threads, no results, no hang.
+#[test]
+fn zero_tasks() {
+    let pool = Pool::new(8);
+    let out: Vec<Result<u64, _>> = pool.run(0, |_| unreachable!("no tasks"));
+    assert!(out.is_empty());
+    let (out, stats) = pool.run_stats(0, |i| i);
+    assert!(out.is_empty());
+    assert_eq!(stats.per_worker_tasks.iter().sum::<u64>(), 0);
+}
+
+/// One task: the fleet clamps to one worker and runs inline.
+#[test]
+fn one_task_runs_inline() {
+    let caller = std::thread::current().id();
+    let pool = Pool::new(8);
+    let (out, stats) = pool.run_stats(1, |i| (i, std::thread::current().id()));
+    assert_eq!(stats.workers, 1);
+    let (i, tid) = out[0].as_ref().unwrap();
+    assert_eq!(*i, 0);
+    assert_eq!(*tid, caller, "a singleton fleet must not spawn threads");
+}
+
+/// `map` hands each task its index and item.
+#[test]
+fn map_passes_items_by_index() {
+    let items: Vec<String> = (0..20).map(|i| format!("item-{i}")).collect();
+    let pool = Pool::new(3);
+    let out = pool.map(&items, |i, s| format!("{i}:{s}"));
+    for (i, r) in out.iter().enumerate() {
+        assert_eq!(r.as_ref().unwrap(), &format!("{i}:item-{i}"));
+    }
+}
+
+/// Worker counts beyond the task count are clamped; beyond the host's
+/// core count they still complete (oversubscription is legal).
+#[test]
+fn oversubscription_and_clamping() {
+    let pool = Pool::new(64);
+    let (out, stats) = pool.run_stats(5, |i| i * 3);
+    assert_eq!(stats.workers, 5);
+    for (i, r) in out.iter().enumerate() {
+        assert_eq!(r.as_ref().unwrap(), &(i * 3));
+    }
+}
+
+/// A quiesced section excludes fleets but runs the closure.
+#[test]
+fn quiesced_runs_and_returns() {
+    let v = phloem_pool::quiesced(|| 41 + 1);
+    assert_eq!(v, 42);
+    // Fleets still work afterwards (the write lock was released).
+    let pool = Pool::new(2);
+    assert_eq!(pool.run(4, |i| i).len(), 4);
+}

@@ -6,6 +6,12 @@
 set -o pipefail
 cd /root/repo
 export SCALE=small
+# One host-parallelism knob for the whole sweep: every harness fans its
+# per-candidate simulations over the phloem-pool work-stealing fleet.
+# JOBS=<n> overrides; results are bit-identical at any worker count.
+JOBS="${JOBS:-$(nproc)}"
+export PHLOEM_WORKERS="$JOBS"
+echo "=== host jobs: $JOBS ==="
 FAILED=()
 
 run_harness() {
@@ -24,21 +30,21 @@ run_harness() {
 cargo build -q --release -p phloem-bench || { echo "build failed"; exit 1; }
 
 echo "=== validating benchsuite/PGO pipelines ==="
-if ! cargo run -q --release -p phloem-bench --bin fuzzdiff -- --validate-benchsuite; then
+if ! cargo run -q --release -p phloem-bench --bin fuzzdiff -- --validate-benchsuite --jobs "$JOBS"; then
   FAILED+=(validate-benchsuite)
 fi
 echo "=== fault-injection smoke ==="
-if ! cargo run -q --release -p phloem-bench --bin fuzzdiff -- --faults --smoke; then
+if ! cargo run -q --release -p phloem-bench --bin fuzzdiff -- --faults --smoke --jobs "$JOBS"; then
   FAILED+=(fuzzdiff-faults)
 fi
 
 for f in tables fig6 fig12 fig13 fig9 fig14; do
-  run_harness "$f" cargo run -q --release -p phloem-bench --bin "$f"
+  run_harness "$f" cargo run -q --release -p phloem-bench --bin "$f" -- --jobs "$JOBS"
 done
 # Breakdown figures rerun the full matrix; tiny scale keeps the total
 # runtime sane and the shapes are scale-insensitive.
 for f in fig10 fig11; do
-  run_harness "$f" env SCALE=tiny cargo run -q --release -p phloem-bench --bin "$f"
+  run_harness "$f" env SCALE=tiny cargo run -q --release -p phloem-bench --bin "$f" -- --jobs "$JOBS"
 done
 
 if [ ${#FAILED[@]} -gt 0 ]; then

@@ -50,6 +50,12 @@ echo "==> parallel --smoke (fleet scaling: determinism + overhead gates)"
 # the determinism and overhead assertions still run.
 cargo run --release -q -p phloem-bench --bin parallel -- --smoke
 
+echo "==> phloem-service tests (cache-key sensitivity, grid bit-identity, daemon smoke)"
+cargo test -q -p phloem-service
+
+echo "==> serve --smoke (service replay: bit-identical warm hits, >=0.5 hit-rate gate)"
+SCALE=tiny cargo run --release -q -p phloem-bench --bin serve -- --smoke
+
 echo "==> cargo clippy --workspace --all-targets -- -D warnings"
 cargo clippy --workspace --all-targets -q -- -D warnings
 

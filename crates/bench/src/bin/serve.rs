@@ -1,0 +1,297 @@
+//! Service throughput and cache effectiveness (`BENCH_serve.json`).
+//!
+//! Drives the `phloem-service` layer with a mixed 20-request workload
+//! (compiles, simulations, traces, one PGO search) and measures
+//! sustained requests/sec and cache hit-rate over one cold pass plus
+//! four warm replays — the profile of an interactive client replaying a
+//! sweep. Two transports:
+//!
+//! * **daemon** — a spawned `phloemd` sibling binary over stdin/stdout
+//!   with blank-line batch framing (the real deployment shape);
+//! * **in-process** — direct [`Service::handle_batch`] calls, used as a
+//!   fallback when the sibling binary is missing and always in
+//!   `--smoke` mode (CI runs the library path; the daemon transport has
+//!   its own integration tests).
+//!
+//! Correctness is asserted, not assumed, in both modes: every warm
+//! response must be bit-identical to its cold counterpart (modulo the
+//! `"cache"` provenance field on cacheable ops), one simulate response
+//! is cross-checked against the direct [`Batch`] API, and the warm
+//! replay hit-rate must be >= 50% (it is 80% by construction here:
+//! 11 of 20 requests are cacheable and every replay of them hits).
+//!
+//! Requests/sec on this single-core host measures the service overhead
+//! on top of simulation cost, not parallel fan-out; the JSON records
+//! `host_cores` so readers can gate expectations on the hardware.
+
+use phloem_bench::{header, machine, scale};
+use phloem_benchsuite::Variant;
+use phloem_pool::Pool;
+use phloem_service::proto::parse;
+use phloem_service::{Batch, PreparedInputs, Service, ServiceConfig, SimRequest};
+use std::io::{BufRead, BufReader, Write};
+use std::time::Instant;
+
+/// The mixed workload: 8 compiles, 1 search, 2 traces, 9 simulations.
+/// Cacheable (compile/search/trace) requests: 11 of 20.
+fn workload() -> Vec<String> {
+    let reqs = [
+        r#"{"id":1,"op":"compile","app":"bfs","passes":"all"}"#,
+        r#"{"id":2,"op":"compile","app":"bfs","passes":"queues-only"}"#,
+        r#"{"id":3,"op":"compile","app":"cc","passes":"all"}"#,
+        r#"{"id":4,"op":"compile","app":"cc","passes":"with-cv"}"#,
+        r#"{"id":5,"op":"compile","app":"prd","passes":"all"}"#,
+        r#"{"id":6,"op":"compile","app":"radii","passes":"all"}"#,
+        r#"{"id":7,"op":"compile","app":"spmm","passes":"all"}"#,
+        r#"{"id":8,"op":"compile","app":"spmm","passes":"all-streaming"}"#,
+        r#"{"id":9,"op":"search","app":"bfs","input":"internet-s","max_stages":2,"top_k":2}"#,
+        r#"{"id":10,"op":"trace","app":"bfs","input":"internet-s","variant":"phloem","stages":2}"#,
+        r#"{"id":11,"op":"trace","app":"cc","input":"internet-s","variant":"phloem","stages":2}"#,
+        r#"{"id":12,"op":"simulate","app":"bfs","input":"internet-s","variant":"serial"}"#,
+        r#"{"id":13,"op":"simulate","app":"cc","input":"internet-s","variant":"serial"}"#,
+        r#"{"id":14,"op":"simulate","app":"prd","input":"internet-s","variant":"serial"}"#,
+        r#"{"id":15,"op":"simulate","app":"radii","input":"internet-s","variant":"serial"}"#,
+        r#"{"id":16,"op":"simulate","app":"spmm","input":"enron-s","variant":"serial"}"#,
+        r#"{"id":17,"op":"simulate","app":"bfs","input":"internet-s","variant":"dp"}"#,
+        r#"{"id":18,"op":"simulate","app":"bfs","input":"internet-s","variant":"phloem","stages":2}"#,
+        r#"{"id":19,"op":"simulate","app":"cc","input":"internet-s","variant":"phloem","stages":2}"#,
+        r#"{"id":20,"op":"simulate","app":"radii","input":"road-ny-s","variant":"serial"}"#,
+    ];
+    reqs.iter().map(|s| s.to_string()).collect()
+}
+
+/// A transport that answers one batch of request lines.
+trait Transport {
+    fn round_trip(&mut self, lines: &[String]) -> Vec<String>;
+    fn name(&self) -> &'static str;
+}
+
+struct InProcess {
+    svc: Service,
+}
+
+impl Transport for InProcess {
+    fn round_trip(&mut self, lines: &[String]) -> Vec<String> {
+        self.svc.handle_batch(lines).responses
+    }
+    fn name(&self) -> &'static str {
+        "in-process"
+    }
+}
+
+struct Daemon {
+    child: std::process::Child,
+    stdin: std::process::ChildStdin,
+    stdout: BufReader<std::process::ChildStdout>,
+}
+
+impl Transport for Daemon {
+    fn round_trip(&mut self, lines: &[String]) -> Vec<String> {
+        for line in lines {
+            writeln!(self.stdin, "{line}").expect("phloemd stdin");
+        }
+        writeln!(self.stdin).expect("phloemd stdin");
+        self.stdin.flush().expect("phloemd stdin");
+        let mut frame = Vec::new();
+        loop {
+            let mut line = String::new();
+            if self.stdout.read_line(&mut line).expect("phloemd stdout") == 0 {
+                panic!("phloemd closed stdout mid-frame");
+            }
+            let trimmed = line.trim_end_matches(['\n', '\r']);
+            if trimmed.is_empty() {
+                return frame;
+            }
+            frame.push(trimmed.to_string());
+        }
+    }
+    fn name(&self) -> &'static str {
+        "phloemd"
+    }
+}
+
+impl Drop for Daemon {
+    fn drop(&mut self) {
+        // Stdin is still open; a shutdown request ends the daemon
+        // cleanly (EOF would too, but be explicit).
+        let _ = writeln!(self.stdin, r#"{{"id":0,"op":"shutdown"}}"#);
+        let _ = writeln!(self.stdin);
+        let _ = self.stdin.flush();
+        let _ = self.child.wait();
+    }
+}
+
+/// Spawns the `phloemd` binary that `cargo build` placed next to this
+/// bench binary, if present.
+fn spawn_daemon(scale_name: &str, workers: usize) -> Option<Daemon> {
+    let path = std::env::current_exe().ok()?.with_file_name("phloemd");
+    let mut child = std::process::Command::new(&path)
+        .args(["--scale", scale_name, "--workers", &workers.to_string()])
+        .stdin(std::process::Stdio::piped())
+        .stdout(std::process::Stdio::piped())
+        .stderr(std::process::Stdio::null())
+        .spawn()
+        .ok()?;
+    let stdin = child.stdin.take()?;
+    let stdout = BufReader::new(child.stdout.take()?);
+    Some(Daemon {
+        child,
+        stdin,
+        stdout,
+    })
+}
+
+fn get_str<'a>(resp: &'a phloem_service::Json, key: &str) -> Option<&'a str> {
+    resp.get(key).and_then(|j| j.as_str())
+}
+
+/// Checks one warm frame against its cold counterpart: every response
+/// ok, cacheable ops hit bit-identically, simulations replay equal.
+/// Returns (cacheable, hits) over the warm frame.
+fn check_warm(cold: &[String], warm: &[String]) -> (usize, usize) {
+    assert_eq!(cold.len(), warm.len(), "frame length changed on replay");
+    let (mut cacheable, mut hits) = (0usize, 0usize);
+    for (c, w) in cold.iter().zip(warm) {
+        let wv = parse(w).unwrap_or_else(|e| panic!("bad response {w:?}: {e}"));
+        assert_eq!(
+            wv.get("ok").and_then(|j| j.as_bool()),
+            Some(true),
+            "request failed: {w}"
+        );
+        match get_str(&wv, "cache") {
+            Some("bypass") => assert_eq!(c, w, "simulate replay diverged"),
+            Some("hit") => {
+                cacheable += 1;
+                hits += 1;
+                assert_eq!(
+                    &c.replace("\"cache\":\"miss\"", "\"cache\":\"hit\""),
+                    w,
+                    "cache hit not bit-identical to the cold response"
+                );
+            }
+            Some("miss") => cacheable += 1,
+            other => panic!("missing cache provenance ({other:?}): {w}"),
+        }
+    }
+    (cacheable, hits)
+}
+
+/// Cross-checks the service's BFS serial simulate against the direct
+/// [`Batch`] API (same machine, same input).
+fn check_against_direct_api(responses: &[String]) {
+    let resp = responses
+        .iter()
+        .map(|r| parse(r).unwrap())
+        .find(|v| {
+            get_str(v, "op") == Some("simulate")
+                && get_str(v, "variant").is_some_and(|s| s.contains("serial"))
+                && get_str(v, "input") == Some("internet-s")
+                && get_str(v, "app") != Some("spmm")
+        })
+        .expect("workload contains a serial internet-s simulate");
+    let cycles = resp.get("cycles").and_then(|j| j.as_u64()).expect("cycles");
+    let pool = Pool::new(1);
+    let inputs = PreparedInputs::new(scale());
+    let cfg = machine();
+    let direct = Batch::new(&pool, &inputs, &cfg).run(&[SimRequest {
+        app: "bfs".into(),
+        variant: Variant::Serial,
+        input: "internet-s".into(),
+        cycle_cap: None,
+    }]);
+    let direct = direct[0].as_ref().expect("direct run succeeds");
+    assert_eq!(
+        cycles, direct.cycles,
+        "service simulate disagrees with the direct Batch API"
+    );
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let host_cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let scale_name = format!("{:?}", scale()).to_lowercase();
+    let workers = host_cores.min(4);
+    let warm_passes = if smoke { 1 } else { 4 };
+    let batch = workload();
+
+    header("Compile-and-simulate service: throughput and cache hit-rate");
+
+    // Smoke runs the library path; full prefers the spawned daemon.
+    let mut transport: Box<dyn Transport> = if smoke {
+        None
+    } else {
+        spawn_daemon(&scale_name, workers).map(|d| Box::new(d) as Box<dyn Transport>)
+    }
+    .unwrap_or_else(|| {
+        Box::new(InProcess {
+            svc: Service::new(ServiceConfig {
+                scale: scale(),
+                workers,
+                ..ServiceConfig::default()
+            }),
+        })
+    });
+    println!(
+        "  transport: {}; scale: {scale_name}; {} requests/pass; 1 cold + {warm_passes} warm; \
+         {workers} workers on {host_cores} host core(s)",
+        transport.name(),
+        batch.len()
+    );
+
+    let t0 = Instant::now();
+    let cold = transport.round_trip(&batch);
+    let cold_secs = t0.elapsed().as_secs_f64();
+    assert_eq!(cold.len(), batch.len(), "cold pass dropped responses");
+    check_against_direct_api(&cold);
+
+    let (mut cacheable, mut hits) = (0usize, 0usize);
+    let t1 = Instant::now();
+    for _ in 0..warm_passes {
+        let warm = transport.round_trip(&batch);
+        let (c, h) = check_warm(&cold, &warm);
+        cacheable += c;
+        hits += h;
+    }
+    let warm_secs = t1.elapsed().as_secs_f64();
+
+    let hit_rate = hits as f64 / cacheable.max(1) as f64;
+    let warm_rps = (warm_passes * batch.len()) as f64 / warm_secs;
+    let cold_rps = batch.len() as f64 / cold_secs;
+    println!(
+        "  cold: {cold_secs:.3}s ({cold_rps:.1} req/s); warm: {warm_secs:.3}s \
+         ({warm_rps:.1} req/s); warm hit-rate {hit_rate:.2} over {cacheable} cacheable requests"
+    );
+    println!("  correctness: warm responses bit-identical; simulate cross-checked vs Batch API");
+    assert!(
+        hit_rate >= 0.5,
+        "warm replay hit-rate {hit_rate:.2} below the 0.5 acceptance bar"
+    );
+
+    if smoke {
+        assert!(hits > 0, "smoke replay saw no cache hits");
+        println!("  smoke mode: bit-identity + hit-rate gates held; OK");
+        return;
+    }
+
+    let json = format!(
+        "{{\n  \"bench\": \"serve\",\n  \"transport\": \"{}\",\n  \
+         \"host_cores\": {host_cores},\n  \"workers\": {workers},\n  \
+         \"scale\": \"{scale_name}\",\n  \
+         \"workload\": \"20 requests/pass: 8 compile, 1 search, 2 trace, 9 simulate; \
+         11 cacheable\",\n  \"passes\": {{ \"cold\": 1, \"warm\": {warm_passes} }},\n  \
+         \"cold_wall_s\": {cold_secs:.6},\n  \"cold_requests_per_s\": {cold_rps:.3},\n  \
+         \"warm_wall_s\": {warm_secs:.6},\n  \"warm_requests_per_s\": {warm_rps:.3},\n  \
+         \"warm_hit_rate\": {hit_rate:.4},\n  \
+         \"correctness\": \"every warm response asserted bit-identical to its cold \
+         counterpart (modulo cache provenance); one simulate cross-checked against the \
+         direct Batch API; hit-rate gate >= 0.5\",\n  \
+         \"note\": \"requests/sec measures service overhead plus simulation cost on this \
+         host; with a single core the pool fan-out adds no speedup, so cross-host \
+         comparisons should gate on host_cores\"\n}}\n",
+        transport.name()
+    );
+    std::fs::write("BENCH_serve.json", &json).expect("write BENCH_serve.json");
+    println!("  wrote BENCH_serve.json");
+}

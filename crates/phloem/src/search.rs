@@ -285,7 +285,14 @@ pub fn search_profiled(
     let Some((best, _)) = best else {
         return Err(SearchError::NoViableCandidate { candidates });
     };
-    let pipeline = pipelines.into_iter().nth(best).unwrap().1;
+    // No panic path out of a search: `best` indexes `pipelines` by
+    // construction, but if that invariant ever breaks the caller gets
+    // the structured error (preserving every candidate's outcome for
+    // diagnostics), not an unwinding worker. `phloemd` surfaces this
+    // as a `no_viable_candidate` error response.
+    let Some((_, pipeline)) = pipelines.into_iter().nth(best) else {
+        return Err(SearchError::NoViableCandidate { candidates });
+    };
     Ok(SearchReport {
         candidates,
         best,

@@ -374,9 +374,14 @@ pub(crate) const WAIT_FULL: u8 = 2;
 /// Cached `TRACE_DEQ` env toggle: the environment cannot change under a
 /// running process in any supported way, and an `environ` walk per
 /// invocation is measurable on invocation-per-round workloads.
+///
+/// Enabled only by `TRACE_DEQ=1` (the `PHLOEM_PIN`-style convention for
+/// every boolean flag in this workspace): a set-but-false value such as
+/// `TRACE_DEQ=0` keeps tracing off, where a bare `is_ok()` check would
+/// have turned it on.
 fn trace_deq_enabled() -> bool {
     static ON: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
-    *ON.get_or_init(|| std::env::var("TRACE_DEQ").is_ok())
+    *ON.get_or_init(|| std::env::var("TRACE_DEQ").as_deref() == Ok("1"))
 }
 
 impl<'a> TimingWorld<'a> {

@@ -58,13 +58,28 @@ use std::sync::{Condvar, Mutex, OnceLock, RwLock};
 use std::time::Duration;
 
 /// Shared worker-count default for every pool consumer: the
-/// `PHLOEM_WORKERS` env override when set (and ≥ 1), otherwise the
-/// host's available parallelism, clamped ≥ 1.
+/// `PHLOEM_WORKERS` env override when set, otherwise the host's
+/// available parallelism, clamped ≥ 1.
+///
+/// `PHLOEM_WORKERS` accepts an integer **≥ 1** (there is no "auto"
+/// sentinel — unset the variable to get the host default). Any other
+/// value — `0`, negative, or non-numeric — is *rejected with a warning*
+/// naming the variable, not silently ignored: a silent fall-through made
+/// `PHLOEM_WORKERS=0` behave like full parallelism, the opposite of
+/// what the caller plausibly meant.
 pub fn default_workers() -> usize {
     if let Ok(v) = std::env::var("PHLOEM_WORKERS") {
-        if let Ok(n) = v.trim().parse::<usize>() {
-            if n >= 1 {
-                return n;
+        match v.trim().parse::<usize>() {
+            Ok(n) if n >= 1 => return n,
+            _ => {
+                // Warn once per process, not once per fleet.
+                static WARNED: std::sync::Once = std::sync::Once::new();
+                WARNED.call_once(|| {
+                    eprintln!(
+                        "[phloem-pool] rejecting PHLOEM_WORKERS={v:?}: expected an integer >= 1 \
+                         (worker threads per fleet); using the host's available parallelism"
+                    );
+                });
             }
         }
     }

@@ -1,0 +1,355 @@
+//! Batched simulation sessions: input setup amortized across requests,
+//! execution fanned out over the shared host pool.
+//!
+//! Building a catalog input is pure but not free (graph generators walk
+//! hundreds of thousands of edges); a batch of requests touching the
+//! same input must pay that cost once, not once per request.
+//! [`PreparedInputs`] materializes each catalog family the first time a
+//! name from it is requested and shares the inputs by `Arc` from then
+//! on — across requests, batches, and worker threads. For SpMM the
+//! transpose is part of the prepared input too (the inner-product
+//! kernel consumes B as CSC).
+//!
+//! [`Batch::run`] is index-ordered and deterministic at any worker
+//! count: the pool's determinism contract places result `i` in slot
+//! `i`, and each simulation is pure, so a batch returns bit-identical
+//! measurements whether it ran on one worker or sixteen.
+
+use phloem_benchsuite::{bfs, cc, prd, radii, spmm, Measurement, Variant};
+use phloem_ir::Trap;
+use phloem_pool::Pool;
+use phloem_workloads::{
+    catalog::{self, Scale},
+    Graph, SparseMatrix,
+};
+use pipette_sim::trace::{DigestSink, TraceSink};
+use pipette_sim::MachineConfig;
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+
+/// One simulation request inside a batch.
+#[derive(Clone, Debug)]
+pub struct SimRequest {
+    /// Benchmark app: `bfs`, `cc`, `prd`, `radii`, `spmm`.
+    pub app: String,
+    /// The variant to run.
+    pub variant: Variant,
+    /// Catalog input name (e.g. `coauthor-s`, `enron-s`).
+    pub input: String,
+    /// Optional watchdog budget in simulated cycles for this request.
+    pub cycle_cap: Option<u64>,
+}
+
+/// Catalog inputs, built lazily per family and shared by `Arc`.
+///
+/// Thread-safe: worker threads resolving names concurrently serialize
+/// only on the brief map probe, and the first resolver of a family pays
+/// its construction while holding the family's slot (subsequent lookups
+/// are a clone of an `Arc`).
+pub struct PreparedInputs {
+    scale: Scale,
+    graphs: Mutex<Option<Family<Graph>>>,
+    matrices: Mutex<Option<Family<(SparseMatrix, SparseMatrix)>>>,
+}
+
+/// One lazily-built catalog family, shared by `Arc` at both levels.
+type Family<T> = Arc<HashMap<String, Arc<T>>>;
+
+impl PreparedInputs {
+    /// Empty prepared set at the given catalog scale.
+    pub fn new(scale: Scale) -> PreparedInputs {
+        PreparedInputs {
+            scale,
+            graphs: Mutex::new(None),
+            matrices: Mutex::new(None),
+        }
+    }
+
+    /// The catalog scale inputs are generated at.
+    pub fn scale(&self) -> Scale {
+        self.scale
+    }
+
+    /// Resolves a named graph (training or test catalog), materializing
+    /// the graph family on first use.
+    pub fn graph(&self, name: &str) -> Option<Arc<Graph>> {
+        let mut slot = self.graphs.lock().unwrap_or_else(|e| e.into_inner());
+        let map = slot.get_or_insert_with(|| {
+            let mut m = HashMap::new();
+            for gi in catalog::training_graphs(self.scale)
+                .into_iter()
+                .chain(catalog::test_graphs(self.scale))
+            {
+                m.insert(gi.name.to_string(), Arc::new(gi.graph));
+            }
+            Arc::new(m)
+        });
+        map.get(name).cloned()
+    }
+
+    /// Resolves a named sparse matrix as `(matrix, transpose)`,
+    /// materializing the matrix family (and the transposes) on first
+    /// use.
+    pub fn matrix(&self, name: &str) -> Option<Arc<(SparseMatrix, SparseMatrix)>> {
+        let mut slot = self.matrices.lock().unwrap_or_else(|e| e.into_inner());
+        let map = slot.get_or_insert_with(|| {
+            let mut m = HashMap::new();
+            for mi in catalog::spmm_training_matrices(self.scale)
+                .into_iter()
+                .chain(catalog::spmm_test_matrices(self.scale))
+            {
+                let bt = mi.matrix.transpose();
+                m.insert(mi.name.to_string(), Arc::new((mi.matrix, bt)));
+            }
+            Arc::new(m)
+        });
+        map.get(name).cloned()
+    }
+}
+
+/// Applies a per-request budget on top of the session machine config.
+/// A request can only *tighten* the configured cap, never widen it.
+fn budgeted(cfg: &MachineConfig, cycle_cap: Option<u64>) -> MachineConfig {
+    let mut cfg = cfg.clone();
+    if let Some(cap) = cycle_cap {
+        cfg.watchdog.cycle_cap = cfg.watchdog.cycle_cap.min(cap.max(1));
+    }
+    cfg
+}
+
+/// Runs one request on the caller's thread. Unknown apps and input
+/// names surface as [`Trap::BadId`] — a per-request error, never a
+/// batch abort.
+pub fn run_one(
+    inputs: &PreparedInputs,
+    cfg: &MachineConfig,
+    req: &SimRequest,
+) -> Result<Measurement, Trap> {
+    let cfg = budgeted(cfg, req.cycle_cap);
+    let v = &req.variant;
+    let name = req.input.as_str();
+    match req.app.as_str() {
+        "spmm" => {
+            let m = resolve_matrix(inputs, name)?;
+            spmm::run(v, &m.0, &m.1, &cfg, name)
+        }
+        "bfs" => bfs::run(v, resolve_graph(inputs, name)?.as_ref(), 0, &cfg, name),
+        "cc" => cc::run(v, resolve_graph(inputs, name)?.as_ref(), &cfg, name),
+        "prd" => prd::run(v, resolve_graph(inputs, name)?.as_ref(), &cfg, name),
+        "radii" => radii::run(v, resolve_graph(inputs, name)?.as_ref(), &cfg, name),
+        other => Err(Trap::BadId(format!("unknown app {other:?}"))),
+    }
+}
+
+/// The canonical trace digest of one run: the FNV-1a hash over the
+/// pipeline's full event stream plus the number of events folded in.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TraceDigest {
+    /// [`DigestSink`] hash over every invocation's event stream.
+    pub digest: u64,
+    /// Events folded into the digest.
+    pub events: u64,
+}
+
+/// Like [`run_one`], with a [`DigestSink`] observing every pipeline
+/// invocation. The digest is returned even when the run traps, so a
+/// failed run's partial trace remains inspectable.
+pub fn run_one_traced(
+    inputs: &PreparedInputs,
+    cfg: &MachineConfig,
+    req: &SimRequest,
+) -> (Result<Measurement, Trap>, TraceDigest) {
+    let cfg = budgeted(cfg, req.cycle_cap);
+    let v = &req.variant;
+    let name = req.input.as_str();
+    let sink: Box<dyn TraceSink> = Box::new(DigestSink::new());
+    let (result, sink) = match req.app.as_str() {
+        "spmm" => {
+            let m = match resolve_matrix(inputs, name) {
+                Ok(m) => m,
+                Err(t) => {
+                    return (
+                        Err(t),
+                        TraceDigest {
+                            digest: 0,
+                            events: 0,
+                        },
+                    )
+                }
+            };
+            spmm::run_traced(v, &m.0, &m.1, &cfg, name, sink)
+        }
+        "bfs" | "cc" | "prd" | "radii" => {
+            let g = match resolve_graph(inputs, name) {
+                Ok(g) => g,
+                Err(t) => {
+                    return (
+                        Err(t),
+                        TraceDigest {
+                            digest: 0,
+                            events: 0,
+                        },
+                    )
+                }
+            };
+            match req.app.as_str() {
+                "bfs" => bfs::run_traced(v, &g, 0, &cfg, name, sink),
+                "cc" => cc::run_traced(v, &g, &cfg, name, sink),
+                "prd" => prd::run_traced(v, &g, &cfg, name, sink),
+                _ => radii::run_traced(v, &g, &cfg, name, sink),
+            }
+        }
+        other => {
+            return (
+                Err(Trap::BadId(format!("unknown app {other:?}"))),
+                TraceDigest {
+                    digest: 0,
+                    events: 0,
+                },
+            )
+        }
+    };
+    let digest = sink
+        .downcast_ref::<DigestSink>()
+        .map(|d| TraceDigest {
+            digest: d.digest(),
+            events: d.count,
+        })
+        .unwrap_or(TraceDigest {
+            digest: 0,
+            events: 0,
+        });
+    (result, digest)
+}
+
+fn resolve_graph(inputs: &PreparedInputs, name: &str) -> Result<Arc<Graph>, Trap> {
+    inputs
+        .graph(name)
+        .ok_or_else(|| Trap::BadId(format!("unknown graph input {name:?}")))
+}
+
+fn resolve_matrix(
+    inputs: &PreparedInputs,
+    name: &str,
+) -> Result<Arc<(SparseMatrix, SparseMatrix)>, Trap> {
+    inputs
+        .matrix(name)
+        .ok_or_else(|| Trap::BadId(format!("unknown matrix input {name:?}")))
+}
+
+/// A batched session over a shared pool, machine config, and prepared
+/// inputs.
+pub struct Batch<'a> {
+    pool: &'a Pool,
+    inputs: &'a PreparedInputs,
+    machine: &'a MachineConfig,
+}
+
+impl<'a> Batch<'a> {
+    /// A session borrowing the pool, inputs, and machine config.
+    pub fn new(
+        pool: &'a Pool,
+        inputs: &'a PreparedInputs,
+        machine: &'a MachineConfig,
+    ) -> Batch<'a> {
+        Batch {
+            pool,
+            inputs,
+            machine,
+        }
+    }
+
+    /// Runs every request, fanned out over the pool, returning results
+    /// in request order. Per-request failures (traps, bad names, even a
+    /// host-side panic in one task) land in that request's slot; the
+    /// batch itself always completes.
+    pub fn run(&self, requests: &[SimRequest]) -> Vec<Result<Measurement, Trap>> {
+        self.pool
+            .map(requests, |_, req| run_one(self.inputs, self.machine, req))
+            .into_iter()
+            .map(|slot| match slot {
+                Ok(r) => r,
+                Err(panic) => Err(Trap::Malformed(format!("host task panicked: {panic}"))),
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_cfg() -> MachineConfig {
+        MachineConfig::paper_1core()
+    }
+
+    #[test]
+    fn unknown_names_trap_instead_of_aborting_the_batch() {
+        let inputs = PreparedInputs::new(Scale::Tiny);
+        let pool = Pool::new(1);
+        let cfg = tiny_cfg();
+        let reqs = vec![
+            SimRequest {
+                app: "nosuch".into(),
+                variant: Variant::Serial,
+                input: "internet-s".into(),
+                cycle_cap: None,
+            },
+            SimRequest {
+                app: "bfs".into(),
+                variant: Variant::Serial,
+                input: "nosuch-graph".into(),
+                cycle_cap: None,
+            },
+        ];
+        let out = Batch::new(&pool, &inputs, &cfg).run(&reqs);
+        assert!(matches!(out[0], Err(Trap::BadId(_))));
+        assert!(matches!(out[1], Err(Trap::BadId(_))));
+    }
+
+    #[test]
+    fn budget_only_tightens() {
+        let mut cfg = tiny_cfg();
+        cfg.watchdog.cycle_cap = 1000;
+        assert_eq!(budgeted(&cfg, Some(10)).watchdog.cycle_cap, 10);
+        assert_eq!(budgeted(&cfg, Some(u64::MAX)).watchdog.cycle_cap, 1000);
+        assert_eq!(budgeted(&cfg, Some(0)).watchdog.cycle_cap, 1);
+        assert_eq!(budgeted(&cfg, None).watchdog.cycle_cap, 1000);
+    }
+
+    #[test]
+    fn batch_is_index_ordered_and_worker_count_independent() {
+        let inputs = PreparedInputs::new(Scale::Tiny);
+        let cfg = tiny_cfg();
+        let reqs = vec![
+            SimRequest {
+                app: "bfs".into(),
+                variant: Variant::Serial,
+                input: "internet-s".into(),
+                cycle_cap: None,
+            },
+            SimRequest {
+                app: "cc".into(),
+                variant: Variant::Serial,
+                input: "internet-s".into(),
+                cycle_cap: None,
+            },
+        ];
+        let one = Batch::new(&Pool::new(1), &inputs, &cfg).run(&reqs);
+        let two = Batch::new(&Pool::new(2), &inputs, &cfg).run(&reqs);
+        for (a, b) in one.iter().zip(&two) {
+            let (a, b) = (a.as_ref().unwrap(), b.as_ref().unwrap());
+            assert_eq!(
+                crate::key::measurement_digest(a),
+                crate::key::measurement_digest(b)
+            );
+        }
+        // Slot order follows request order, not completion order.
+        assert_eq!(one[0].as_ref().unwrap().input, "internet-s");
+        assert_ne!(
+            one[0].as_ref().unwrap().variant,
+            String::new(),
+            "variant label present"
+        );
+    }
+}

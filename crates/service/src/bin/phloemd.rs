@@ -1,0 +1,221 @@
+//! `phloemd` — the Phloem compile-and-simulate daemon.
+//!
+//! Reads newline-delimited JSON requests, one per line; a **blank line
+//! (or EOF) ends a batch**. Each batch is validated and cache-probed in
+//! line order, executed concurrently on the host pool, and answered
+//! with one JSON response per request line, in order, followed by a
+//! blank line. Caches persist across batches (and, in socket mode,
+//! across connections), so a replayed workload observes warm hits.
+//!
+//! ```text
+//! phloemd [--socket PATH] [--scale tiny|small|full] [--workers N]
+//!         [--cycle-cap N] [--compile-cache N] [--search-cache N]
+//! ```
+//!
+//! Without `--socket`, requests come from stdin and responses go to
+//! stdout (errors and lifecycle notes to stderr). With `--socket PATH`,
+//! the daemon listens on a Unix socket and serves connections
+//! sequentially with the same framing. A `{"op":"shutdown"}` request
+//! answers, finishes its batch, and exits the daemon.
+
+use phloem_service::{Service, ServiceConfig};
+use phloem_workloads::catalog::Scale;
+use std::io::{BufRead, BufReader, Write};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: phloemd [--socket PATH] [--scale tiny|small|full] [--workers N] \
+         [--cycle-cap N] [--compile-cache N] [--search-cache N]"
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let mut cfg = ServiceConfig {
+        scale: Scale::Tiny,
+        ..ServiceConfig::default()
+    };
+    let mut socket: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |name: &str| {
+            args.next().unwrap_or_else(|| {
+                eprintln!("phloemd: {name} requires a value");
+                usage()
+            })
+        };
+        match arg.as_str() {
+            "--socket" => socket = Some(value("--socket")),
+            "--scale" => {
+                cfg.scale = match value("--scale").as_str() {
+                    "tiny" => Scale::Tiny,
+                    "small" => Scale::Small,
+                    "full" => Scale::Full,
+                    other => {
+                        eprintln!("phloemd: unknown scale {other:?}");
+                        usage()
+                    }
+                }
+            }
+            "--workers" => cfg.workers = parse_num(&value("--workers"), "--workers").max(1),
+            "--cycle-cap" => {
+                cfg.default_cycle_cap = parse_num(&value("--cycle-cap"), "--cycle-cap") as u64
+            }
+            "--compile-cache" => {
+                cfg.compile_cache_cap = parse_num(&value("--compile-cache"), "--compile-cache")
+            }
+            "--search-cache" => {
+                cfg.search_cache_cap = parse_num(&value("--search-cache"), "--search-cache")
+            }
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("phloemd: unknown argument {other:?}");
+                usage()
+            }
+        }
+    }
+    let service = Service::new(cfg);
+    match socket {
+        None => serve_stdio(&service),
+        Some(path) => serve_socket(&service, &path),
+    }
+}
+
+fn parse_num(s: &str, name: &str) -> usize {
+    s.parse().unwrap_or_else(|_| {
+        eprintln!("phloemd: {name} expects an integer, got {s:?}");
+        usage()
+    })
+}
+
+/// Serves batches from stdin until EOF or a `shutdown` request.
+fn serve_stdio(service: &Service) {
+    let stdin = std::io::stdin();
+    let mut reader = stdin.lock();
+    let stdout = std::io::stdout();
+    let mut out = stdout.lock();
+    loop {
+        match serve_stream(service, &mut reader, &mut out) {
+            StreamEnd::Continue => {}
+            StreamEnd::Eof | StreamEnd::Shutdown => break,
+            StreamEnd::Error(e) => {
+                eprintln!("phloemd: stdin stream error: {e}");
+                break;
+            }
+        }
+    }
+}
+
+/// Accepts socket connections sequentially; the service (and its
+/// caches) outlives each connection, so a reconnecting client sees
+/// warm caches. A `shutdown` request ends the accept loop.
+fn serve_socket(service: &Service, path: &str) {
+    // A stale socket file from a previous run would fail the bind.
+    let _ = std::fs::remove_file(path);
+    let listener = match std::os::unix::net::UnixListener::bind(path) {
+        Ok(l) => l,
+        Err(e) => {
+            eprintln!("phloemd: cannot bind {path:?}: {e}");
+            std::process::exit(1);
+        }
+    };
+    eprintln!("phloemd: listening on {path:?}");
+    for conn in listener.incoming() {
+        let stream = match conn {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("phloemd: accept failed: {e}");
+                continue;
+            }
+        };
+        let mut reader = BufReader::new(match stream.try_clone() {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("phloemd: cannot clone stream: {e}");
+                continue;
+            }
+        });
+        let mut writer = stream;
+        loop {
+            match serve_stream(service, &mut reader, &mut writer) {
+                StreamEnd::Continue => {}
+                StreamEnd::Eof => break,
+                StreamEnd::Shutdown => {
+                    let _ = std::fs::remove_file(path);
+                    return;
+                }
+                StreamEnd::Error(e) => {
+                    eprintln!("phloemd: connection error: {e}");
+                    break;
+                }
+            }
+        }
+    }
+}
+
+enum StreamEnd {
+    /// The batch was answered; more may follow on this stream.
+    Continue,
+    /// The input side closed.
+    Eof,
+    /// A `shutdown` request asked the daemon to exit.
+    Shutdown,
+    /// An I/O failure ended the stream.
+    Error(std::io::Error),
+}
+
+/// Reads one batch (lines until a blank line or EOF), answers it, and
+/// reports how the stream should proceed. An empty batch at EOF is not
+/// answered (so trailing newlines don't produce empty frames).
+fn serve_stream<R: BufRead, W: Write>(service: &Service, input: &mut R, out: &mut W) -> StreamEnd {
+    let mut lines = Vec::new();
+    let mut at_eof = false;
+    loop {
+        let mut line = String::new();
+        match input.read_line(&mut line) {
+            Ok(0) => {
+                at_eof = true;
+                break;
+            }
+            Ok(_) => {
+                let trimmed = line.trim_end_matches(['\n', '\r']);
+                if trimmed.is_empty() {
+                    break;
+                }
+                lines.push(trimmed.to_string());
+            }
+            Err(e) => return StreamEnd::Error(e),
+        }
+    }
+    if lines.is_empty() {
+        return if at_eof {
+            StreamEnd::Eof
+        } else {
+            // A lone blank line: acknowledge with an empty frame so the
+            // client's frame counting stays in sync.
+            match out.write_all(b"\n").and_then(|_| out.flush()) {
+                Ok(()) => StreamEnd::Continue,
+                Err(e) => StreamEnd::Error(e),
+            }
+        };
+    }
+    let result = service.handle_batch(&lines);
+    for resp in &result.responses {
+        if let Err(e) = out
+            .write_all(resp.as_bytes())
+            .and_then(|_| out.write_all(b"\n"))
+        {
+            return StreamEnd::Error(e);
+        }
+    }
+    if let Err(e) = out.write_all(b"\n").and_then(|_| out.flush()) {
+        return StreamEnd::Error(e);
+    }
+    if result.shutdown {
+        StreamEnd::Shutdown
+    } else if at_eof {
+        StreamEnd::Eof
+    } else {
+        StreamEnd::Continue
+    }
+}

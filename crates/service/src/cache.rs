@@ -1,0 +1,169 @@
+//! A small bounded LRU map with hit/miss/eviction counters.
+//!
+//! The service keeps two of these (compile and search results), both
+//! keyed by content digests from [`crate::key`]. Capacity is bounded so
+//! a long-running `phloemd` cannot grow without limit; eviction is
+//! least-recently-*used* (probes refresh recency, not just inserts).
+//!
+//! The implementation is a `HashMap` plus a monotonically increasing
+//! use-stamp per entry, with an O(n) scan on eviction. For the service
+//! caches — hundreds of entries, each guarding seconds of compile or
+//! simulate work — the scan is noise; a doubly-linked intrusive list
+//! would only add unsafe code for no observable win.
+
+use std::collections::HashMap;
+use std::hash::Hash;
+
+/// Hit/miss/insert/evict counters for one cache.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheCounters {
+    /// Probes that found the key.
+    pub hits: u64,
+    /// Probes that did not.
+    pub misses: u64,
+    /// Values stored.
+    pub insertions: u64,
+    /// Values displaced by the capacity bound.
+    pub evictions: u64,
+}
+
+impl CacheCounters {
+    /// Hits over probes; 0 when nothing has been probed.
+    pub fn hit_rate(&self) -> f64 {
+        let probes = self.hits + self.misses;
+        if probes == 0 {
+            0.0
+        } else {
+            self.hits as f64 / probes as f64
+        }
+    }
+}
+
+/// Bounded least-recently-used map.
+pub struct Lru<K, V> {
+    capacity: usize,
+    clock: u64,
+    map: HashMap<K, (u64, V)>,
+    counters: CacheCounters,
+}
+
+impl<K: Eq + Hash + Clone, V: Clone> Lru<K, V> {
+    /// Creates a cache holding at most `capacity` entries (minimum 1 —
+    /// a zero-capacity cache would turn every insert into a self-evict,
+    /// which no caller wants; pass-through is spelled "don't cache").
+    pub fn new(capacity: usize) -> Lru<K, V> {
+        Lru {
+            capacity: capacity.max(1),
+            clock: 0,
+            map: HashMap::new(),
+            counters: CacheCounters::default(),
+        }
+    }
+
+    /// Looks up `key`, refreshing its recency and counting the probe.
+    pub fn get(&mut self, key: &K) -> Option<V> {
+        self.clock += 1;
+        match self.map.get_mut(key) {
+            Some((stamp, v)) => {
+                *stamp = self.clock;
+                self.counters.hits += 1;
+                Some(v.clone())
+            }
+            None => {
+                self.counters.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Stores `key → value`, evicting the least recently used entry if
+    /// the cache is full and `key` is new.
+    pub fn insert(&mut self, key: K, value: V) {
+        self.clock += 1;
+        if !self.map.contains_key(&key) && self.map.len() >= self.capacity {
+            if let Some(oldest) = self
+                .map
+                .iter()
+                .min_by_key(|(_, (stamp, _))| *stamp)
+                .map(|(k, _)| k.clone())
+            {
+                self.map.remove(&oldest);
+                self.counters.evictions += 1;
+            }
+        }
+        self.counters.insertions += 1;
+        self.map.insert(key, (self.clock, value));
+    }
+
+    /// Entries currently held.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True when nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// The configured capacity bound.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// A snapshot of the lifetime counters.
+    pub fn counters(&self) -> CacheCounters {
+        self.counters
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hit_refreshes_recency() {
+        let mut c = Lru::new(2);
+        c.insert("a", 1);
+        c.insert("b", 2);
+        assert_eq!(c.get(&"a"), Some(1)); // "b" is now the LRU entry
+        c.insert("c", 3);
+        assert_eq!(c.get(&"a"), Some(1));
+        assert_eq!(c.get(&"b"), None);
+        assert_eq!(c.get(&"c"), Some(3));
+        let n = c.counters();
+        assert_eq!((n.insertions, n.evictions), (3, 1));
+        assert_eq!((n.hits, n.misses), (3, 1));
+    }
+
+    #[test]
+    fn reinsert_updates_without_evicting() {
+        let mut c = Lru::new(2);
+        c.insert("a", 1);
+        c.insert("b", 2);
+        c.insert("a", 10); // existing key: no eviction even at capacity
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.counters().evictions, 0);
+        assert_eq!(c.get(&"a"), Some(10));
+        assert_eq!(c.get(&"b"), Some(2));
+    }
+
+    #[test]
+    fn capacity_floor_is_one() {
+        let mut c = Lru::new(0);
+        assert_eq!(c.capacity(), 1);
+        c.insert("a", 1);
+        c.insert("b", 2);
+        assert_eq!(c.len(), 1);
+        assert_eq!(c.get(&"b"), Some(2));
+    }
+
+    #[test]
+    fn hit_rate_counts_probes() {
+        let mut c = Lru::new(4);
+        assert_eq!(c.counters().hit_rate(), 0.0);
+        c.insert("a", 1);
+        c.get(&"a");
+        c.get(&"x");
+        assert!((c.counters().hit_rate() - 0.5).abs() < 1e-12);
+    }
+}

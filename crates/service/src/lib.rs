@@ -1,0 +1,37 @@
+//! # phloem-service
+//!
+//! Compile-and-simulate as a service: the layer that turns the
+//! workspace's one-shot compile/simulate/search APIs into a
+//! long-running, cache-backed request server.
+//!
+//! Three pieces:
+//!
+//! * [`key`] + [`cache`] — content-addressed result caching. Every
+//!   cacheable request is keyed by stable FNV-1a digests of its full
+//!   semantic inputs (program text, pass switches, machine config,
+//!   search options), held in bounded LRU maps with hit/miss/eviction
+//!   counters. Any single-field config change produces a distinct key;
+//!   host-only scheduling knobs that provably cannot change results
+//!   (worker counts) are excluded so identical results share an entry.
+//! * [`batch`] — batched sessions: [`batch::Batch::run`] amortizes
+//!   catalog-input construction across requests and fans the
+//!   simulations out over the shared `phloem-pool`, returning
+//!   index-ordered, bit-identical results at any worker count.
+//! * [`service`] + the `phloemd` binary — a newline-delimited-JSON
+//!   request server (stdin or a Unix socket) running batches
+//!   concurrently with per-request watchdog budgets and cache-hit
+//!   provenance on every response.
+//!
+//! The wire protocol lives in [`proto`]; the workspace `serde` is an
+//! offline no-op shim, so JSON is hand-rolled there.
+
+pub mod batch;
+pub mod cache;
+pub mod key;
+pub mod proto;
+pub mod service;
+
+pub use batch::{Batch, PreparedInputs, SimRequest};
+pub use cache::{CacheCounters, Lru};
+pub use proto::{Json, Op, Request};
+pub use service::{BatchResult, Service, ServiceConfig};

@@ -1,0 +1,996 @@
+//! The service core: request validation, content-addressed caching,
+//! and batched execution over the shared host pool.
+//!
+//! ## Batch pipeline
+//!
+//! [`Service::handle_batch`] runs three phases:
+//!
+//! 1. **Probe** (sequential): parse and validate every line, compute
+//!    cache keys, and probe the caches. Sequencing this phase makes
+//!    hit/miss provenance deterministic — two identical cacheable
+//!    requests in one batch probe in line order, so both read `miss`
+//!    on a cold cache (the value is computed once and shared), and
+//!    both read `hit` on a warm one. Duplicate misses are deduplicated
+//!    by key so the expensive work runs exactly once per batch.
+//! 2. **Compute** (parallel): every miss and every uncacheable request
+//!    fans out over the pool. Work inside a pool task never spawns a
+//!    nested fleet — searches run with `workers = 1` — because fleets
+//!    hold the pool's shared quiesce lock for their whole run and
+//!    re-entrant acquisition is not a supported pattern; batch-level
+//!    parallelism already keeps the host busy.
+//! 3. **Insert + assemble** (sequential): successful cacheable results
+//!    are inserted, and responses are rendered in request order.
+//!    Cached payloads are stored as rendered-JSON fragments, so a hit
+//!    is byte-identical to the miss that populated it (modulo the
+//!    `id`/`cache` envelope fields) by construction.
+//!
+//! Errors are never cached: a trapped search or an illegal compile is
+//! recomputed on the next request, so a transient budget failure does
+//! not poison the cache.
+
+use crate::batch::{run_one, run_one_traced, PreparedInputs, SimRequest};
+use crate::cache::{CacheCounters, Lru};
+use crate::key::{self, KeyHasher};
+use crate::proto::{parse_request, Json, Op};
+use phloem_benchsuite::{bfs, cc, prd, radii, spmm, Measurement, Variant};
+use phloem_compiler::search::{
+    search_profiled, CandidateProfile, ProfileOutcome, SearchError, SearchOptions,
+};
+use phloem_compiler::{compile_static, CompileOptions, PassConfig};
+use phloem_ir::{Function, Trap};
+use phloem_pool::Pool;
+use phloem_workloads::catalog::Scale;
+use pipette_sim::{CompiledPipeline, MachineConfig, RunStats};
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+
+/// Service construction parameters.
+#[derive(Clone, Debug)]
+pub struct ServiceConfig {
+    /// Simulated machine every request runs on.
+    pub machine: MachineConfig,
+    /// Catalog scale for named inputs.
+    pub scale: Scale,
+    /// Host worker threads for batch fan-out.
+    pub workers: usize,
+    /// Compile-cache capacity (entries).
+    pub compile_cache_cap: usize,
+    /// Search/trace-cache capacity (entries).
+    pub search_cache_cap: usize,
+    /// Watchdog budget, in simulated cycles, applied to any request
+    /// that does not set its own `cycle_cap`.
+    pub default_cycle_cap: u64,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            machine: MachineConfig::paper_1core(),
+            scale: Scale::Small,
+            workers: phloem_pool::default_workers(),
+            compile_cache_cap: 256,
+            search_cache_cap: 128,
+            default_cycle_cap: 200_000_000,
+        }
+    }
+}
+
+/// A cached compile result: the response payload plus the shareable
+/// pre-validated pipeline (the `CompiledPipeline` hook — any number of
+/// sessions can run it via `Session::run_compiled` without re-paying
+/// bytecode compilation or pre-simulation validation).
+pub struct CompileValue {
+    /// Response payload fields, in render order.
+    pub payload: Payload,
+    /// The compiled, shareable pipeline.
+    pub compiled: Arc<CompiledPipeline>,
+}
+
+/// Response payload fields (everything after the `id`/`op`/`ok`/`cache`
+/// envelope), in render order.
+pub type Payload = Vec<(String, Json)>;
+
+/// Result of one `handle_batch` call.
+pub struct BatchResult {
+    /// One rendered JSON response per request line, in request order.
+    pub responses: Vec<String>,
+    /// True when the batch contained a `shutdown` request.
+    pub shutdown: bool,
+}
+
+struct ErrResp {
+    kind: &'static str,
+    message: String,
+}
+
+enum Work {
+    Compile {
+        kernel: Function,
+        app: String,
+        opts: CompileOptions,
+        stages: usize,
+    },
+    Simulate(SimRequest),
+    Search {
+        kernel: Function,
+        app: String,
+        input: String,
+        passes: PassConfig,
+        opts: SearchOptions,
+    },
+    Trace(SimRequest),
+}
+
+enum Output {
+    Compile(Arc<CompileValue>),
+    Payload(Arc<Payload>),
+}
+
+#[derive(Clone, Copy)]
+enum CacheSel {
+    Compile,
+    Search,
+}
+
+enum Resolution {
+    /// Fully rendered during the probe phase.
+    Done(String),
+    /// Waiting on compute slot `slot`.
+    Pending {
+        id: u64,
+        op: Op,
+        cache: &'static str,
+        slot: usize,
+    },
+}
+
+/// The compile-and-simulate service: two content-addressed caches, a
+/// prepared-input store, and a host pool, shared across batches.
+pub struct Service {
+    cfg: ServiceConfig,
+    pool: Pool,
+    inputs: PreparedInputs,
+    compile_cache: Mutex<Lru<u64, Arc<CompileValue>>>,
+    search_cache: Mutex<Lru<u64, Arc<Payload>>>,
+}
+
+impl Service {
+    /// A fresh service with cold caches.
+    pub fn new(cfg: ServiceConfig) -> Service {
+        Service {
+            pool: Pool::new(cfg.workers),
+            inputs: PreparedInputs::new(cfg.scale),
+            compile_cache: Mutex::new(Lru::new(cfg.compile_cache_cap)),
+            search_cache: Mutex::new(Lru::new(cfg.search_cache_cap)),
+            cfg,
+        }
+    }
+
+    /// The service configuration.
+    pub fn config(&self) -> &ServiceConfig {
+        &self.cfg
+    }
+
+    /// Lifetime counters of the (compile, search/trace) caches.
+    pub fn counters(&self) -> (CacheCounters, CacheCounters) {
+        (
+            self.compile_cache
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .counters(),
+            self.search_cache
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .counters(),
+        )
+    }
+
+    /// Handles one batch of request lines (each one JSON object).
+    pub fn handle_batch(&self, lines: &[String]) -> BatchResult {
+        let mut shutdown = false;
+        let mut works: Vec<Work> = Vec::new();
+        let mut work_keys: Vec<Option<(CacheSel, u64)>> = Vec::new();
+        let mut pending_by_key: HashMap<u64, usize> = HashMap::new();
+        let mut resolutions: Vec<Resolution> = Vec::new();
+
+        // Phase 1: parse, validate, probe (sequential — provenance and
+        // counter updates happen in line order).
+        for line in lines {
+            let req = match parse_request(line) {
+                Ok(r) => r,
+                Err(e) => {
+                    resolutions.push(Resolution::Done(render_error(
+                        0, "parse", "bypass", "parse", &e,
+                    )));
+                    continue;
+                }
+            };
+            let r = match req.op {
+                Op::Stats => {
+                    let (c, s) = self.counters();
+                    let payload = vec![
+                        ("compile".to_string(), counters_json(&c)),
+                        ("search".to_string(), counters_json(&s)),
+                    ];
+                    Resolution::Done(render_ok(req.id, Op::Stats, "bypass", &payload))
+                }
+                Op::Shutdown => {
+                    shutdown = true;
+                    Resolution::Done(render_ok(req.id, Op::Shutdown, "bypass", &[]))
+                }
+                Op::Simulate => match self.plan_simulate(&req) {
+                    Ok(sim) => {
+                        works.push(Work::Simulate(sim));
+                        work_keys.push(None);
+                        Resolution::Pending {
+                            id: req.id,
+                            op: Op::Simulate,
+                            cache: "bypass",
+                            slot: works.len() - 1,
+                        }
+                    }
+                    Err(msg) => Resolution::Done(render_error(
+                        req.id,
+                        Op::Simulate.name(),
+                        "bypass",
+                        "bad_request",
+                        &msg,
+                    )),
+                },
+                Op::Compile => match self.plan_compile(&req) {
+                    Ok((work, key)) => self.probe(
+                        req.id,
+                        Op::Compile,
+                        CacheSel::Compile,
+                        key,
+                        work,
+                        &mut works,
+                        &mut work_keys,
+                        &mut pending_by_key,
+                    ),
+                    Err(msg) => Resolution::Done(render_error(
+                        req.id,
+                        Op::Compile.name(),
+                        "bypass",
+                        "bad_request",
+                        &msg,
+                    )),
+                },
+                Op::Search => match self.plan_search(&req) {
+                    Ok((work, key)) => self.probe(
+                        req.id,
+                        Op::Search,
+                        CacheSel::Search,
+                        key,
+                        work,
+                        &mut works,
+                        &mut work_keys,
+                        &mut pending_by_key,
+                    ),
+                    Err(msg) => Resolution::Done(render_error(
+                        req.id,
+                        Op::Search.name(),
+                        "bypass",
+                        "bad_request",
+                        &msg,
+                    )),
+                },
+                Op::Trace => match self.plan_trace(&req) {
+                    Ok((work, key)) => self.probe(
+                        req.id,
+                        Op::Trace,
+                        CacheSel::Search,
+                        key,
+                        work,
+                        &mut works,
+                        &mut work_keys,
+                        &mut pending_by_key,
+                    ),
+                    Err(msg) => Resolution::Done(render_error(
+                        req.id,
+                        Op::Trace.name(),
+                        "bypass",
+                        "bad_request",
+                        &msg,
+                    )),
+                },
+            };
+            resolutions.push(r);
+        }
+
+        // Phase 2: compute misses and uncacheable work in parallel.
+        let computed: Vec<Result<Output, ErrResp>> = self
+            .pool
+            .map(&works, |_, w| self.execute(w))
+            .into_iter()
+            .map(|slot| match slot {
+                Ok(r) => r,
+                Err(panic) => Err(ErrResp {
+                    kind: "trap",
+                    message: format!("host task panicked: {panic}"),
+                }),
+            })
+            .collect();
+
+        // Phase 3: insert successes, then render in request order.
+        for (i, result) in computed.iter().enumerate() {
+            if let (Some((sel, k)), Ok(out)) = (work_keys[i], result) {
+                match (sel, out) {
+                    (CacheSel::Compile, Output::Compile(v)) => self
+                        .compile_cache
+                        .lock()
+                        .unwrap_or_else(|e| e.into_inner())
+                        .insert(k, Arc::clone(v)),
+                    (CacheSel::Search, Output::Payload(p)) => self
+                        .search_cache
+                        .lock()
+                        .unwrap_or_else(|e| e.into_inner())
+                        .insert(k, Arc::clone(p)),
+                    _ => {}
+                }
+            }
+        }
+        let responses = resolutions
+            .into_iter()
+            .map(|r| match r {
+                Resolution::Done(s) => s,
+                Resolution::Pending {
+                    id,
+                    op,
+                    cache,
+                    slot,
+                } => match &computed[slot] {
+                    Ok(Output::Compile(v)) => render_ok(id, op, cache, &v.payload),
+                    Ok(Output::Payload(p)) => render_ok(id, op, cache, p),
+                    Err(e) => render_error(id, op.name(), cache, e.kind, &e.message),
+                },
+            })
+            .collect();
+        BatchResult {
+            responses,
+            shutdown,
+        }
+    }
+
+    /// Probes a cache for `key`; on a hit renders immediately, on a
+    /// miss enqueues `work` (deduplicated by key within the batch).
+    #[allow(clippy::too_many_arguments)]
+    fn probe(
+        &self,
+        id: u64,
+        op: Op,
+        sel: CacheSel,
+        key: u64,
+        work: Work,
+        works: &mut Vec<Work>,
+        work_keys: &mut Vec<Option<(CacheSel, u64)>>,
+        pending_by_key: &mut HashMap<u64, usize>,
+    ) -> Resolution {
+        let cached = match sel {
+            CacheSel::Compile => self
+                .compile_cache
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .get(&key)
+                .map(|v| render_ok(id, op, "hit", &v.payload)),
+            CacheSel::Search => self
+                .search_cache
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .get(&key)
+                .map(|p| render_ok(id, op, "hit", &p)),
+        };
+        if let Some(done) = cached {
+            return Resolution::Done(done);
+        }
+        let slot = *pending_by_key.entry(key).or_insert_with(|| {
+            works.push(work);
+            work_keys.push(Some((sel, key)));
+            works.len() - 1
+        });
+        Resolution::Pending {
+            id,
+            op,
+            cache: "miss",
+            slot,
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Request planning (validation + key derivation)
+    // ------------------------------------------------------------------
+
+    fn plan_compile(&self, req: &crate::proto::Request) -> Result<(Work, u64), String> {
+        let app = required(&req.app, "app")?;
+        let kernel = app_kernel(&app).ok_or_else(|| format!("unknown app {app:?}"))?;
+        let passes = parse_passes(req.passes.as_deref())?;
+        let stages = req.stages.unwrap_or(4);
+        let opts = self.compile_opts(passes);
+        let mut h = KeyHasher::new();
+        h.u64(1) // op tag
+            .u64(key::program_digest(&kernel))
+            .u64(key::compile_options_digest(&opts))
+            .usize(stages)
+            .u64(key::machine_config_digest(&self.cfg.machine));
+        let k = h.finish();
+        Ok((
+            Work::Compile {
+                kernel,
+                app,
+                opts,
+                stages,
+            },
+            k,
+        ))
+    }
+
+    fn plan_simulate(&self, req: &crate::proto::Request) -> Result<SimRequest, String> {
+        let app = required(&req.app, "app")?;
+        if app_kernel(&app).is_none() {
+            return Err(format!("unknown app {app:?}"));
+        }
+        let input = required(&req.input, "input")?;
+        let variant = self.parse_variant(req)?;
+        Ok(SimRequest {
+            app,
+            variant,
+            input,
+            cycle_cap: Some(req.cycle_cap.unwrap_or(self.cfg.default_cycle_cap)),
+        })
+    }
+
+    fn plan_search(&self, req: &crate::proto::Request) -> Result<(Work, u64), String> {
+        let app = required(&req.app, "app")?;
+        let kernel = app_kernel(&app).ok_or_else(|| format!("unknown app {app:?}"))?;
+        let input = required(&req.input, "input")?;
+        let passes = parse_passes(req.passes.as_deref())?;
+        let opts = SearchOptions {
+            max_stages: req.max_stages.unwrap_or(3),
+            top_k: req.top_k.unwrap_or(4),
+            compile: self.compile_opts(passes),
+            // Searches run inside pool tasks; nested fleets are not a
+            // supported pattern (see the module docs), so the inner
+            // candidate sweep is serial and the batch provides the
+            // parallelism.
+            workers: 1,
+            profile_cycle_cap: req.cycle_cap.unwrap_or(self.cfg.default_cycle_cap),
+            retry_cap_factor: 2,
+        };
+        let mut h = KeyHasher::new();
+        h.u64(2)
+            .u64(key::program_digest(&kernel))
+            .str(&input)
+            .u64(key::search_options_digest(&opts))
+            .u64(key::machine_config_digest(&self.cfg.machine));
+        let k = h.finish();
+        Ok((
+            Work::Search {
+                kernel,
+                app,
+                input,
+                passes,
+                opts,
+            },
+            k,
+        ))
+    }
+
+    fn plan_trace(&self, req: &crate::proto::Request) -> Result<(Work, u64), String> {
+        let sim = self.plan_simulate(req)?;
+        let kernel = app_kernel(&sim.app).expect("validated by plan_simulate");
+        let mut h = KeyHasher::new();
+        h.u64(3)
+            .u64(key::program_digest(&kernel))
+            .str(&sim.input)
+            .u64(variant_digest(&sim.variant))
+            .u64(sim.cycle_cap.unwrap_or(u64::MAX))
+            .u64(key::machine_config_digest(&self.cfg.machine));
+        Ok((Work::Trace(sim), h.finish()))
+    }
+
+    fn compile_opts(&self, passes: PassConfig) -> CompileOptions {
+        let m = &self.cfg.machine;
+        CompileOptions {
+            passes,
+            smt_threads: m.smt_threads,
+            max_queues: m.max_queues,
+            max_ras: m.ras_per_core,
+            start_core: 0,
+        }
+    }
+
+    fn parse_variant(&self, req: &crate::proto::Request) -> Result<Variant, String> {
+        match req.variant.as_deref().unwrap_or("phloem") {
+            "serial" => Ok(Variant::Serial),
+            "manual" => Ok(Variant::Manual),
+            "data-parallel" | "data_parallel" | "dp" => Ok(Variant::DataParallel(
+                req.threads.unwrap_or(self.cfg.machine.smt_threads),
+            )),
+            "phloem" => Ok(Variant::Phloem {
+                passes: parse_passes(req.passes.as_deref())?,
+                stages: req.stages.unwrap_or(4),
+                cuts: Vec::new(),
+            }),
+            other => Err(format!("unknown variant {other:?}")),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Execution (runs inside pool tasks)
+    // ------------------------------------------------------------------
+
+    fn execute(&self, work: &Work) -> Result<Output, ErrResp> {
+        match work {
+            Work::Compile {
+                kernel,
+                app,
+                opts,
+                stages,
+            } => self.do_compile(kernel, app, opts, *stages),
+            Work::Simulate(sim) => self.do_simulate(sim).map(|p| Output::Payload(Arc::new(p))),
+            Work::Search {
+                kernel,
+                app,
+                input,
+                passes,
+                opts,
+            } => self
+                .do_search(kernel, app, input, *passes, opts)
+                .map(|p| Output::Payload(Arc::new(p))),
+            Work::Trace(sim) => self.do_trace(sim).map(|p| Output::Payload(Arc::new(p))),
+        }
+    }
+
+    fn do_compile(
+        &self,
+        kernel: &Function,
+        app: &str,
+        opts: &CompileOptions,
+        stages: usize,
+    ) -> Result<Output, ErrResp> {
+        let pipeline = compile_static(kernel, stages, opts).map_err(|e| ErrResp {
+            kind: "compile_error",
+            message: e.to_string(),
+        })?;
+        let compiled = CompiledPipeline::new(&pipeline).map_err(|t| ErrResp {
+            kind: "trap",
+            message: t.to_string(),
+        })?;
+        let compute = pipeline
+            .stages
+            .iter()
+            .filter(|s| matches!(s.kind, phloem_ir::StageKind::Compute))
+            .count();
+        let payload = vec![
+            (
+                "program".to_string(),
+                Json::str(format!("{:016x}", key::program_digest(kernel))),
+            ),
+            ("app".to_string(), Json::str(app)),
+            ("passes".to_string(), Json::str(opts.passes.label())),
+            (
+                "stages".to_string(),
+                Json::u64(pipeline.stages.len() as u64),
+            ),
+            ("compute_stages".to_string(), Json::u64(compute as u64)),
+            (
+                "ra_stages".to_string(),
+                Json::u64((pipeline.stages.len() - compute) as u64),
+            ),
+            ("queues".to_string(), Json::u64(pipeline.num_queues as u64)),
+        ];
+        Ok(Output::Compile(Arc::new(CompileValue {
+            payload,
+            compiled: Arc::new(compiled),
+        })))
+    }
+
+    fn do_simulate(&self, sim: &SimRequest) -> Result<Payload, ErrResp> {
+        let m = run_one(&self.inputs, &self.cfg.machine, sim).map_err(trap_err)?;
+        Ok(measurement_payload(&m))
+    }
+
+    fn do_trace(&self, sim: &SimRequest) -> Result<Payload, ErrResp> {
+        let (result, digest) = run_one_traced(&self.inputs, &self.cfg.machine, sim);
+        let m = result.map_err(trap_err)?;
+        let mut payload = measurement_payload(&m);
+        payload.push(("events".to_string(), Json::u64(digest.events)));
+        payload.push((
+            "trace".to_string(),
+            Json::str(format!("{:016x}", digest.digest)),
+        ));
+        Ok(payload)
+    }
+
+    fn do_search(
+        &self,
+        kernel: &Function,
+        app: &str,
+        input: &str,
+        passes: PassConfig,
+        opts: &SearchOptions,
+    ) -> Result<Payload, ErrResp> {
+        let report = search_profiled(kernel, opts, |cuts, _pipe, budget| {
+            let sim = SimRequest {
+                app: app.to_string(),
+                variant: Variant::Phloem {
+                    passes,
+                    stages: opts.max_stages,
+                    cuts: cuts.to_vec(),
+                },
+                input: input.to_string(),
+                cycle_cap: Some(budget.cycle_cap),
+            };
+            match run_one(&self.inputs, &self.cfg.machine, &sim) {
+                Ok(m) => {
+                    let profile = profile_from_stats(&m.stats);
+                    (ProfileOutcome::Ok(m.cycles as f64), Some(profile))
+                }
+                Err(Trap::CycleLimit { .. }) | Err(Trap::Livelock { .. }) => {
+                    (ProfileOutcome::TimedOut, None)
+                }
+                Err(t) => (ProfileOutcome::Trapped(t.to_string()), None),
+            }
+        })
+        .map_err(|e| match e {
+            SearchError::NoPipelines => ErrResp {
+                kind: "no_pipelines",
+                message: "no candidate pipeline compiles".to_string(),
+            },
+            SearchError::NoViableCandidate { candidates } => ErrResp {
+                kind: "no_viable_candidate",
+                message: format!("all {} candidates failed to profile", candidates.len()),
+            },
+        })?;
+        let best = &report.candidates[report.best];
+        let viable = report
+            .candidates
+            .iter()
+            .filter(|c| matches!(c.outcome, ProfileOutcome::Ok(_)))
+            .count();
+        let mut payload = vec![
+            (
+                "best_cuts".to_string(),
+                Json::Arr(best.cuts.iter().map(|c| Json::u64(c.0 as u64)).collect()),
+            ),
+            (
+                "total_stages".to_string(),
+                Json::u64(best.total_stages as u64),
+            ),
+            (
+                "compute_stages".to_string(),
+                Json::u64(best.compute_stages as u64),
+            ),
+            (
+                "candidates".to_string(),
+                Json::u64(report.candidates.len() as u64),
+            ),
+            ("viable".to_string(), Json::u64(viable as u64)),
+            (
+                "train_cycles".to_string(),
+                Json::Num(best.train_cycles().unwrap_or(f64::NAN)),
+            ),
+        ];
+        if let Some(p) = &best.profile {
+            payload.push(("profile".to_string(), profile_json(p)));
+        }
+        Ok(payload)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Helpers
+// ---------------------------------------------------------------------
+
+fn required(field: &Option<String>, name: &str) -> Result<String, String> {
+    field
+        .clone()
+        .ok_or_else(|| format!("missing required field {name:?}"))
+}
+
+/// The benchmark kernel a request's `app` names.
+pub fn app_kernel(app: &str) -> Option<Function> {
+    match app {
+        "bfs" => Some(bfs::kernel()),
+        "cc" => Some(cc::kernel()),
+        "prd" => Some(prd::scatter_kernel()),
+        "radii" => Some(radii::kernel()),
+        "spmm" => Some(spmm::kernel()),
+        _ => None,
+    }
+}
+
+/// Parses a pass-preset name; `None` means `all`.
+pub fn parse_passes(name: Option<&str>) -> Result<PassConfig, String> {
+    match name.map(|s| s.replace('_', "-")).as_deref() {
+        None | Some("all") => Ok(PassConfig::all()),
+        Some("queues-only") => Ok(PassConfig::queues_only()),
+        Some("with-recompute") => Ok(PassConfig::with_recompute()),
+        Some("with-cv") => Ok(PassConfig::with_cv()),
+        Some("with-dce") => Ok(PassConfig::with_dce()),
+        Some("with-handlers") => Ok(PassConfig::with_handlers()),
+        Some("all-streaming") => Ok(PassConfig::all_streaming()),
+        Some(other) => Err(format!("unknown pass preset {other:?}")),
+    }
+}
+
+/// Digest of a benchmark variant for trace-cache keying.
+fn variant_digest(v: &Variant) -> u64 {
+    let mut h = KeyHasher::new();
+    match v {
+        Variant::Serial => {
+            h.u64(0);
+        }
+        Variant::DataParallel(n) => {
+            h.u64(1).usize(*n);
+        }
+        Variant::Phloem {
+            passes,
+            stages,
+            cuts,
+        } => {
+            h.u64(2)
+                .u64(key::pass_config_digest(passes))
+                .usize(*stages)
+                .usize(cuts.len());
+            for c in cuts {
+                h.u64(c.0 as u64);
+            }
+        }
+        Variant::Manual => {
+            h.u64(3);
+        }
+    }
+    h.finish()
+}
+
+fn trap_err(t: Trap) -> ErrResp {
+    ErrResp {
+        kind: "trap",
+        message: t.to_string(),
+    }
+}
+
+fn measurement_payload(m: &Measurement) -> Payload {
+    vec![
+        ("variant".to_string(), Json::str(m.variant.clone())),
+        ("input".to_string(), Json::str(m.input.clone())),
+        ("cycles".to_string(), Json::u64(m.cycles)),
+        ("invocations".to_string(), Json::u64(m.stats.invocations)),
+        (
+            "stats".to_string(),
+            Json::str(format!("{:016x}", key::stats_digest(&m.stats))),
+        ),
+    ]
+}
+
+/// Builds a cycle-attribution profile from one run's statistics:
+/// the critical stage is the one bounding the makespan, utilization is
+/// non-stalled share of each stage's active window, and the dominant
+/// stall is the largest stall class summed across stages.
+pub fn profile_from_stats(stats: &RunStats) -> CandidateProfile {
+    let critical_stage = stats
+        .threads
+        .iter()
+        .max_by_key(|t| t.finish_time)
+        .map(|t| t.name.clone())
+        .unwrap_or_default();
+    let stage_utilization = stats
+        .threads
+        .iter()
+        .map(|t| {
+            let stalls = t.queue_stall_cycles + t.backend_stall_cycles + t.frontend_stall_cycles;
+            let util = if t.finish_time == 0 {
+                0.0
+            } else {
+                1.0 - (stalls.min(t.finish_time) as f64 / t.finish_time as f64)
+            };
+            (t.name.clone(), util)
+        })
+        .collect();
+    let classes: [(&str, u64); 4] = [
+        (
+            "queue-full",
+            stats
+                .threads
+                .iter()
+                .map(|t| t.queue_full_stall_cycles)
+                .sum(),
+        ),
+        (
+            "queue-empty",
+            stats
+                .threads
+                .iter()
+                .map(|t| t.queue_empty_stall_cycles)
+                .sum(),
+        ),
+        (
+            "backend",
+            stats.threads.iter().map(|t| t.backend_stall_cycles).sum(),
+        ),
+        (
+            "frontend",
+            stats.threads.iter().map(|t| t.frontend_stall_cycles).sum(),
+        ),
+    ];
+    // max_by_key keeps the *last* maximum; iterate in fixed order and
+    // prefer the first on ties for a stable label.
+    let dominant_stall = classes
+        .iter()
+        .rev()
+        .max_by_key(|(_, c)| *c)
+        .map(|(n, _)| n.to_string())
+        .unwrap_or_default();
+    CandidateProfile {
+        critical_stage,
+        stage_utilization,
+        dominant_stall,
+    }
+}
+
+fn profile_json(p: &CandidateProfile) -> Json {
+    Json::Obj(vec![
+        (
+            "critical_stage".to_string(),
+            Json::str(p.critical_stage.clone()),
+        ),
+        (
+            "dominant_stall".to_string(),
+            Json::str(p.dominant_stall.clone()),
+        ),
+        (
+            "stage_utilization".to_string(),
+            Json::Arr(
+                p.stage_utilization
+                    .iter()
+                    .map(|(name, u)| {
+                        Json::Arr(vec![
+                            Json::str(name.clone()),
+                            Json::Num((u * 1e4).round() / 1e4),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+fn counters_json(c: &CacheCounters) -> Json {
+    Json::Obj(vec![
+        ("hits".to_string(), Json::u64(c.hits)),
+        ("misses".to_string(), Json::u64(c.misses)),
+        ("insertions".to_string(), Json::u64(c.insertions)),
+        ("evictions".to_string(), Json::u64(c.evictions)),
+        (
+            "hit_rate".to_string(),
+            Json::Num((c.hit_rate() * 1e4).round() / 1e4),
+        ),
+    ])
+}
+
+fn render_ok(id: u64, op: Op, cache: &str, payload: &[(String, Json)]) -> String {
+    let mut pairs = vec![
+        ("id".to_string(), Json::u64(id)),
+        ("op".to_string(), Json::str(op.name())),
+        ("ok".to_string(), Json::Bool(true)),
+        ("cache".to_string(), Json::str(cache)),
+    ];
+    pairs.extend(payload.iter().cloned());
+    Json::Obj(pairs).render()
+}
+
+fn render_error(id: u64, op: &str, cache: &str, kind: &str, message: &str) -> String {
+    Json::Obj(vec![
+        ("id".to_string(), Json::u64(id)),
+        ("op".to_string(), Json::str(op)),
+        ("ok".to_string(), Json::Bool(false)),
+        ("cache".to_string(), Json::str(cache)),
+        (
+            "error".to_string(),
+            Json::Obj(vec![
+                ("kind".to_string(), Json::str(kind)),
+                ("message".to_string(), Json::str(message)),
+            ]),
+        ),
+    ])
+    .render()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_service() -> Service {
+        Service::new(ServiceConfig {
+            scale: Scale::Tiny,
+            workers: 2,
+            default_cycle_cap: 50_000_000,
+            ..ServiceConfig::default()
+        })
+    }
+
+    #[test]
+    fn parse_and_validation_errors_are_structured() {
+        let svc = tiny_service();
+        let out = svc.handle_batch(&[
+            "nonsense".to_string(),
+            r#"{"id":1,"op":"compile"}"#.to_string(),
+            r#"{"id":2,"op":"compile","app":"nosuch"}"#.to_string(),
+            r#"{"id":3,"op":"simulate","app":"bfs","input":"internet-s","variant":"warp"}"#
+                .to_string(),
+        ]);
+        assert_eq!(out.responses.len(), 4);
+        assert!(!out.shutdown);
+        assert!(out.responses[0].contains(r#""kind":"parse""#));
+        assert!(out.responses[1].contains(r#""kind":"bad_request""#));
+        assert!(out.responses[1].contains("missing required field"));
+        assert!(out.responses[2].contains("unknown app"));
+        assert!(out.responses[3].contains("unknown variant"));
+    }
+
+    #[test]
+    fn compile_misses_then_hits_with_identical_payloads() {
+        let svc = tiny_service();
+        let req = r#"{"id":1,"op":"compile","app":"bfs","passes":"all"}"#.to_string();
+        let cold = svc.handle_batch(std::slice::from_ref(&req));
+        assert!(cold.responses[0].contains(r#""cache":"miss""#));
+        let warm = svc.handle_batch(&[req]);
+        assert!(warm.responses[0].contains(r#""cache":"hit""#));
+        assert_eq!(
+            cold.responses[0].replace(r#""cache":"miss""#, r#""cache":"hit""#),
+            warm.responses[0]
+        );
+        let (c, _) = svc.counters();
+        assert_eq!((c.hits, c.misses, c.insertions), (1, 1, 1));
+    }
+
+    #[test]
+    fn duplicate_requests_in_one_batch_compute_once() {
+        let svc = tiny_service();
+        let req = r#"{"id":9,"op":"compile","app":"cc"}"#.to_string();
+        let out = svc.handle_batch(&[req.clone(), req]);
+        // Both probed a cold cache → both miss, but the work ran once.
+        assert!(out.responses[0].contains(r#""cache":"miss""#));
+        assert!(out.responses[1].contains(r#""cache":"miss""#));
+        assert_eq!(out.responses[0], out.responses[1]);
+        let (c, _) = svc.counters();
+        assert_eq!((c.misses, c.insertions), (2, 1));
+    }
+
+    #[test]
+    fn shutdown_is_reported_and_answered() {
+        let svc = tiny_service();
+        let out = svc.handle_batch(&[r#"{"id":5,"op":"shutdown"}"#.to_string()]);
+        assert!(out.shutdown);
+        assert!(out.responses[0].contains(r#""ok":true"#));
+    }
+
+    #[test]
+    fn profile_from_stats_picks_critical_and_dominant() {
+        use pipette_sim::ThreadStats;
+        let stats = RunStats {
+            threads: vec![
+                ThreadStats {
+                    name: "s0".into(),
+                    finish_time: 100,
+                    queue_full_stall_cycles: 30,
+                    queue_stall_cycles: 30,
+                    ..Default::default()
+                },
+                ThreadStats {
+                    name: "s1".into(),
+                    finish_time: 200,
+                    backend_stall_cycles: 10,
+                    ..Default::default()
+                },
+            ],
+            ..Default::default()
+        };
+        let p = profile_from_stats(&stats);
+        assert_eq!(p.critical_stage, "s1");
+        assert_eq!(p.dominant_stall, "queue-full");
+        assert!((p.stage_utilization[0].1 - 0.7).abs() < 1e-12);
+        assert!((p.stage_utilization[1].1 - 0.95).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,210 @@
+//! End-to-end daemon smoke tests: the in-process service, the spawned
+//! `phloemd` binary over stdin, and the Unix-socket mode — all at
+//! `Scale::Tiny` so debug-build simulation stays fast.
+
+use phloem_benchsuite::Variant;
+use phloem_pool::Pool;
+use phloem_service::proto::parse;
+use phloem_service::{Batch, PreparedInputs, Service, ServiceConfig, SimRequest};
+use phloem_workloads::catalog::Scale;
+use std::io::{BufRead, BufReader, Read, Write};
+use std::process::{Child, Command, Stdio};
+
+fn tiny_service() -> Service {
+    Service::new(ServiceConfig {
+        scale: Scale::Tiny,
+        workers: 2,
+        ..ServiceConfig::default()
+    })
+}
+
+fn mixed_batch() -> Vec<String> {
+    vec![
+        r#"{"id":1,"op":"compile","app":"bfs"}"#.to_string(),
+        r#"{"id":2,"op":"simulate","app":"bfs","input":"internet-s","variant":"serial"}"#
+            .to_string(),
+        r#"{"id":3,"op":"trace","app":"cc","input":"internet-s","variant":"phloem","stages":2}"#
+            .to_string(),
+        r#"{"id":4,"op":"compile","app":"spmm","passes":"queues-only"}"#.to_string(),
+    ]
+}
+
+/// Splits a daemon transcript into blank-line-terminated frames.
+fn frames(transcript: &str) -> Vec<Vec<String>> {
+    let mut out = Vec::new();
+    let mut cur = Vec::new();
+    for line in transcript.lines() {
+        if line.is_empty() {
+            out.push(std::mem::take(&mut cur));
+        } else {
+            cur.push(line.to_string());
+        }
+    }
+    if !cur.is_empty() {
+        out.push(cur);
+    }
+    out
+}
+
+fn assert_warm_matches_cold(cold: &[String], warm: &[String]) {
+    assert_eq!(cold.len(), warm.len());
+    for (c, w) in cold.iter().zip(warm) {
+        let cv = parse(c).unwrap();
+        let wv = parse(w).unwrap();
+        assert_eq!(cv.get("ok").and_then(|j| j.as_bool()), Some(true), "{c}");
+        assert_eq!(wv.get("ok").and_then(|j| j.as_bool()), Some(true), "{w}");
+        let op = cv.get("op").and_then(|j| j.as_str()).unwrap().to_string();
+        let warm_cache = wv.get("cache").and_then(|j| j.as_str()).unwrap();
+        if op == "simulate" {
+            // Simulations bypass the caches but must replay identically.
+            assert_eq!(warm_cache, "bypass", "{w}");
+            assert_eq!(c, w, "simulate responses must be bit-identical");
+        } else {
+            assert_eq!(warm_cache, "hit", "warm {op} should hit: {w}");
+            assert_eq!(
+                &c.replace(r#""cache":"miss""#, r#""cache":"hit""#),
+                w,
+                "warm hit must be bit-identical to the cold response"
+            );
+        }
+    }
+}
+
+#[test]
+fn in_process_replay_hits_and_matches_the_direct_api() {
+    let svc = tiny_service();
+    let batch = mixed_batch();
+    let cold = svc.handle_batch(&batch);
+    let warm = svc.handle_batch(&batch);
+    assert!(!cold.shutdown && !warm.shutdown);
+    assert_warm_matches_cold(&cold.responses, &warm.responses);
+
+    // The simulate response must agree with the direct Batch API.
+    let resp = parse(&warm.responses[1]).unwrap();
+    let cycles = resp.get("cycles").and_then(|j| j.as_u64()).unwrap();
+    let pool = Pool::new(1);
+    let inputs = PreparedInputs::new(Scale::Tiny);
+    let machine = svc.config().machine.clone();
+    let direct = Batch::new(&pool, &inputs, &machine).run(&[SimRequest {
+        app: "bfs".into(),
+        variant: Variant::Serial,
+        input: "internet-s".into(),
+        cycle_cap: None,
+    }]);
+    let direct = direct[0].as_ref().expect("direct run succeeds");
+    assert_eq!(cycles, direct.cycles, "service and direct API disagree");
+
+    // Warm replay hit-rate over cacheable ops must be 100% here; the
+    // acceptance bar for the bench is >= 50%.
+    let (compile, search) = svc.counters();
+    let hits = compile.hits + search.hits;
+    let probes = hits + compile.misses + search.misses;
+    assert_eq!(hits * 2, probes, "expected exactly half the probes to hit");
+}
+
+fn spawn_phloemd(extra: &[&str]) -> Child {
+    Command::new(env!("CARGO_BIN_EXE_phloemd"))
+        .args(extra)
+        .args(["--scale", "tiny", "--workers", "2"])
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawn phloemd")
+}
+
+#[test]
+fn phloemd_stdin_two_pass_replay_is_warm() {
+    let mut child = spawn_phloemd(&[]);
+    let batch = mixed_batch();
+    {
+        let stdin = child.stdin.as_mut().unwrap();
+        for pass in 0..2 {
+            for line in &batch {
+                writeln!(stdin, "{line}").unwrap();
+            }
+            writeln!(stdin).unwrap();
+            let _ = pass;
+        }
+    }
+    drop(child.stdin.take());
+    let mut transcript = String::new();
+    child
+        .stdout
+        .take()
+        .unwrap()
+        .read_to_string(&mut transcript)
+        .unwrap();
+    let status = child.wait().unwrap();
+    assert!(status.success(), "phloemd exited with {status}");
+    let frames = frames(&transcript);
+    assert_eq!(
+        frames.len(),
+        2,
+        "expected two response frames:\n{transcript}"
+    );
+    assert_eq!(frames[0].len(), batch.len());
+    assert_warm_matches_cold(&frames[0], &frames[1]);
+}
+
+/// Sends one batch over a connected socket and reads its response frame.
+fn socket_round_trip(path: &std::path::Path, lines: &[String]) -> Vec<String> {
+    let stream = std::os::unix::net::UnixStream::connect(path).expect("connect");
+    let mut writer = stream.try_clone().unwrap();
+    let mut reader = BufReader::new(stream);
+    for line in lines {
+        writeln!(writer, "{line}").unwrap();
+    }
+    writeln!(writer).unwrap();
+    writer.flush().unwrap();
+    let mut frame = Vec::new();
+    loop {
+        let mut line = String::new();
+        if reader.read_line(&mut line).unwrap() == 0 {
+            break;
+        }
+        let trimmed = line.trim_end_matches(['\n', '\r']);
+        if trimmed.is_empty() {
+            break;
+        }
+        frame.push(trimmed.to_string());
+    }
+    frame
+}
+
+#[test]
+fn phloemd_socket_persists_caches_across_connections() {
+    let path = std::env::temp_dir().join(format!("phloemd-test-{}.sock", std::process::id()));
+    let _ = std::fs::remove_file(&path);
+    let mut child = spawn_phloemd(&["--socket", path.to_str().unwrap()]);
+
+    // Wait for the daemon to bind the socket.
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(30);
+    while !path.exists() {
+        assert!(
+            std::time::Instant::now() < deadline,
+            "phloemd never bound {path:?}"
+        );
+        std::thread::sleep(std::time::Duration::from_millis(20));
+    }
+
+    let batch = mixed_batch();
+    let cold = socket_round_trip(&path, &batch);
+    assert_eq!(cold.len(), batch.len());
+    // A NEW connection must see the caches the first one filled.
+    let warm = socket_round_trip(&path, &batch);
+    assert_warm_matches_cold(&cold, &warm);
+
+    // Stats over the wire report the accumulated counters.
+    let stats = socket_round_trip(&path, &[r#"{"id":9,"op":"stats"}"#.to_string()]);
+    let stats = parse(&stats[0]).unwrap();
+    let compile = stats.get("compile").expect("compile counters");
+    assert!(compile.get("hits").and_then(|j| j.as_u64()).unwrap() >= 2);
+
+    // Shutdown ends the daemon and removes the socket file.
+    let bye = socket_round_trip(&path, &[r#"{"id":10,"op":"shutdown"}"#.to_string()]);
+    assert!(bye[0].contains(r#""ok":true"#));
+    let status = child.wait().unwrap();
+    assert!(status.success(), "phloemd exited with {status}");
+    assert!(!path.exists(), "socket file should be removed on shutdown");
+}

@@ -1,0 +1,270 @@
+//! Cache-key sensitivity and cache-hit bit-identity.
+//!
+//! The service's correctness rests on two properties proved here:
+//!
+//! * **Invalidation**: changing any single field of [`PassConfig`] or
+//!   [`MachineConfig`] produces a distinct cache key, so a stale entry
+//!   can never answer for a different configuration.
+//! * **Bit-identity**: a cache hit returns exactly the bytes the cold
+//!   path produced, across every `{scheduler} × {engine}` host-model
+//!   combination — and because both knobs are host-side only, the
+//!   simulated statistics digests also agree *across* the grid.
+
+use phloem_compiler::PassConfig;
+use phloem_service::key::{machine_config_digest, pass_config_digest};
+use phloem_service::proto::{parse, Json};
+use phloem_service::{Service, ServiceConfig};
+use phloem_workloads::catalog::Scale;
+use pipette_sim::{ExecEngine, MachineConfig, SchedulerKind};
+use proptest::prelude::*;
+use std::collections::HashSet;
+
+/// One named single-field mutation of a [`MachineConfig`].
+type Mutator = (&'static str, fn(&mut MachineConfig));
+
+/// Every field of [`MachineConfig`], each mutated in isolation. Adding
+/// a field to the struct without extending this list fails the
+/// `every_machine_field_has_its_own_key` sweep only if the digest also
+/// misses it — the list is the test's definition of "every field", kept
+/// in sync with `key::machine_config_digest` by review.
+fn machine_mutators() -> Vec<Mutator> {
+    vec![
+        ("cores", |m| m.cores += 1),
+        ("smt_threads", |m| m.smt_threads += 1),
+        ("issue_width", |m| m.issue_width += 1),
+        ("rob_size", |m| m.rob_size += 1),
+        ("mshrs", |m| m.mshrs += 1),
+        ("mispredict_penalty", |m| m.mispredict_penalty += 1),
+        ("queue_capacity", |m| m.queue_capacity += 1),
+        ("max_queues", |m| m.max_queues += 1),
+        ("ras_per_core", |m| m.ras_per_core += 1),
+        ("ra_concurrency", |m| m.ra_concurrency += 1),
+        ("ra_op_latency", |m| m.ra_op_latency += 1),
+        ("queue_latency", |m| m.queue_latency += 1),
+        ("inter_core_queue_latency", |m| {
+            m.inter_core_queue_latency += 1
+        }),
+        ("l1.kb", |m| m.l1.kb += 1),
+        ("l1.ways", |m| m.l1.ways += 1),
+        ("l1.latency", |m| m.l1.latency += 1),
+        ("l2.kb", |m| m.l2.kb += 1),
+        ("l2.ways", |m| m.l2.ways += 1),
+        ("l2.latency", |m| m.l2.latency += 1),
+        ("l3_kb_per_core", |m| m.l3_kb_per_core += 1),
+        ("l3_ways", |m| m.l3_ways += 1),
+        ("l3_latency", |m| m.l3_latency += 1),
+        ("dram_latency", |m| m.dram_latency += 1),
+        ("dram_controllers", |m| m.dram_controllers += 1),
+        ("dram_cycles_per_line", |m| m.dram_cycles_per_line += 1),
+        ("prefetch", |m| m.prefetch = !m.prefetch),
+        ("prefetch_degree", |m| m.prefetch_degree += 1),
+        ("launch_overhead", |m| m.launch_overhead += 1),
+        ("scheduler", |m| {
+            m.scheduler = match m.scheduler {
+                SchedulerKind::EventDriven => SchedulerKind::Polling,
+                SchedulerKind::Polling => SchedulerKind::EventDriven,
+            }
+        }),
+        ("engine", |m| {
+            m.engine = match m.engine {
+                ExecEngine::Flat => ExecEngine::Tree,
+                ExecEngine::Tree => ExecEngine::Flat,
+            }
+        }),
+        ("watchdog.cycle_cap", |m| {
+            m.watchdog.cycle_cap = m.watchdog.cycle_cap.wrapping_sub(1)
+        }),
+        ("watchdog.livelock_window", |m| {
+            m.watchdog.livelock_window = m.watchdog.livelock_window.wrapping_sub(1)
+        }),
+        ("fast_forward", |m| m.fast_forward = !m.fast_forward),
+    ]
+}
+
+type PassMutator = (&'static str, fn(&mut PassConfig));
+
+fn pass_mutators() -> Vec<PassMutator> {
+    vec![
+        ("recompute", |p| p.recompute = !p.recompute),
+        ("use_ra", |p| p.use_ra = !p.use_ra),
+        ("use_cv", |p| p.use_cv = !p.use_cv),
+        ("use_handlers", |p| p.use_handlers = !p.use_handlers),
+        ("isdce", |p| p.isdce = !p.isdce),
+        ("stream_consumers", |p| {
+            p.stream_consumers = !p.stream_consumers
+        }),
+        ("validate_between_passes", |p| {
+            p.validate_between_passes = !p.validate_between_passes
+        }),
+    ]
+}
+
+#[test]
+fn every_machine_field_has_its_own_key() {
+    let base = MachineConfig::paper_1core();
+    let base_key = machine_config_digest(&base);
+    let mut seen: HashSet<u64> = HashSet::from([base_key]);
+    for (name, mutate) in machine_mutators() {
+        let mut m = base.clone();
+        mutate(&mut m);
+        let key = machine_config_digest(&m);
+        assert_ne!(key, base_key, "mutating {name} did not change the key");
+        assert!(
+            seen.insert(key),
+            "mutating {name} collided with another single-field mutation"
+        );
+    }
+}
+
+#[test]
+fn every_pass_switch_has_its_own_key() {
+    let base = PassConfig::all();
+    let base_key = pass_config_digest(&base);
+    let mut seen: HashSet<u64> = HashSet::from([base_key]);
+    for (name, mutate) in pass_mutators() {
+        let mut p = base;
+        mutate(&mut p);
+        let key = pass_config_digest(&p);
+        assert_ne!(key, base_key, "toggling {name} did not change the key");
+        assert!(seen.insert(key), "toggling {name} collided");
+    }
+    // The named presets are pairwise distinct too.
+    let presets = [
+        PassConfig::all(),
+        PassConfig::queues_only(),
+        PassConfig::with_recompute(),
+        PassConfig::with_cv(),
+        PassConfig::with_dce(),
+        PassConfig::with_handlers(),
+        PassConfig::all_streaming(),
+    ];
+    let keys: HashSet<u64> = presets.iter().map(pass_config_digest).collect();
+    assert_eq!(keys.len(), presets.len());
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Any random non-empty combination of single-field mutations moves
+    /// the key away from the base config (mutations touch disjoint
+    /// fields, so they cannot cancel), and two different combinations
+    /// produce different keys.
+    #[test]
+    fn random_mutation_sets_change_the_machine_key(
+        picks in proptest::collection::vec(0usize..34, 1..6),
+        other in proptest::collection::vec(0usize..34, 1..6),
+    ) {
+        let muts = machine_mutators();
+        let apply = |set: &[usize]| {
+            let mut m = MachineConfig::paper_1core();
+            let mut used: Vec<usize> = set.to_vec();
+            used.sort_unstable();
+            used.dedup();
+            for &i in &used {
+                (muts[i % muts.len()].1)(&mut m);
+            }
+            (used, machine_config_digest(&m))
+        };
+        let base = machine_config_digest(&MachineConfig::paper_1core());
+        let (used_a, key_a) = apply(&picks);
+        let (used_b, key_b) = apply(&other);
+        prop_assert!(key_a != base, "mutations {:?} left the key unchanged", used_a);
+        if used_a != used_b {
+            prop_assert!(key_a != key_b,
+                "mutation sets {:?} and {:?} collided", used_a, used_b);
+        } else {
+            prop_assert_eq!(key_a, key_b);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Cache-hit bit-identity across the {scheduler} × {engine} grid
+// ---------------------------------------------------------------------
+
+fn grid_service(scheduler: SchedulerKind, engine: ExecEngine) -> Service {
+    let mut machine = MachineConfig::paper_1core();
+    machine.scheduler = scheduler;
+    machine.engine = engine;
+    Service::new(ServiceConfig {
+        machine,
+        scale: Scale::Tiny,
+        workers: 2,
+        default_cycle_cap: 50_000_000,
+        ..ServiceConfig::default()
+    })
+}
+
+fn field<'a>(resp: &'a Json, key: &str) -> &'a Json {
+    resp.get(key)
+        .unwrap_or_else(|| panic!("response missing {key:?}: {resp:?}"))
+}
+
+#[test]
+fn cache_hits_are_bit_identical_across_the_host_model_grid() {
+    let batch = vec![
+        r#"{"id":1,"op":"compile","app":"bfs","passes":"all","stages":3}"#.to_string(),
+        r#"{"id":2,"op":"trace","app":"bfs","input":"internet-s","variant":"phloem","stages":2}"#
+            .to_string(),
+    ];
+    let grid = [
+        (SchedulerKind::EventDriven, ExecEngine::Flat),
+        (SchedulerKind::EventDriven, ExecEngine::Tree),
+        (SchedulerKind::Polling, ExecEngine::Flat),
+        (SchedulerKind::Polling, ExecEngine::Tree),
+    ];
+    let mut stats_digests = Vec::new();
+    let mut trace_digests = Vec::new();
+    for (scheduler, engine) in grid {
+        let svc = grid_service(scheduler, engine);
+        let cold = svc.handle_batch(&batch);
+        let warm = svc.handle_batch(&batch);
+        for (c, w) in cold.responses.iter().zip(&warm.responses) {
+            assert!(c.contains(r#""cache":"miss""#), "cold run should miss: {c}");
+            assert!(w.contains(r#""cache":"hit""#), "warm run should hit: {w}");
+            // The hit is the miss, byte for byte, modulo provenance.
+            assert_eq!(&c.replace(r#""cache":"miss""#, r#""cache":"hit""#), w);
+        }
+        let trace = parse(&warm.responses[1]).unwrap();
+        assert_eq!(field(&trace, "ok").as_bool(), Some(true));
+        stats_digests.push(field(&trace, "stats").as_str().unwrap().to_string());
+        trace_digests.push(field(&trace, "trace").as_str().unwrap().to_string());
+        let (compile, search) = svc.counters();
+        assert_eq!((compile.hits, compile.misses), (1, 1));
+        assert_eq!((search.hits, search.misses), (1, 1));
+    }
+    // Scheduler and engine are host-side knobs: every grid point must
+    // produce the same simulated statistics and the same event stream.
+    assert!(
+        stats_digests.windows(2).all(|w| w[0] == w[1]),
+        "stats digests diverged across the grid: {stats_digests:?}"
+    );
+    assert!(
+        trace_digests.windows(2).all(|w| w[0] == w[1]),
+        "trace digests diverged across the grid: {trace_digests:?}"
+    );
+}
+
+#[test]
+fn machine_config_change_invalidates_service_responses() {
+    // The same request against two services differing in ONE machine
+    // field must not share cache state — prove it end-to-end by
+    // checking both services miss on first contact.
+    let a = grid_service(SchedulerKind::EventDriven, ExecEngine::Flat);
+    let req = vec![r#"{"id":1,"op":"compile","app":"cc"}"#.to_string()];
+    let first = a.handle_batch(&req);
+    assert!(first.responses[0].contains(r#""cache":"miss""#));
+    // Same service, mutated config would be a different service value;
+    // keys embed the machine digest, so a fresh service with a bumped
+    // queue capacity starts cold even if caches were shared by design.
+    let mut machine = MachineConfig::paper_1core();
+    machine.queue_capacity += 1;
+    let b = Service::new(ServiceConfig {
+        machine,
+        scale: Scale::Tiny,
+        workers: 1,
+        ..ServiceConfig::default()
+    });
+    let second = b.handle_batch(&req);
+    assert!(second.responses[0].contains(r#""cache":"miss""#));
+}

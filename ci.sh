@@ -50,11 +50,20 @@ echo "==> parallel --smoke (fleet scaling: determinism + overhead gates)"
 # the determinism and overhead assertions still run.
 cargo run --release -q -p phloem-bench --bin parallel -- --smoke
 
-echo "==> phloem-service tests (cache-key sensitivity, grid bit-identity, daemon smoke)"
+echo "==> phloem-service tests (cache-key sensitivity, grid bit-identity, daemon smoke + error paths, persistence)"
 cargo test -q -p phloem-service
 
-echo "==> serve --smoke (service replay: bit-identical warm hits, >=0.5 hit-rate gate)"
+echo "==> serve --smoke (service replay: bit-identical warm hits, >=0.5 hit-rate gate, persist/restore round-trip)"
+# The smoke pass includes the restart pass: caches are persisted to a
+# snapshot, the transport is rebuilt from it, and the warm-after-restart
+# hit-rate is gated >= 0.5 with bit-identical restored responses.
 SCALE=tiny cargo run --release -q -p phloem-bench --bin serve -- --smoke
+
+echo "==> chaos --smoke (deterministic fault injection against a live phloemd)"
+# 7 fault shapes (severed connections, malformed/oversized input, slow
+# partial writes, shutdown races, SIGKILL restart, snapshot corruption)
+# x 3 seeds; every seed must pass. The full run uses 20 seeds.
+cargo run --release -q -p phloem-bench --bin chaos -- --smoke
 
 echo "==> cargo clippy --workspace --all-targets -- -D warnings"
 cargo clippy --workspace --all-targets -q -- -D warnings

@@ -20,6 +20,12 @@
 //! replay hit-rate must be >= 50% (it is 80% by construction here:
 //! 11 of 20 requests are cacheable and every replay of them hits).
 //!
+//! A **restart pass** then exercises crash-safe persistence end to end:
+//! the transport is shut down (persisting its caches to a snapshot
+//! file), rebuilt on the same `--cache-path`, and the workload replayed
+//! once more. Every restored hit must be bit-identical to its cold
+//! counterpart and the warm-after-restart hit-rate is gated >= 0.5.
+//!
 //! Requests/sec on this single-core host measures the service overhead
 //! on top of simulation cost, not parallel fan-out; the JSON records
 //! `host_cores` so readers can gate expectations on the hardware.
@@ -64,6 +70,9 @@ fn workload() -> Vec<String> {
 trait Transport {
     fn round_trip(&mut self, lines: &[String]) -> Vec<String>;
     fn name(&self) -> &'static str;
+    /// Flushes caches to the snapshot path and stops serving, so a
+    /// rebuilt transport on the same path restarts warm.
+    fn shutdown_persist(&mut self);
 }
 
 struct InProcess {
@@ -76,6 +85,9 @@ impl Transport for InProcess {
     }
     fn name(&self) -> &'static str {
         "in-process"
+    }
+    fn shutdown_persist(&mut self) {
+        self.svc.persist_now().expect("persist cache snapshot");
     }
 }
 
@@ -108,12 +120,22 @@ impl Transport for Daemon {
     fn name(&self) -> &'static str {
         "phloemd"
     }
+    fn shutdown_persist(&mut self) {
+        // A shutdown request drains the daemon, which persists its
+        // caches before exiting.
+        let _ = writeln!(self.stdin, r#"{{"id":0,"op":"shutdown"}}"#);
+        let _ = writeln!(self.stdin);
+        let _ = self.stdin.flush();
+        let _ = self.child.wait();
+    }
 }
 
 impl Drop for Daemon {
     fn drop(&mut self) {
         // Stdin is still open; a shutdown request ends the daemon
-        // cleanly (EOF would too, but be explicit).
+        // cleanly (EOF would too, but be explicit). After an explicit
+        // shutdown_persist these writes fail silently and the cached
+        // wait status is returned — both are fine.
         let _ = writeln!(self.stdin, r#"{{"id":0,"op":"shutdown"}}"#);
         let _ = writeln!(self.stdin);
         let _ = self.stdin.flush();
@@ -123,10 +145,11 @@ impl Drop for Daemon {
 
 /// Spawns the `phloemd` binary that `cargo build` placed next to this
 /// bench binary, if present.
-fn spawn_daemon(scale_name: &str, workers: usize) -> Option<Daemon> {
+fn spawn_daemon(scale_name: &str, workers: usize, cache: &std::path::Path) -> Option<Daemon> {
     let path = std::env::current_exe().ok()?.with_file_name("phloemd");
     let mut child = std::process::Command::new(&path)
         .args(["--scale", scale_name, "--workers", &workers.to_string()])
+        .args(["--cache-path", cache.to_str()?])
         .stdin(std::process::Stdio::piped())
         .stdout(std::process::Stdio::piped())
         .stderr(std::process::Stdio::null())
@@ -218,25 +241,32 @@ fn main() {
 
     header("Compile-and-simulate service: throughput and cache hit-rate");
 
+    // Every transport persists to (and restores from) this snapshot,
+    // so the restart pass below starts warm.
+    let cache = std::env::temp_dir().join(format!("phloem-serve-{}.cache", std::process::id()));
+    let _ = std::fs::remove_file(&cache);
     // Smoke runs the library path; full prefers the spawned daemon.
-    let mut transport: Box<dyn Transport> = if smoke {
-        None
-    } else {
-        spawn_daemon(&scale_name, workers).map(|d| Box::new(d) as Box<dyn Transport>)
-    }
-    .unwrap_or_else(|| {
+    let make = |cache: &std::path::Path| -> Box<dyn Transport> {
+        if !smoke {
+            if let Some(d) = spawn_daemon(&scale_name, workers, cache) {
+                return Box::new(d);
+            }
+        }
         Box::new(InProcess {
             svc: Service::new(ServiceConfig {
                 scale: scale(),
                 workers,
+                cache_path: Some(cache.to_path_buf()),
                 ..ServiceConfig::default()
             }),
         })
-    });
+    };
+    let mut transport = make(&cache);
+    let transport_name = transport.name();
     println!(
         "  transport: {}; scale: {scale_name}; {} requests/pass; 1 cold + {warm_passes} warm; \
          {workers} workers on {host_cores} host core(s)",
-        transport.name(),
+        transport_name,
         batch.len()
     );
 
@@ -269,9 +299,29 @@ fn main() {
         "warm replay hit-rate {hit_rate:.2} below the 0.5 acceptance bar"
     );
 
+    // Restart pass: persist the caches, rebuild the transport on the
+    // same snapshot, and replay once — restored hits must be
+    // bit-identical to the cold responses.
+    transport.shutdown_persist();
+    drop(transport);
+    let mut transport = make(&cache);
+    let restart = transport.round_trip(&batch);
+    let (restart_cacheable, restart_hits) = check_warm(&cold, &restart);
+    let restart_hit_rate = restart_hits as f64 / restart_cacheable.max(1) as f64;
+    drop(transport);
+    let _ = std::fs::remove_file(&cache);
+    println!(
+        "  restart: warm-after-restart hit-rate {restart_hit_rate:.2} over \
+         {restart_cacheable} cacheable requests, restored from the snapshot"
+    );
+    assert!(
+        restart_hit_rate >= 0.5,
+        "warm-after-restart hit-rate {restart_hit_rate:.2} below the 0.5 acceptance bar"
+    );
+
     if smoke {
         assert!(hits > 0, "smoke replay saw no cache hits");
-        println!("  smoke mode: bit-identity + hit-rate gates held; OK");
+        println!("  smoke mode: bit-identity + hit-rate + restart gates held; OK");
         return;
     }
 
@@ -284,13 +334,15 @@ fn main() {
          \"cold_wall_s\": {cold_secs:.6},\n  \"cold_requests_per_s\": {cold_rps:.3},\n  \
          \"warm_wall_s\": {warm_secs:.6},\n  \"warm_requests_per_s\": {warm_rps:.3},\n  \
          \"warm_hit_rate\": {hit_rate:.4},\n  \
+         \"restart_hit_rate\": {restart_hit_rate:.4},\n  \
          \"correctness\": \"every warm response asserted bit-identical to its cold \
          counterpart (modulo cache provenance); one simulate cross-checked against the \
-         direct Batch API; hit-rate gate >= 0.5\",\n  \
+         direct Batch API; hit-rate gate >= 0.5; restart pass rebuilds the transport \
+         from the persisted snapshot and gates warm-after-restart hit-rate >= 0.5\",\n  \
          \"note\": \"requests/sec measures service overhead plus simulation cost on this \
          host; with a single core the pool fan-out adds no speedup, so cross-host \
          comparisons should gate on host_cores\"\n}}\n",
-        transport.name()
+        transport_name
     );
     std::fs::write("BENCH_serve.json", &json).expect("write BENCH_serve.json");
     println!("  wrote BENCH_serve.json");

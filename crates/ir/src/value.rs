@@ -256,6 +256,18 @@ pub enum Trap {
         /// Diagnostics snapshot (per-thread state, queue occupancies).
         detail: String,
     },
+    /// The host cancelled the run cooperatively: a wall-clock deadline
+    /// expired or the owner (e.g. a draining service) asked it to stop.
+    /// Raised at a watchdog window boundary, so the simulated state at
+    /// `cycle` is exactly what an uncancelled run would have had there —
+    /// cancellation never perturbs a simulated cycle, it only decides
+    /// not to simulate the next one.
+    Cancelled {
+        /// Simulated cycle at which the run was stopped.
+        cycle: u64,
+        /// Why the run was cancelled plus the diagnostics snapshot.
+        detail: String,
+    },
 }
 
 impl fmt::Display for Trap {
@@ -284,6 +296,9 @@ impl fmt::Display for Trap {
                     f,
                     "thread killed by fault injection; run stopped at cycle {cycle}; {detail}"
                 )
+            }
+            Trap::Cancelled { cycle, detail } => {
+                write!(f, "cancelled at cycle {cycle}; {detail}")
             }
         }
     }

@@ -66,9 +66,10 @@ pub use cache::{CacheStats, HitLevel, MemHierarchy};
 pub use config::{CacheParams, MachineConfig};
 pub use energy::{EnergyBreakdown, EnergyModel};
 pub use faults::{Fault, FaultPlan};
-pub use machine::{CompiledPipeline, Machine, RunOutcome, SchedulerKind, Session};
+pub use machine::{CancelScope, CompiledPipeline, Machine, RunOutcome, SchedulerKind, Session};
 pub use metrics::{MetricsSink, QueueMetrics, StageMetrics};
 pub use phloem_ir::ExecEngine;
+pub use phloem_pool::CancelToken;
 pub use stats::{CycleBreakdown, QueueStats, RunStats, ThreadStats};
 pub use trace::{
     digest_events, DigestSink, NoopSink, PerfettoSink, RingSink, StageMeta, StallKind, TeeSink,

@@ -23,9 +23,57 @@ use crate::timing::{
 };
 use crate::trace::{StageMeta, TraceMeta, TraceSink};
 use phloem_ir::{ExecEngine, MemState, Pipeline, StageKind, Time, Trap, Value};
+use phloem_pool::CancelToken;
+use std::cell::RefCell;
 
 /// Per-thread step budget for timed runs.
 pub const DEFAULT_BUDGET: u64 = 4_000_000_000;
+
+thread_local! {
+    /// Ambient cancellation stack for [`CancelScope`]: sessions created
+    /// while a scope is live inherit its token without every caller in
+    /// between having to thread one through (the benchsuite's `run()`
+    /// entry points construct their own sessions internally).
+    static AMBIENT_CANCEL: RefCell<Vec<CancelToken>> = const { RefCell::new(Vec::new()) };
+}
+
+/// RAII guard installing an ambient [`CancelToken`] for the current
+/// thread: every [`Session`] *created* while the guard is live (and not
+/// given an explicit token via [`Session::set_cancel`]) polls this token
+/// at its watchdog window boundaries. Scopes nest; the innermost wins.
+///
+/// This is how the service layer cancels work that builds its sessions
+/// several stack frames down (benchsuite runners, the PGO search): the
+/// pool task enters a scope with the request's token and everything the
+/// task constructs inherits it. The token is captured at session
+/// *creation*, so a session outliving the scope keeps honouring it.
+pub struct CancelScope {
+    _not_send: std::marker::PhantomData<*const ()>,
+}
+
+impl CancelScope {
+    /// Installs `token` as the current thread's ambient cancel token
+    /// until the returned guard drops.
+    pub fn enter(token: CancelToken) -> CancelScope {
+        AMBIENT_CANCEL.with(|s| s.borrow_mut().push(token));
+        CancelScope {
+            _not_send: std::marker::PhantomData,
+        }
+    }
+
+    /// The innermost ambient token, if a scope is live on this thread.
+    pub fn current() -> Option<CancelToken> {
+        AMBIENT_CANCEL.with(|s| s.borrow().last().cloned())
+    }
+}
+
+impl Drop for CancelScope {
+    fn drop(&mut self) {
+        AMBIENT_CANCEL.with(|s| {
+            s.borrow_mut().pop();
+        });
+    }
+}
 
 /// A pipeline's stage programs lowered to bytecode ahead of time.
 ///
@@ -114,6 +162,10 @@ pub struct Session {
     /// (see [`crate::trace`]); `None` keeps the timed hot path
     /// trace-free.
     trace: Option<Box<dyn TraceSink>>,
+    /// Host-side cancellation token polled at watchdog window
+    /// boundaries; captured from the ambient [`CancelScope`] at session
+    /// creation unless [`Session::set_cancel`] overrides it.
+    cancel: Option<CancelToken>,
 }
 
 impl Session {
@@ -130,7 +182,24 @@ impl Session {
             active_cores: std::collections::BTreeSet::new(),
             faults: None,
             trace: None,
+            cancel: CancelScope::current(),
         }
+    }
+
+    /// Installs a cancellation token checked at every watchdog window
+    /// boundary of subsequent invocations: once it fires (wall-clock
+    /// deadline or explicit cancel), the run stops with a structured
+    /// [`Trap::Cancelled`] instead of running away. Cancellation is
+    /// cycle-neutral — a token that never fires changes nothing, and a
+    /// fired one stops the run *between* rounds, never mid-round.
+    pub fn set_cancel(&mut self, token: CancelToken) {
+        self.cancel = Some(token);
+    }
+
+    /// Removes any installed cancellation token (including an inherited
+    /// ambient one).
+    pub fn clear_cancel(&mut self) {
+        self.cancel = None;
     }
 
     /// Applies a fault plan to every subsequent invocation (fuzzing and
@@ -321,6 +390,7 @@ impl Session {
             pipeline,
             base,
             self.faults.as_ref(),
+            self.cancel.clone(),
             self.trace.as_deref_mut(),
         );
         let is_compute: Vec<bool> = pipeline

@@ -280,12 +280,20 @@ pub(crate) fn run<E: StageExec>(
         // (the idle-cycle fast-forward) and run the watchdog verdict —
         // consolidated so fast-forward can never skip a watchdog check.
         if let Some(v) = world.advance_to(AdvanceEvent::RoundEnd) {
+            // Cancellation is host-timing-driven (which round it fires
+            // at depends on the wall clock), so unlike the two watchdog
+            // limits it is deliberately NOT a trace event: emitting one
+            // would make trace digests nondeterministic. The structured
+            // trap carries the full snapshot instead.
             let tv = match v {
-                watchdog::Verdict::CycleLimit => TraceVerdict::CycleLimit,
-                watchdog::Verdict::Livelock => TraceVerdict::Livelock,
+                watchdog::Verdict::CycleLimit => Some(TraceVerdict::CycleLimit),
+                watchdog::Verdict::Livelock => Some(TraceVerdict::Livelock),
+                watchdog::Verdict::Cancelled => None,
             };
-            let at = world.last_progress();
-            world.emit(EV_WATCHDOG, || TraceEvent::Verdict { verdict: tv, at });
+            if let Some(tv) = tv {
+                let at = world.last_progress();
+                world.emit(EV_WATCHDOG, || TraceEvent::Verdict { verdict: tv, at });
+            }
             return Err(watchdog::fire(
                 v,
                 world,

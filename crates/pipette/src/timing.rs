@@ -55,6 +55,8 @@ use crate::trace::{
     StallKind, TraceEvent, TraceSink, EV_CTRL, EV_FAULT, EV_QUEUE, EV_RA, EV_STALL,
 };
 use crate::watchdog::{self, Verdict, WatchdogConfig};
+use phloem_pool::CancelToken;
+
 use phloem_ir::{
     ArrayId, BinOp, BranchId, MemState, QueueId, StageKind, StageSpec, StepInterp, Tid, Time, Trap,
     UopClass, Value, World,
@@ -349,6 +351,15 @@ pub(crate) struct TimingWorld<'a> {
     pub(crate) watchdog: WatchdogConfig,
     /// Fault plan for this invocation, if any.
     faults: Option<&'a FaultPlan>,
+    /// Host-side cancellation token for this invocation, if any.
+    /// Checked only at round boundaries ([`TimingWorld::advance_to`]),
+    /// reads host state only, and never mutates anything simulated —
+    /// a token that does not fire is observationally free.
+    cancel: Option<CancelToken>,
+    /// Round counter throttling the clock-reading deadline poll (the
+    /// cheap latched-flag check runs every round; `Instant::now` only
+    /// every [`CANCEL_POLL_PERIOD`] rounds).
+    cancel_rounds: u32,
     /// Completion time of the most recent progress event across all
     /// threads (successful queue op or finish).
     last_progress: Time,
@@ -363,6 +374,13 @@ pub(crate) struct TimingWorld<'a> {
     /// which is what makes tracing free when off.
     trace_mask: u32,
 }
+
+/// Rounds between clock-reading deadline polls (see
+/// [`TimingWorld::cancel_fired`]). A scheduler round is microseconds of
+/// host time at worst, so the deadline resolution this buys (< ~10 ms
+/// of drift) is far below any deadline a service would arm, while the
+/// steady-state cost stays one atomic load per round.
+const CANCEL_POLL_PERIOD: u32 = 256;
 
 /// Bit in [`TimingWorld::wait_flags`]: a thread is parked on this queue
 /// being empty (wake it on enqueue).
@@ -389,6 +407,7 @@ impl<'a> TimingWorld<'a> {
     /// cycle `base`. `stages` describes each hardware thread (core,
     /// kind, name); window partitioning follows the per-core compute
     /// thread count.
+    #[allow(clippy::too_many_arguments)]
     pub(crate) fn new(
         cfg: &'a MachineConfig,
         hier: &'a mut MemHierarchy,
@@ -396,6 +415,7 @@ impl<'a> TimingWorld<'a> {
         pipeline: &phloem_ir::Pipeline,
         base: Time,
         faults: Option<&'a FaultPlan>,
+        cancel: Option<CancelToken>,
         trace: Option<&'a mut dyn TraceSink>,
     ) -> TimingWorld<'a> {
         let mut compute_per_core = vec![0usize; cfg.cores];
@@ -450,6 +470,8 @@ impl<'a> TimingWorld<'a> {
             trace_deq: trace_deq_enabled(),
             watchdog: cfg.watchdog,
             faults,
+            cancel,
+            cancel_rounds: 0,
             last_progress: base,
             monitor_queues: pipeline.num_queues > 0,
             trace_mask: trace.as_ref().map_or(0, |s| s.interest()),
@@ -516,9 +538,42 @@ impl<'a> TimingWorld<'a> {
         let floor = self.issue_floor();
         self.issue.advance(floor);
         match ev {
-            AdvanceEvent::RoundEnd => watchdog::verdict(self),
+            AdvanceEvent::RoundEnd => {
+                // Cancellation shares the watchdog's window boundaries:
+                // the one place the clock advances is also the one place
+                // a deadline or drain request can stop the run, so a
+                // cancelled run's simulated state is exactly an
+                // uncancelled run's state at that round.
+                if self.cancel_fired() {
+                    return Some(Verdict::Cancelled);
+                }
+                watchdog::verdict(self)
+            }
             AdvanceEvent::InvocationEnd => None,
         }
+    }
+
+    /// True once this invocation's cancel token has fired. Reads only
+    /// host-side state: a latched-flag load every round, plus a real
+    /// clock read every [`CANCEL_POLL_PERIOD`] rounds to latch expired
+    /// deadlines.
+    fn cancel_fired(&mut self) -> bool {
+        let Some(tok) = &self.cancel else {
+            return false;
+        };
+        if tok.is_set() {
+            return true;
+        }
+        self.cancel_rounds = self.cancel_rounds.wrapping_add(1);
+        if self.cancel_rounds.is_multiple_of(CANCEL_POLL_PERIOD) {
+            return tok.poll_expired();
+        }
+        false
+    }
+
+    /// Why the cancel token fired (watchdog trap detail).
+    pub(crate) fn cancel_reason(&self) -> String {
+        self.cancel.as_ref().map(|t| t.reason()).unwrap_or_default()
     }
 
     /// Records a stage finishing as a progress event.

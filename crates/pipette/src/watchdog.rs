@@ -84,6 +84,13 @@ pub(crate) enum Verdict {
     CycleLimit,
     /// No progress event within [`WatchdogConfig::livelock_window`].
     Livelock,
+    /// The session's host-side `CancelToken` fired (wall-clock deadline
+    /// or an explicit cancel, e.g. a draining service). Unlike the two
+    /// limits above this verdict is *host-timing-driven*: the simulated
+    /// state at the firing round is exactly what an uncancelled run
+    /// would have had there, but *which* round it fires at depends on
+    /// the host clock — so it is never emitted as a trace event.
+    Cancelled,
 }
 
 /// Cheap per-round check: compares the frontier against both limits.
@@ -189,6 +196,10 @@ pub(crate) fn fire<E: StageExec>(
     match v {
         Verdict::CycleLimit => Trap::CycleLimit { cycle, detail },
         Verdict::Livelock => Trap::Livelock { cycle, detail },
+        Verdict::Cancelled => Trap::Cancelled {
+            cycle,
+            detail: format!("reason: {}; {}", world.cancel_reason(), detail),
+        },
     }
 }
 

@@ -47,14 +47,16 @@
 //! simulations, milliseconds to seconds); the lock cost is noise, and
 //! the result partition itself is written without any lock.
 
+mod cancel;
 mod pin;
 
+pub use cancel::{CancelToken, CancelWaker, WakerRegistration};
 pub use pin::pin_to_core;
 
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Condvar, Mutex, OnceLock, RwLock};
+use std::sync::{Arc, Mutex, OnceLock, RwLock};
 use std::time::Duration;
 
 /// Shared worker-count default for every pool consumer: the
@@ -129,6 +131,9 @@ pub struct FleetStats {
     pub parks: u64,
     /// Tasks executed per worker (indexed by worker id).
     pub per_worker_tasks: Vec<u64>,
+    /// Tasks skipped because the fleet's [`CancelToken`] fired before
+    /// they were dequeued (always 0 for uncancellable fleets).
+    pub skipped: u64,
 }
 
 /// Pool configuration. `Default` reads the shared env knobs.
@@ -208,6 +213,61 @@ impl Pool {
         R: Send + Sync,
         F: Fn(usize) -> R + Sync,
     {
+        let (slots, stats) = self.run_inner(n, None, f);
+        let results = slots
+            .into_iter()
+            .map(|s| s.expect("every fleet task ran exactly once"))
+            .collect();
+        (results, stats)
+    }
+
+    /// [`Pool::run_stats`] under a [`CancelToken`]: once the token fires
+    /// (explicit cancel or expired deadline), still-queued tasks are
+    /// *skipped* — their slots come back `None` — while tasks already
+    /// executing finish normally (the task body is expected to observe
+    /// the same token cooperatively, as the simulator's watchdog does).
+    /// Parked workers are woken by the cancel itself, not by a timeout,
+    /// so drain latency is bounded by the running tasks' own response
+    /// to the token — never by queue depth.
+    pub fn run_cancellable<R, F>(
+        &self,
+        n: usize,
+        cancel: &CancelToken,
+        f: F,
+    ) -> (Vec<Option<Result<R, TaskPanic>>>, FleetStats)
+    where
+        R: Send + Sync,
+        F: Fn(usize) -> R + Sync,
+    {
+        self.run_inner(n, Some(cancel), f)
+    }
+
+    /// [`Pool::run_cancellable`] over a slice: task `i` receives
+    /// `(i, &items[i])`.
+    pub fn map_cancellable<T, R, F>(
+        &self,
+        items: &[T],
+        cancel: &CancelToken,
+        f: F,
+    ) -> (Vec<Option<Result<R, TaskPanic>>>, FleetStats)
+    where
+        T: Sync,
+        R: Send + Sync,
+        F: Fn(usize, &T) -> R + Sync,
+    {
+        self.run_inner(items.len(), Some(cancel), |i| f(i, &items[i]))
+    }
+
+    fn run_inner<R, F>(
+        &self,
+        n: usize,
+        cancel: Option<&CancelToken>,
+        f: F,
+    ) -> (Vec<Option<Result<R, TaskPanic>>>, FleetStats)
+    where
+        R: Send + Sync,
+        F: Fn(usize) -> R + Sync,
+    {
         let workers = self.workers().min(n.max(1));
         let mut stats = FleetStats {
             workers,
@@ -222,14 +282,23 @@ impl Pool {
         let _fleet = quiesce_lock().read().unwrap_or_else(|e| e.into_inner());
         let slots: Vec<OnceLock<Result<R, TaskPanic>>> = (0..n).map(|_| OnceLock::new()).collect();
         if workers == 1 {
-            // Inline serial path: same panic isolation, no threads.
+            // Inline serial path: same panic isolation and skip
+            // semantics, no threads.
             for (i, slot) in slots.iter().enumerate() {
+                if cancel.is_some_and(|t| t.poll_expired()) {
+                    stats.skipped += (n - i) as u64;
+                    break;
+                }
                 let r = run_guarded(i, &f);
                 let _ = slot.set(r);
                 stats.per_worker_tasks[0] += 1;
             }
         } else {
-            let shared = Shared::new(workers, n);
+            let shared = Shared::new(workers, n, cancel.cloned());
+            // Cancelling the token must notify the fleet's park condvar
+            // directly: parked workers observe a drain request the
+            // moment it happens, not on the next timeout expiry.
+            let _reg = cancel.map(|t| t.register_waker(Arc::clone(&shared.idle)));
             let pin = self.cfg.pin;
             std::thread::scope(|scope| {
                 for w in 0..workers {
@@ -250,14 +319,12 @@ impl Pool {
             stats.steals = shared.steals.load(Ordering::Relaxed);
             stats.stolen_tasks = shared.stolen_tasks.load(Ordering::Relaxed);
             stats.parks = shared.parks.load(Ordering::Relaxed);
+            stats.skipped = shared.skipped.load(Ordering::Relaxed);
             for (w, c) in shared.per_worker_tasks.iter().enumerate() {
                 stats.per_worker_tasks[w] = c.load(Ordering::Relaxed);
             }
         }
-        let results = slots
-            .into_iter()
-            .map(|s| s.into_inner().expect("every fleet task ran exactly once"))
-            .collect();
+        let results = slots.into_iter().map(|s| s.into_inner()).collect();
         (results, stats)
     }
 }
@@ -289,19 +356,24 @@ struct Shared {
     /// nonzero; the worker completing the last task wakes everyone.
     remaining: AtomicUsize,
     /// Park/unpark: idle workers wait here; notified on new stealable
-    /// work and on fleet completion.
-    idle: Mutex<()>,
-    idle_cv: Condvar,
+    /// work, on fleet completion, and — when the fleet runs under a
+    /// [`CancelToken`] — by the cancel itself (the waker is registered
+    /// with the token for the fleet's lifetime).
+    idle: Arc<CancelWaker>,
+    /// The fleet's cancellation token, if any. Checked before each
+    /// dequeued task runs; a fired token turns the task into a skip.
+    cancel: Option<CancelToken>,
     steals: AtomicU64,
     stolen_tasks: AtomicU64,
     parks: AtomicU64,
+    skipped: AtomicU64,
     per_worker_tasks: Vec<AtomicU64>,
 }
 
 impl Shared {
     /// Seeds worker `w` with the contiguous index block static chunking
     /// would have given it (locality), leaving the injector empty.
-    fn new(workers: usize, n: usize) -> Shared {
+    fn new(workers: usize, n: usize, cancel: Option<CancelToken>) -> Shared {
         let chunk = n.div_ceil(workers);
         let deques = (0..workers)
             .map(|w| {
@@ -314,11 +386,12 @@ impl Shared {
             deques,
             injector: Mutex::new(VecDeque::new()),
             remaining: AtomicUsize::new(n),
-            idle: Mutex::new(()),
-            idle_cv: Condvar::new(),
+            idle: Arc::new(CancelWaker::default()),
+            cancel,
             steals: AtomicU64::new(0),
             stolen_tasks: AtomicU64::new(0),
             parks: AtomicU64::new(0),
+            skipped: AtomicU64::new(0),
             per_worker_tasks: (0..workers).map(|_| AtomicU64::new(0)).collect(),
         }
     }
@@ -327,12 +400,19 @@ impl Shared {
         self.deques[w].lock().unwrap_or_else(|e| e.into_inner())
     }
 
+    /// True once the fleet's token has fired (authoritative deadline
+    /// poll: one clock read per dequeued task, which is noise next to
+    /// whole-simulation task bodies).
+    fn cancelled(&self) -> bool {
+        self.cancel.as_ref().is_some_and(|t| t.poll_expired())
+    }
+
     /// Marks one task complete; wakes all parked workers when it was
     /// the last so they can observe termination and exit.
     fn complete_one(&self) {
         if self.remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
-            let _g = self.idle.lock().unwrap_or_else(|e| e.into_inner());
-            self.idle_cv.notify_all();
+            let _g = self.idle.lock.lock().unwrap_or_else(|e| e.into_inner());
+            self.idle.cv.notify_all();
         }
     }
 
@@ -367,8 +447,8 @@ impl Shared {
         if !taken.is_empty() {
             self.lock_deque(w).extend(taken);
             // New stealable work: wake parked workers to share it.
-            let _g = self.idle.lock().unwrap_or_else(|e| e.into_inner());
-            self.idle_cv.notify_all();
+            let _g = self.idle.lock.lock().unwrap_or_else(|e| e.into_inner());
+            self.idle.cv.notify_all();
         }
         first
     }
@@ -391,6 +471,15 @@ where
         };
         match task {
             Some(i) => {
+                // A fired token turns every still-queued task into a
+                // skip: the slot stays unset (`None` to the caller) and
+                // the task is completed without running, so drain
+                // latency never depends on queue depth.
+                if shared.cancelled() {
+                    shared.skipped.fetch_add(1, Ordering::Relaxed);
+                    shared.complete_one();
+                    continue;
+                }
                 let r = run_guarded(i, f);
                 let _ = slots[i].set(r);
                 shared.per_worker_tasks[w].fetch_add(1, Ordering::Relaxed);
@@ -402,14 +491,17 @@ where
                 }
                 // Tasks are still in flight elsewhere: park. The
                 // timeout bounds any lost-wakeup race (a steal that
-                // repopulated a deque between our scan and the wait).
+                // repopulated a deque between our scan and the wait);
+                // completion and cancellation both notify this condvar
+                // explicitly, so neither waits out the timeout.
                 shared.parks.fetch_add(1, Ordering::Relaxed);
-                let g = shared.idle.lock().unwrap_or_else(|e| e.into_inner());
+                let g = shared.idle.lock.lock().unwrap_or_else(|e| e.into_inner());
                 if shared.remaining.load(Ordering::Acquire) == 0 {
                     return;
                 }
                 let _ = shared
-                    .idle_cv
+                    .idle
+                    .cv
                     .wait_timeout(g, Duration::from_millis(1))
                     .map(|(g, _)| drop(g));
             }

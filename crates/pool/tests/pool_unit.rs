@@ -3,9 +3,9 @@
 //! edges. Timing-shaped scenarios use sleeps, which work on any host
 //! (including a single-core one: sleeping threads release the CPU).
 
-use phloem_pool::{Pool, TaskPanic};
+use phloem_pool::{CancelToken, Pool, TaskPanic};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Every slot holds its own task's result, in index order, at any
 /// worker count.
@@ -154,6 +154,89 @@ fn oversubscription_and_clamping() {
     for (i, r) in out.iter().enumerate() {
         assert_eq!(r.as_ref().unwrap(), &(i * 3));
     }
+}
+
+/// A cancellable fleet whose token never fires behaves exactly like an
+/// uncancellable one: every slot comes back `Some(Ok(..))`, nothing is
+/// skipped.
+#[test]
+fn unfired_token_changes_nothing() {
+    for workers in [1, 4] {
+        let pool = Pool::new(workers);
+        let token = CancelToken::new();
+        let (out, stats) = pool.run_cancellable(23, &token, |i| i * 7);
+        assert_eq!(stats.skipped, 0);
+        for (i, r) in out.iter().enumerate() {
+            assert_eq!(
+                r.as_ref().unwrap().as_ref().unwrap(),
+                &(i * 7),
+                "workers={workers}"
+            );
+        }
+    }
+}
+
+/// Drain latency is bounded by the drain budget, not by queue depth:
+/// cancelling a fleet with a deep backlog of sleepy tasks must return
+/// in roughly (cancel delay + one task), never queue_depth × task cost.
+/// This is the park-behavior satellite: queued tasks are skipped, and
+/// parked workers are woken by the cancel itself rather than sleeping
+/// out timeout loops.
+#[test]
+fn drain_latency_bounded_by_budget_not_queue_depth() {
+    const TASKS: usize = 400; // serial cost: 400 × 5 ms = 2 s
+    let pool = Pool::new(2);
+    let token = CancelToken::new();
+    let t2 = token.clone();
+    let canceller = std::thread::spawn(move || {
+        std::thread::sleep(Duration::from_millis(30));
+        t2.cancel("drain test");
+    });
+    let start = Instant::now();
+    let (out, stats) = pool.run_cancellable(TASKS, &token, |i| {
+        std::thread::sleep(Duration::from_millis(5));
+        i
+    });
+    let elapsed = start.elapsed();
+    canceller.join().unwrap();
+    // Generous CI bound, still ~7x below the 2 s serial queue cost.
+    assert!(
+        elapsed < Duration::from_millis(300),
+        "drain took {elapsed:?}: latency scaled with queue depth, not the budget"
+    );
+    assert!(stats.skipped > 0, "nothing was skipped: {stats:?}");
+    let ran = out.iter().filter(|s| s.is_some()).count() as u64;
+    assert_eq!(
+        ran + stats.skipped,
+        TASKS as u64,
+        "every task must be exactly run-once or skipped: {stats:?}"
+    );
+    // Tasks that did run (before the cancel) completed normally.
+    for (i, s) in out.iter().enumerate() {
+        if let Some(r) = s {
+            assert_eq!(r.as_ref().unwrap(), &i);
+        }
+    }
+}
+
+/// An expired deadline cancels the fleet with no explicit cancel call.
+#[test]
+fn deadline_expiry_skips_the_tail() {
+    let pool = Pool::new(1); // serial path must honour deadlines too
+    let token = CancelToken::with_deadline(Duration::from_millis(25));
+    let start = Instant::now();
+    let (out, stats) = pool.run_cancellable(200, &token, |i| {
+        std::thread::sleep(Duration::from_millis(5));
+        i
+    });
+    assert!(
+        start.elapsed() < Duration::from_millis(300),
+        "deadline did not stop a serial fleet"
+    );
+    assert!(stats.skipped > 0);
+    assert!(out[0].is_some(), "the first task ran before the deadline");
+    assert!(token.is_set());
+    assert_eq!(token.reason(), "deadline exceeded");
 }
 
 /// A quiesced section excludes fleets but runs the closure.

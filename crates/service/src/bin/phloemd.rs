@@ -10,24 +10,81 @@
 //! ```text
 //! phloemd [--socket PATH] [--scale tiny|small|full] [--workers N]
 //!         [--cycle-cap N] [--compile-cache N] [--search-cache N]
+//!         [--max-inflight N] [--deadline-ms N] [--cache-path PATH]
+//!         [--drain-ms N] [--max-conns N]
 //! ```
 //!
 //! Without `--socket`, requests come from stdin and responses go to
 //! stdout (errors and lifecycle notes to stderr). With `--socket PATH`,
-//! the daemon listens on a Unix socket and serves connections
-//! sequentially with the same framing. A `{"op":"shutdown"}` request
-//! answers, finishes its batch, and exits the daemon.
+//! the daemon serves connections **concurrently** (one thread each, up
+//! to `--max-conns`; excess connections are answered with a structured
+//! `overloaded` error frame and closed).
+//!
+//! ## Robustness (see `DESIGN.md` §10)
+//!
+//! * Request lines are read under a byte limit (`PHLOEMD_MAX_LINE_BYTES`,
+//!   default 1 MiB): an oversized line is discarded up to its newline
+//!   and answered with a structured `request_too_large` error — the
+//!   connection stays usable.
+//! * Socket reads carry a timeout (`PHLOEMD_READ_TIMEOUT_MS`, default
+//!   30000; `0` disables): a stalled client gets one `timed_out` error
+//!   frame and its connection is closed.
+//! * `--cache-path` enables crash-safe persistence: the snapshot is
+//!   rewritten atomically after every batch, so even a SIGKILL'd
+//!   daemon restarts with the last batch's caches warm.
+//! * A `{"op":"shutdown"}` request answers its batch, then drains:
+//!   new work is rejected with a structured `draining` error while
+//!   in-flight batches finish under the `--drain-ms` grace window
+//!   (work that outlives it is cancelled and answered, not orphaned),
+//!   the cache is persisted, and the daemon exits.
 
-use phloem_service::{Service, ServiceConfig};
+use phloem_service::{Json, Service, ServiceConfig};
 use phloem_workloads::catalog::Scale;
 use std::io::{BufRead, BufReader, Write};
+use std::os::fd::AsRawFd;
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
 
 fn usage() -> ! {
     eprintln!(
         "usage: phloemd [--socket PATH] [--scale tiny|small|full] [--workers N] \
-         [--cycle-cap N] [--compile-cache N] [--search-cache N]"
+         [--cycle-cap N] [--compile-cache N] [--search-cache N] [--max-inflight N] \
+         [--deadline-ms N] [--cache-path PATH] [--drain-ms N] [--max-conns N]\n\
+         env: PHLOEMD_MAX_LINE_BYTES (default 1048576), PHLOEMD_READ_TIMEOUT_MS \
+         (default 30000; 0 disables)"
     );
     std::process::exit(2);
+}
+
+/// Stream-level protection limits (shared by stdin and socket modes;
+/// the read timeout only applies to sockets).
+#[derive(Clone, Copy)]
+struct Limits {
+    max_line_bytes: usize,
+    read_timeout: Option<Duration>,
+}
+
+impl Limits {
+    fn from_env() -> Limits {
+        let max_line_bytes = env_num("PHLOEMD_MAX_LINE_BYTES", 1 << 20).max(64);
+        let timeout_ms = env_num("PHLOEMD_READ_TIMEOUT_MS", 30_000);
+        Limits {
+            max_line_bytes,
+            read_timeout: (timeout_ms > 0).then(|| Duration::from_millis(timeout_ms as u64)),
+        }
+    }
+}
+
+fn env_num(name: &str, default: usize) -> usize {
+    match std::env::var(name) {
+        Ok(v) => v.trim().parse().unwrap_or_else(|_| {
+            eprintln!("phloemd: ignoring {name}={v:?}: expected an integer");
+            default
+        }),
+        Err(_) => default,
+    }
 }
 
 fn main() {
@@ -36,6 +93,8 @@ fn main() {
         ..ServiceConfig::default()
     };
     let mut socket: Option<String> = None;
+    let mut drain_ms: u64 = 2_000;
+    let mut max_conns: usize = 16;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         let mut value = |name: &str| {
@@ -67,6 +126,17 @@ fn main() {
             "--search-cache" => {
                 cfg.search_cache_cap = parse_num(&value("--search-cache"), "--search-cache")
             }
+            "--max-inflight" => {
+                cfg.max_inflight =
+                    parse_num(&value("--max-inflight"), "--max-inflight").max(1) as u64
+            }
+            "--deadline-ms" => {
+                cfg.default_deadline_ms =
+                    Some(parse_num(&value("--deadline-ms"), "--deadline-ms") as u64)
+            }
+            "--cache-path" => cfg.cache_path = Some(value("--cache-path").into()),
+            "--drain-ms" => drain_ms = parse_num(&value("--drain-ms"), "--drain-ms") as u64,
+            "--max-conns" => max_conns = parse_num(&value("--max-conns"), "--max-conns").max(1),
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("phloemd: unknown argument {other:?}");
@@ -74,10 +144,11 @@ fn main() {
             }
         }
     }
-    let service = Service::new(cfg);
+    let limits = Limits::from_env();
+    let service = Arc::new(Service::new(cfg));
     match socket {
-        None => serve_stdio(&service),
-        Some(path) => serve_socket(&service, &path),
+        None => serve_stdio(&service, limits),
+        Some(path) => serve_socket(&service, &path, limits, max_conns, drain_ms),
     }
 }
 
@@ -88,66 +159,178 @@ fn parse_num(s: &str, name: &str) -> usize {
     })
 }
 
+/// Persists the cache snapshot if configured, logging (not dying) on
+/// failure — a full disk must not take the daemon down with it.
+fn persist_caches(service: &Service) {
+    if let Err(e) = service.persist_now() {
+        eprintln!("phloemd: cache persist failed: {e}");
+    }
+}
+
 /// Serves batches from stdin until EOF or a `shutdown` request.
-fn serve_stdio(service: &Service) {
+fn serve_stdio(service: &Service, limits: Limits) {
     let stdin = std::io::stdin();
     let mut reader = stdin.lock();
     let stdout = std::io::stdout();
     let mut out = stdout.lock();
     loop {
-        match serve_stream(service, &mut reader, &mut out) {
-            StreamEnd::Continue => {}
-            StreamEnd::Eof | StreamEnd::Shutdown => break,
+        match serve_stream(service, &mut reader, &mut out, limits) {
+            StreamEnd::Continue => persist_caches(service),
+            StreamEnd::Eof => break,
+            StreamEnd::Shutdown => break,
+            StreamEnd::Timeout => break, // unreachable on stdin
             StreamEnd::Error(e) => {
                 eprintln!("phloemd: stdin stream error: {e}");
                 break;
             }
         }
     }
+    persist_caches(service);
 }
 
-/// Accepts socket connections sequentially; the service (and its
-/// caches) outlives each connection, so a reconnecting client sees
-/// warm caches. A `shutdown` request ends the accept loop.
-fn serve_socket(service: &Service, path: &str) {
+/// Serves socket connections concurrently (thread per connection, up
+/// to `max_conns`). The accept loop polls a nonblocking listener so it
+/// observes the shutdown flag within ~25ms; shutdown then drains:
+/// reject-new is flipped first, in-flight batches get `drain_ms` of
+/// grace (work that outlives it is cancelled and answered), idle
+/// readers are unblocked, threads are joined, and the cache is
+/// persisted before exit.
+fn serve_socket(
+    service: &Arc<Service>,
+    path: &str,
+    limits: Limits,
+    max_conns: usize,
+    drain_ms: u64,
+) {
     // A stale socket file from a previous run would fail the bind.
     let _ = std::fs::remove_file(path);
-    let listener = match std::os::unix::net::UnixListener::bind(path) {
+    let listener = match UnixListener::bind(path) {
         Ok(l) => l,
         Err(e) => {
             eprintln!("phloemd: cannot bind {path:?}: {e}");
             std::process::exit(1);
         }
     };
+    if let Err(e) = listener.set_nonblocking(true) {
+        eprintln!("phloemd: cannot set nonblocking accept: {e}");
+        std::process::exit(1);
+    }
     eprintln!("phloemd: listening on {path:?}");
-    for conn in listener.incoming() {
-        let stream = match conn {
-            Ok(s) => s,
+    let shutdown = Arc::new(AtomicBool::new(false));
+    // Read-half clones of live connections, so a drain can unblock
+    // threads parked in `read` (they observe EOF and finish up).
+    let live: Arc<Mutex<Vec<UnixStream>>> = Arc::new(Mutex::new(Vec::new()));
+    let mut handles: Vec<std::thread::JoinHandle<()>> = Vec::new();
+    while !shutdown.load(Ordering::SeqCst) {
+        handles.retain(|h| !h.is_finished());
+        let stream = match listener.accept() {
+            Ok((s, _)) => s,
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(25));
+                continue;
+            }
             Err(e) => {
                 eprintln!("phloemd: accept failed: {e}");
                 continue;
             }
         };
-        let mut reader = BufReader::new(match stream.try_clone() {
-            Ok(s) => s,
-            Err(e) => {
-                eprintln!("phloemd: cannot clone stream: {e}");
-                continue;
+        if handles.len() >= max_conns {
+            refuse_connection(stream, max_conns);
+            continue;
+        }
+        let (service, shutdown, live) = (
+            Arc::clone(service),
+            Arc::clone(&shutdown),
+            Arc::clone(&live),
+        );
+        handles.push(std::thread::spawn(move || {
+            serve_connection(&service, stream, limits, &shutdown, &live);
+        }));
+    }
+    // Drain: reject new work, give in-flight batches a bounded grace
+    // window, and unblock idle readers so every thread can exit.
+    service.begin_drain(Duration::from_millis(drain_ms));
+    for conn in live.lock().unwrap_or_else(|e| e.into_inner()).iter() {
+        let _ = conn.shutdown(std::net::Shutdown::Read);
+    }
+    for h in handles {
+        let _ = h.join();
+    }
+    persist_caches(service);
+    let _ = std::fs::remove_file(path);
+    eprintln!("phloemd: drained and exiting");
+}
+
+/// Answers a connection beyond the cap with one structured error frame.
+fn refuse_connection(mut stream: UnixStream, max_conns: usize) {
+    let line = error_line(
+        "overloaded",
+        &format!("connection limit reached ({max_conns}); retry later"),
+    );
+    let _ = stream.write_all(line.as_bytes());
+    let _ = stream.write_all(b"\n\n");
+}
+
+/// Deregisters (and thereby closes) a connection's drain clone when its
+/// thread finishes — otherwise the registry would hold the socket open
+/// and the peer would never observe EOF.
+struct LiveGuard<'a> {
+    live: &'a Mutex<Vec<UnixStream>>,
+    fd: std::os::fd::RawFd,
+}
+
+impl Drop for LiveGuard<'_> {
+    fn drop(&mut self) {
+        self.live
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .retain(|s| s.as_raw_fd() != self.fd);
+    }
+}
+
+fn serve_connection(
+    service: &Service,
+    stream: UnixStream,
+    limits: Limits,
+    shutdown: &AtomicBool,
+    live: &Mutex<Vec<UnixStream>>,
+) {
+    if let Some(t) = limits.read_timeout {
+        let _ = stream.set_read_timeout(Some(t));
+    }
+    let _live_guard = match stream.try_clone() {
+        Ok(clone) => {
+            let fd = clone.as_raw_fd();
+            live.lock().unwrap_or_else(|e| e.into_inner()).push(clone);
+            Some(LiveGuard { live, fd })
+        }
+        Err(_) => None,
+    };
+    let mut reader = BufReader::new(match stream.try_clone() {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("phloemd: cannot clone stream: {e}");
+            return;
+        }
+    });
+    let mut writer = stream;
+    loop {
+        match serve_stream(service, &mut reader, &mut writer, limits) {
+            StreamEnd::Continue => persist_caches(service),
+            StreamEnd::Eof => break,
+            StreamEnd::Shutdown => {
+                shutdown.store(true, Ordering::SeqCst);
+                persist_caches(service);
+                break;
             }
-        });
-        let mut writer = stream;
-        loop {
-            match serve_stream(service, &mut reader, &mut writer) {
-                StreamEnd::Continue => {}
-                StreamEnd::Eof => break,
-                StreamEnd::Shutdown => {
-                    let _ = std::fs::remove_file(path);
-                    return;
-                }
-                StreamEnd::Error(e) => {
-                    eprintln!("phloemd: connection error: {e}");
-                    break;
-                }
+            StreamEnd::Timeout => {
+                // The timed-out frame was already answered; a stalled
+                // client does not get to hold the connection slot.
+                break;
+            }
+            StreamEnd::Error(e) => {
+                eprintln!("phloemd: connection error: {e}");
+                break;
             }
         }
     }
@@ -160,34 +343,151 @@ enum StreamEnd {
     Eof,
     /// A `shutdown` request asked the daemon to exit.
     Shutdown,
+    /// The read timeout fired; the connection is done.
+    Timeout,
     /// An I/O failure ended the stream.
     Error(std::io::Error),
+}
+
+/// One line of a frame: a request to hand to the service, or an
+/// oversized line that was discarded and is answered inline.
+enum FrameLine {
+    Req(String),
+    Oversized,
+}
+
+/// What one bounded line read produced.
+enum LineRead {
+    Line(String),
+    Blank,
+    TooLong,
+    Eof,
+    TimedOut,
+    Err(std::io::Error),
+}
+
+/// Reads one `\n`-terminated line of at most `max` bytes. A longer
+/// line is consumed (and discarded) up to its newline so the stream
+/// stays framed, then reported as [`LineRead::TooLong`].
+fn read_limited_line<R: BufRead>(input: &mut R, max: usize) -> LineRead {
+    let mut buf: Vec<u8> = Vec::new();
+    let mut overlong = false;
+    loop {
+        let chunk = match input.fill_buf() {
+            Ok(c) => c,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ) =>
+            {
+                return LineRead::TimedOut
+            }
+            Err(e) => return LineRead::Err(e),
+        };
+        if chunk.is_empty() {
+            // EOF. A partial unterminated line still counts as a line
+            // (EOF ends the batch), unless nothing was read at all.
+            return match (buf.is_empty(), overlong) {
+                (true, false) => LineRead::Eof,
+                (_, true) => LineRead::TooLong,
+                (false, false) => finish_line(buf),
+            };
+        }
+        let (consumed, done) = match chunk.iter().position(|&b| b == b'\n') {
+            Some(pos) => (pos + 1, true),
+            None => (chunk.len(), false),
+        };
+        if !overlong {
+            buf.extend_from_slice(&chunk[..consumed]);
+            if buf.len() > max {
+                overlong = true;
+                buf = Vec::new();
+            }
+        }
+        input.consume(consumed);
+        if done {
+            return if overlong {
+                LineRead::TooLong
+            } else {
+                finish_line(buf)
+            };
+        }
+    }
+}
+
+fn finish_line(buf: Vec<u8>) -> LineRead {
+    let text = String::from_utf8_lossy(&buf);
+    let trimmed = text.trim_end_matches(['\n', '\r']);
+    if trimmed.is_empty() {
+        LineRead::Blank
+    } else {
+        LineRead::Line(trimmed.to_string())
+    }
+}
+
+/// A structured error response constructed daemon-side (before the
+/// service ever sees the line), matching the service's error shape.
+fn error_line(kind: &str, message: &str) -> String {
+    Json::Obj(vec![
+        ("id".to_string(), Json::u64(0)),
+        ("op".to_string(), Json::str("read")),
+        ("ok".to_string(), Json::Bool(false)),
+        ("cache".to_string(), Json::str("bypass")),
+        (
+            "error".to_string(),
+            Json::Obj(vec![
+                ("kind".to_string(), Json::str(kind)),
+                ("message".to_string(), Json::str(message)),
+            ]),
+        ),
+    ])
+    .render()
 }
 
 /// Reads one batch (lines until a blank line or EOF), answers it, and
 /// reports how the stream should proceed. An empty batch at EOF is not
 /// answered (so trailing newlines don't produce empty frames).
-fn serve_stream<R: BufRead, W: Write>(service: &Service, input: &mut R, out: &mut W) -> StreamEnd {
-    let mut lines = Vec::new();
+fn serve_stream<R: BufRead, W: Write>(
+    service: &Service,
+    input: &mut R,
+    out: &mut W,
+    limits: Limits,
+) -> StreamEnd {
+    let mut frame: Vec<FrameLine> = Vec::new();
     let mut at_eof = false;
+    let mut timed_out = false;
     loop {
-        let mut line = String::new();
-        match input.read_line(&mut line) {
-            Ok(0) => {
+        match read_limited_line(input, limits.max_line_bytes) {
+            LineRead::Line(l) => frame.push(FrameLine::Req(l)),
+            LineRead::TooLong => frame.push(FrameLine::Oversized),
+            LineRead::Blank => break,
+            LineRead::Eof => {
                 at_eof = true;
                 break;
             }
-            Ok(_) => {
-                let trimmed = line.trim_end_matches(['\n', '\r']);
-                if trimmed.is_empty() {
-                    break;
-                }
-                lines.push(trimmed.to_string());
+            LineRead::TimedOut => {
+                timed_out = true;
+                break;
             }
-            Err(e) => return StreamEnd::Error(e),
+            LineRead::Err(e) => return StreamEnd::Error(e),
         }
     }
-    if lines.is_empty() {
+    if timed_out {
+        // Answer what we can: one error frame telling the client its
+        // request stalled, then close the connection.
+        let line = error_line(
+            "timed_out",
+            "read timed out mid-request; closing the connection",
+        );
+        let _ = out
+            .write_all(line.as_bytes())
+            .and_then(|_| out.write_all(b"\n\n"))
+            .and_then(|_| out.flush());
+        return StreamEnd::Timeout;
+    }
+    if frame.is_empty() {
         return if at_eof {
             StreamEnd::Eof
         } else {
@@ -199,8 +499,29 @@ fn serve_stream<R: BufRead, W: Write>(service: &Service, input: &mut R, out: &mu
             }
         };
     }
+    let lines: Vec<String> = frame
+        .iter()
+        .filter_map(|l| match l {
+            FrameLine::Req(s) => Some(s.clone()),
+            FrameLine::Oversized => None,
+        })
+        .collect();
     let result = service.handle_batch(&lines);
-    for resp in &result.responses {
+    let mut answered = result.responses.iter();
+    for line in &frame {
+        let resp = match line {
+            FrameLine::Req(_) => answered
+                .next()
+                .cloned()
+                .unwrap_or_else(|| error_line("trap", "response missing for request line")),
+            FrameLine::Oversized => error_line(
+                "request_too_large",
+                &format!(
+                    "request line exceeds {} bytes and was discarded",
+                    limits.max_line_bytes
+                ),
+            ),
+        };
         if let Err(e) = out
             .write_all(resp.as_bytes())
             .and_then(|_| out.write_all(b"\n"))

@@ -114,6 +114,20 @@ impl<K: Eq + Hash + Clone, V: Clone> Lru<K, V> {
     pub fn counters(&self) -> CacheCounters {
         self.counters
     }
+
+    /// Clones out every entry, **least recently used first**. Replaying
+    /// the returned pairs through [`Lru::insert`] on an empty cache of
+    /// the same capacity reconstructs identical contents *and* identical
+    /// eviction order — the property the crash-safe snapshot leans on.
+    pub fn snapshot(&self) -> Vec<(K, V)> {
+        let mut entries: Vec<(u64, K, V)> = self
+            .map
+            .iter()
+            .map(|(k, (stamp, v))| (*stamp, k.clone(), v.clone()))
+            .collect();
+        entries.sort_by_key(|(stamp, _, _)| *stamp);
+        entries.into_iter().map(|(_, k, v)| (k, v)).collect()
+    }
 }
 
 #[cfg(test)]
@@ -155,6 +169,25 @@ mod tests {
         c.insert("b", 2);
         assert_eq!(c.len(), 1);
         assert_eq!(c.get(&"b"), Some(2));
+    }
+
+    #[test]
+    fn snapshot_orders_by_recency_and_replays_identically() {
+        let mut c = Lru::new(3);
+        c.insert("a", 1);
+        c.insert("b", 2);
+        c.insert("c", 3);
+        c.get(&"a"); // "b" is now the LRU entry
+        assert_eq!(c.snapshot(), vec![("b", 2), ("c", 3), ("a", 1)]);
+
+        let mut replayed = Lru::new(3);
+        for (k, v) in c.snapshot() {
+            replayed.insert(k, v);
+        }
+        replayed.insert("d", 4); // evicts "b" in both worlds
+        assert_eq!(replayed.get(&"b"), None);
+        assert_eq!(replayed.get(&"c"), Some(3));
+        assert_eq!(replayed.get(&"a"), Some(1));
     }
 
     #[test]

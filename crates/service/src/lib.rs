@@ -28,10 +28,12 @@
 pub mod batch;
 pub mod cache;
 pub mod key;
+pub mod persist;
 pub mod proto;
 pub mod service;
 
 pub use batch::{Batch, PreparedInputs, SimRequest};
 pub use cache::{CacheCounters, Lru};
+pub use persist::PersistCounters;
 pub use proto::{Json, Op, Request};
 pub use service::{BatchResult, Service, ServiceConfig};

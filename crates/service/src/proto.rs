@@ -390,6 +390,10 @@ pub struct Request {
     pub top_k: Option<usize>,
     /// Search: maximum compute stages per candidate.
     pub max_stages: Option<usize>,
+    /// Wall-clock deadline for this request, in milliseconds. `0` is
+    /// legal and means "already expired": the service answers a
+    /// structured `cancelled` error without running anything.
+    pub deadline_ms: Option<u64>,
 }
 
 /// Parses one request line.
@@ -408,7 +412,10 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
         Some(other) => return Err(format!("unknown op {other:?}")),
         None => return Err("missing \"op\"".into()),
     };
-    let id = v.get("id").and_then(Json::as_u64).unwrap_or(0);
+    let id = match v.get("id") {
+        Some(j) => j.as_u64().ok_or("\"id\" must be a non-negative integer")?,
+        None => return Err("missing \"id\"".into()),
+    };
     let s = |k: &str| v.get(k).and_then(Json::as_str).map(String::from);
     Ok(Request {
         id,
@@ -422,6 +429,7 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
         cycle_cap: v.get("cycle_cap").and_then(Json::as_u64),
         top_k: v.get("top_k").and_then(Json::as_usize),
         max_stages: v.get("max_stages").and_then(Json::as_usize),
+        deadline_ms: v.get("deadline_ms").and_then(Json::as_u64),
     })
 }
 
@@ -473,8 +481,20 @@ mod tests {
         assert_eq!(r.app.as_deref(), Some("bfs"));
         assert_eq!(r.stages, Some(4));
         assert_eq!(r.cycle_cap, None);
-        assert!(parse_request(r#"{"op":"frobnicate"}"#).is_err());
+        assert_eq!(r.deadline_ms, None);
+        assert!(parse_request(r#"{"id":1,"op":"frobnicate"}"#).is_err());
         assert!(parse_request("not json").is_err());
+    }
+
+    #[test]
+    fn id_is_required_and_integral() {
+        let missing = parse_request(r#"{"op":"stats"}"#).unwrap_err();
+        assert!(missing.contains("missing \"id\""), "{missing}");
+        let bad = parse_request(r#"{"id":"seven","op":"stats"}"#).unwrap_err();
+        assert!(bad.contains("non-negative integer"), "{bad}");
+        assert!(parse_request(r#"{"id":-1,"op":"stats"}"#).is_err());
+        let r = parse_request(r#"{"id":3,"op":"stats","deadline_ms":0}"#).unwrap();
+        assert_eq!(r.deadline_ms, Some(0));
     }
 
     #[test]

@@ -26,23 +26,49 @@
 //!
 //! Errors are never cached: a trapped search or an illegal compile is
 //! recomputed on the next request, so a transient budget failure does
-//! not poison the cache.
+//! not poison the cache — and a cancelled request (deadline or drain)
+//! is an error like any other, so cancellation never poisons it
+//! either.
+//!
+//! ## Robustness
+//!
+//! Three production concerns share this module (see `DESIGN.md` §10):
+//!
+//! * **Deadlines & cancellation** — every admitted work item runs
+//!   under a child of the service-wide drain [`CancelToken`], with the
+//!   request's `deadline_ms` armed on it. Simulations observe the
+//!   token at watchdog round boundaries and trap as
+//!   `Trap::Cancelled`, rendered as a structured `cancelled` error.
+//! * **Admission control** — a bounded cost budget
+//!   ([`ServiceConfig::max_inflight`]) counts estimated work units in
+//!   flight across *all* concurrent batches; work beyond it is shed
+//!   with a structured `overloaded` error carrying a `retry_after_ms`
+//!   hint instead of queueing without bound.
+//! * **Crash-safe persistence & drain** — rendered cache payloads
+//!   snapshot to disk atomically ([`crate::persist`]) and reload on
+//!   startup; [`Service::begin_drain`] rejects new work with a
+//!   structured `draining` error while in-flight work finishes under
+//!   a bounded grace window.
 
 use crate::batch::{run_one, run_one_traced, PreparedInputs, SimRequest};
 use crate::cache::{CacheCounters, Lru};
 use crate::key::{self, KeyHasher};
-use crate::proto::{parse_request, Json, Op};
+use crate::persist::{self, PersistCounters, Snapshot};
+use crate::proto::{parse, parse_request, Json, Op};
 use phloem_benchsuite::{bfs, cc, prd, radii, spmm, Measurement, Variant};
 use phloem_compiler::search::{
     search_profiled, CandidateProfile, ProfileOutcome, SearchError, SearchOptions,
 };
 use phloem_compiler::{compile_static, CompileOptions, PassConfig};
 use phloem_ir::{Function, Trap};
-use phloem_pool::Pool;
+use phloem_pool::{CancelToken, FleetStats, Pool};
 use phloem_workloads::catalog::Scale;
-use pipette_sim::{CompiledPipeline, MachineConfig, RunStats};
+use pipette_sim::{CancelScope, CompiledPipeline, MachineConfig, RunStats};
 use std::collections::HashMap;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex};
+use std::time::Duration;
 
 /// Service construction parameters.
 #[derive(Clone, Debug)]
@@ -60,6 +86,21 @@ pub struct ServiceConfig {
     /// Watchdog budget, in simulated cycles, applied to any request
     /// that does not set its own `cycle_cap`.
     pub default_cycle_cap: u64,
+    /// Admission budget in estimated cost units (see `work_cost`): the
+    /// most work the service lets execute at once across all
+    /// concurrent batches. Work beyond it is shed with a structured
+    /// `overloaded` error. A single item larger than the whole budget
+    /// is still admitted when the service is otherwise idle, so no
+    /// request is unservable by construction.
+    pub max_inflight: u64,
+    /// Fallback wall-clock deadline applied to any compute request
+    /// that does not set its own `deadline_ms`. `None` means no
+    /// deadline.
+    pub default_deadline_ms: Option<u64>,
+    /// Snapshot file for crash-safe cache persistence; loaded (with
+    /// corrupt-entry tolerance) at construction, written by
+    /// [`Service::persist_now`]. `None` disables persistence.
+    pub cache_path: Option<PathBuf>,
 }
 
 impl Default for ServiceConfig {
@@ -71,6 +112,9 @@ impl Default for ServiceConfig {
             compile_cache_cap: 256,
             search_cache_cap: 128,
             default_cycle_cap: 200_000_000,
+            max_inflight: 256,
+            default_deadline_ms: None,
+            cache_path: None,
         }
     }
 }
@@ -82,8 +126,11 @@ impl Default for ServiceConfig {
 pub struct CompileValue {
     /// Response payload fields, in render order.
     pub payload: Payload,
-    /// The compiled, shareable pipeline.
-    pub compiled: Arc<CompiledPipeline>,
+    /// The compiled, shareable pipeline. `None` for entries restored
+    /// from a persisted snapshot: the response payload round-trips
+    /// bit-identically, but the in-memory pipeline is rebuilt lazily
+    /// on the next cold compile of the same program if ever needed.
+    pub compiled: Option<Arc<CompiledPipeline>>,
 }
 
 /// Response payload fields (everything after the `id`/`op`/`ok`/`cache`
@@ -144,6 +191,57 @@ enum Resolution {
     },
 }
 
+/// Per-batch mutable planning state: the admitted work list, its cache
+/// keys and cancel tokens (all indexed by slot), in-batch dedup, and
+/// the admission cost to release when the batch completes.
+#[derive(Default)]
+struct BatchState {
+    works: Vec<Work>,
+    work_keys: Vec<Option<(CacheSel, u64)>>,
+    tokens: Vec<CancelToken>,
+    pending_by_key: HashMap<u64, usize>,
+    admitted: u64,
+}
+
+/// Estimated cost units one work item occupies in the admission
+/// budget. Coarse by design: a search profiles `top_k` candidate
+/// pipelines plus baselines, so it weighs roughly `top_k` simulates.
+fn work_cost(w: &Work) -> u64 {
+    match w {
+        Work::Compile { .. } => 1,
+        Work::Simulate(_) | Work::Trace(_) => 2,
+        Work::Search { opts, .. } => 2 * (1 + opts.top_k as u64),
+    }
+}
+
+/// Accumulated host-fleet scheduling counters across every batch the
+/// service has run (surfaced by the `stats` op).
+#[derive(Default)]
+struct FleetAccum {
+    batches: u64,
+    steals: u64,
+    stolen_tasks: u64,
+    parks: u64,
+    skipped: u64,
+    per_worker_tasks: Vec<u64>,
+}
+
+impl FleetAccum {
+    fn absorb(&mut self, s: &FleetStats) {
+        self.batches += 1;
+        self.steals += s.steals;
+        self.stolen_tasks += s.stolen_tasks;
+        self.parks += s.parks;
+        self.skipped += s.skipped;
+        if self.per_worker_tasks.len() < s.per_worker_tasks.len() {
+            self.per_worker_tasks.resize(s.per_worker_tasks.len(), 0);
+        }
+        for (acc, n) in self.per_worker_tasks.iter_mut().zip(&s.per_worker_tasks) {
+            *acc += n;
+        }
+    }
+}
+
 /// The compile-and-simulate service: two content-addressed caches, a
 /// prepared-input store, and a host pool, shared across batches.
 pub struct Service {
@@ -152,18 +250,39 @@ pub struct Service {
     inputs: PreparedInputs,
     compile_cache: Mutex<Lru<u64, Arc<CompileValue>>>,
     search_cache: Mutex<Lru<u64, Arc<Payload>>>,
+    /// Parent of every per-request token; firing it (drain budget
+    /// expiry or a hard cancel) reaches all in-flight work at once.
+    drain: CancelToken,
+    /// Set by [`Service::begin_drain`]; new compute work is rejected.
+    draining: AtomicBool,
+    /// Admitted cost units currently executing, across all batches.
+    inflight: Mutex<u64>,
+    persist: Mutex<PersistCounters>,
+    fleet: Mutex<FleetAccum>,
 }
 
 impl Service {
-    /// A fresh service with cold caches.
+    /// A fresh service. Caches start cold unless
+    /// [`ServiceConfig::cache_path`] names a readable snapshot, in
+    /// which case surviving entries are restored (corrupt lines are
+    /// skipped and counted, never fatal).
     pub fn new(cfg: ServiceConfig) -> Service {
-        Service {
+        let svc = Service {
             pool: Pool::new(cfg.workers),
             inputs: PreparedInputs::new(cfg.scale),
             compile_cache: Mutex::new(Lru::new(cfg.compile_cache_cap)),
             search_cache: Mutex::new(Lru::new(cfg.search_cache_cap)),
+            drain: CancelToken::new(),
+            draining: AtomicBool::new(false),
+            inflight: Mutex::new(0),
+            persist: Mutex::new(PersistCounters::default()),
+            fleet: Mutex::new(FleetAccum::default()),
             cfg,
+        };
+        if let Some(path) = svc.cfg.cache_path.clone() {
+            svc.restore_from(&path);
         }
+        svc
     }
 
     /// The service configuration.
@@ -185,13 +304,179 @@ impl Service {
         )
     }
 
+    /// Lifetime persistence counters (saves, restores, corrupt skips).
+    pub fn persist_counters(&self) -> PersistCounters {
+        *self.persist.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Starts a graceful drain: new compute requests are rejected with
+    /// a structured `draining` error, and every in-flight request's
+    /// token inherits a deadline of `budget` from now — work that
+    /// outlives the grace window is cancelled, answered, and never
+    /// orphaned. Idempotent; the budget only tightens.
+    pub fn begin_drain(&self, budget: Duration) {
+        self.draining.store(true, Ordering::SeqCst);
+        self.drain.arm_deadline(budget);
+    }
+
+    /// True once [`Service::begin_drain`] has been called.
+    pub fn is_draining(&self) -> bool {
+        self.draining.load(Ordering::SeqCst)
+    }
+
+    /// Immediately cancels all in-flight work (a drain with no grace).
+    pub fn cancel_all(&self, reason: &str) {
+        self.draining.store(true, Ordering::SeqCst);
+        self.drain.cancel(reason);
+    }
+
+    /// Writes the cache snapshot to [`ServiceConfig::cache_path`]
+    /// atomically (temp file + rename). Returns the number of entries
+    /// written; `Ok(0)` and a no-op when persistence is disabled.
+    pub fn persist_now(&self) -> std::io::Result<u64> {
+        let Some(path) = &self.cfg.cache_path else {
+            return Ok(0);
+        };
+        let snap = Snapshot {
+            compile: self
+                .compile_cache
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .snapshot()
+                .into_iter()
+                .map(|(k, v)| (k, payload_text(&v.payload)))
+                .collect(),
+            search: self
+                .search_cache
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .snapshot()
+                .into_iter()
+                .map(|(k, p)| (k, payload_text(&p)))
+                .collect(),
+        };
+        let written = persist::save(path, &snap)?;
+        self.persist
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .persisted += written;
+        Ok(written)
+    }
+
+    /// Loads a snapshot into the caches; see [`Service::new`].
+    fn restore_from(&self, path: &Path) {
+        let loaded = match persist::load(path) {
+            Ok(l) => l,
+            Err(e) => {
+                eprintln!("phloem-service: cannot read cache snapshot {path:?}: {e}");
+                return;
+            }
+        };
+        let mut corrupt = loaded.corrupt_skipped;
+        let mut restored = 0u64;
+        {
+            let mut cache = self.compile_cache.lock().unwrap_or_else(|e| e.into_inner());
+            for (k, text) in loaded.snapshot.compile {
+                match payload_from_text(&text) {
+                    Some(payload) => {
+                        cache.insert(
+                            k,
+                            Arc::new(CompileValue {
+                                payload,
+                                compiled: None,
+                            }),
+                        );
+                        restored += 1;
+                    }
+                    None => corrupt += 1,
+                }
+            }
+        }
+        {
+            let mut cache = self.search_cache.lock().unwrap_or_else(|e| e.into_inner());
+            for (k, text) in loaded.snapshot.search {
+                match payload_from_text(&text) {
+                    Some(payload) => {
+                        cache.insert(k, Arc::new(payload));
+                        restored += 1;
+                    }
+                    None => corrupt += 1,
+                }
+            }
+        }
+        let mut p = self.persist.lock().unwrap_or_else(|e| e.into_inner());
+        p.restored += restored;
+        p.corrupt_skipped += corrupt;
+    }
+
+    /// Tries to reserve `cost` units of the admission budget. On
+    /// refusal, returns a `retry_after_ms` hint that scales with the
+    /// current load. An oversized item is admitted when the service is
+    /// idle so no request is unservable.
+    fn try_admit(&self, cost: u64) -> Result<(), u64> {
+        let mut inflight = self.inflight.lock().unwrap_or_else(|e| e.into_inner());
+        if *inflight > 0 && *inflight + cost > self.cfg.max_inflight {
+            return Err((25 * inflight.div_ceil(4)).clamp(25, 1000));
+        }
+        *inflight += cost;
+        Ok(())
+    }
+
+    fn release(&self, cost: u64) {
+        let mut inflight = self.inflight.lock().unwrap_or_else(|e| e.into_inner());
+        *inflight = inflight.saturating_sub(cost);
+    }
+
+    /// A per-request token: child of the drain token, with the
+    /// request's wall-clock deadline armed.
+    fn request_token(&self, deadline_ms: Option<u64>) -> CancelToken {
+        let tok = self.drain.child();
+        if let Some(ms) = deadline_ms {
+            tok.arm_deadline(Duration::from_millis(ms));
+        }
+        tok
+    }
+
+    /// The `stats` op's payload: cache counters, accumulated fleet
+    /// scheduling counters, persistence counters, and service state.
+    fn stats_payload(&self) -> Payload {
+        let (c, s) = self.counters();
+        let f = self.fleet.lock().unwrap_or_else(|e| e.into_inner());
+        let fleet = Json::Obj(vec![
+            ("batches".to_string(), Json::u64(f.batches)),
+            ("steals".to_string(), Json::u64(f.steals)),
+            ("stolen_tasks".to_string(), Json::u64(f.stolen_tasks)),
+            ("parks".to_string(), Json::u64(f.parks)),
+            ("skipped".to_string(), Json::u64(f.skipped)),
+            (
+                "per_worker_tasks".to_string(),
+                Json::Arr(f.per_worker_tasks.iter().map(|&n| Json::u64(n)).collect()),
+            ),
+        ]);
+        drop(f);
+        let p = self.persist_counters();
+        let persistence = Json::Obj(vec![
+            ("persisted".to_string(), Json::u64(p.persisted)),
+            ("restored".to_string(), Json::u64(p.restored)),
+            ("corrupt_skipped".to_string(), Json::u64(p.corrupt_skipped)),
+        ]);
+        let inflight = *self.inflight.lock().unwrap_or_else(|e| e.into_inner());
+        vec![
+            ("compile".to_string(), counters_json(&c)),
+            ("search".to_string(), counters_json(&s)),
+            ("fleet".to_string(), fleet),
+            ("persistence".to_string(), persistence),
+            ("inflight".to_string(), Json::u64(inflight)),
+            ("draining".to_string(), Json::Bool(self.is_draining())),
+        ]
+    }
+
     /// Handles one batch of request lines (each one JSON object).
     pub fn handle_batch(&self, lines: &[String]) -> BatchResult {
         let mut shutdown = false;
-        let mut works: Vec<Work> = Vec::new();
-        let mut work_keys: Vec<Option<(CacheSel, u64)>> = Vec::new();
-        let mut pending_by_key: HashMap<u64, usize> = HashMap::new();
+        let mut st = BatchState::default();
         let mut resolutions: Vec<Resolution> = Vec::new();
+        let draining = self.is_draining();
 
         // Phase 1: parse, validate, probe (sequential — provenance and
         // counter updates happen in line order).
@@ -205,28 +490,65 @@ impl Service {
                     continue;
                 }
             };
-            let r = match req.op {
-                Op::Stats => {
-                    let (c, s) = self.counters();
-                    let payload = vec![
-                        ("compile".to_string(), counters_json(&c)),
-                        ("search".to_string(), counters_json(&s)),
-                    ];
-                    Resolution::Done(render_ok(req.id, Op::Stats, "bypass", &payload))
+            // Compute ops are gated before they touch caches or the
+            // admission budget: a draining service rejects them, and a
+            // zero deadline is already expired by definition.
+            let deadline = req.deadline_ms.or(self.cfg.default_deadline_ms);
+            if !matches!(req.op, Op::Stats | Op::Shutdown) {
+                if draining {
+                    resolutions.push(Resolution::Done(render_error(
+                        req.id,
+                        req.op.name(),
+                        "bypass",
+                        "draining",
+                        "service is draining; no new work is admitted",
+                    )));
+                    continue;
                 }
+                if deadline == Some(0) {
+                    resolutions.push(Resolution::Done(render_error(
+                        req.id,
+                        req.op.name(),
+                        "bypass",
+                        "cancelled",
+                        "deadline_ms is 0: the deadline expired before execution",
+                    )));
+                    continue;
+                }
+            }
+            let r = match req.op {
+                Op::Stats => Resolution::Done(render_ok(
+                    req.id,
+                    Op::Stats,
+                    "bypass",
+                    &self.stats_payload(),
+                )),
                 Op::Shutdown => {
                     shutdown = true;
                     Resolution::Done(render_ok(req.id, Op::Shutdown, "bypass", &[]))
                 }
                 Op::Simulate => match self.plan_simulate(&req) {
                     Ok(sim) => {
-                        works.push(Work::Simulate(sim));
-                        work_keys.push(None);
-                        Resolution::Pending {
-                            id: req.id,
-                            op: Op::Simulate,
-                            cache: "bypass",
-                            slot: works.len() - 1,
+                        let work = Work::Simulate(sim);
+                        let cost = work_cost(&work);
+                        match self.try_admit(cost) {
+                            Ok(()) => {
+                                st.admitted += cost;
+                                st.tokens.push(self.request_token(deadline));
+                                st.works.push(work);
+                                st.work_keys.push(None);
+                                Resolution::Pending {
+                                    id: req.id,
+                                    op: Op::Simulate,
+                                    cache: "bypass",
+                                    slot: st.works.len() - 1,
+                                }
+                            }
+                            Err(retry_ms) => Resolution::Done(render_overloaded(
+                                req.id,
+                                Op::Simulate.name(),
+                                retry_ms,
+                            )),
                         }
                     }
                     Err(msg) => Resolution::Done(render_error(
@@ -244,9 +566,8 @@ impl Service {
                         CacheSel::Compile,
                         key,
                         work,
-                        &mut works,
-                        &mut work_keys,
-                        &mut pending_by_key,
+                        deadline,
+                        &mut st,
                     ),
                     Err(msg) => Resolution::Done(render_error(
                         req.id,
@@ -263,9 +584,8 @@ impl Service {
                         CacheSel::Search,
                         key,
                         work,
-                        &mut works,
-                        &mut work_keys,
-                        &mut pending_by_key,
+                        deadline,
+                        &mut st,
                     ),
                     Err(msg) => Resolution::Done(render_error(
                         req.id,
@@ -282,9 +602,8 @@ impl Service {
                         CacheSel::Search,
                         key,
                         work,
-                        &mut works,
-                        &mut work_keys,
-                        &mut pending_by_key,
+                        deadline,
+                        &mut st,
                     ),
                     Err(msg) => Resolution::Done(render_error(
                         req.id,
@@ -298,14 +617,35 @@ impl Service {
             resolutions.push(r);
         }
 
-        // Phase 2: compute misses and uncacheable work in parallel.
-        let computed: Vec<Result<Output, ErrResp>> = self
-            .pool
-            .map(&works, |_, w| self.execute(w))
+        // Phase 2: compute misses and uncacheable work in parallel,
+        // each task under its own request token (ambient scope, so
+        // every Session the work creates inherits it) and the whole
+        // fleet under a drain child (so a drain skips queued tasks
+        // instead of starting them).
+        let batch_tok = self.drain.child();
+        let (slots, fstats) = self.pool.run_cancellable(st.works.len(), &batch_tok, |i| {
+            let _scope = CancelScope::enter(st.tokens[i].clone());
+            self.execute(&st.works[i], &st.tokens[i])
+        });
+        self.release(st.admitted);
+        if !st.works.is_empty() {
+            self.fleet
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .absorb(&fstats);
+        }
+        let computed: Vec<Result<Output, ErrResp>> = slots
             .into_iter()
             .map(|slot| match slot {
-                Ok(r) => r,
-                Err(panic) => Err(ErrResp {
+                None => Err(ErrResp {
+                    kind: "cancelled",
+                    message: format!(
+                        "cancelled before execution: {}",
+                        nonempty(batch_tok.reason())
+                    ),
+                }),
+                Some(Ok(r)) => r,
+                Some(Err(panic)) => Err(ErrResp {
                     kind: "trap",
                     message: format!("host task panicked: {panic}"),
                 }),
@@ -314,7 +654,7 @@ impl Service {
 
         // Phase 3: insert successes, then render in request order.
         for (i, result) in computed.iter().enumerate() {
-            if let (Some((sel, k)), Ok(out)) = (work_keys[i], result) {
+            if let (Some((sel, k)), Ok(out)) = (st.work_keys[i], result) {
                 match (sel, out) {
                     (CacheSel::Compile, Output::Compile(v)) => self
                         .compile_cache
@@ -353,7 +693,10 @@ impl Service {
     }
 
     /// Probes a cache for `key`; on a hit renders immediately, on a
-    /// miss enqueues `work` (deduplicated by key within the batch).
+    /// miss admits and enqueues `work` (deduplicated by key within the
+    /// batch — a duplicate rides on the already-admitted slot and its
+    /// first requester's token). A miss the admission budget cannot
+    /// take is shed as `overloaded`.
     #[allow(clippy::too_many_arguments)]
     fn probe(
         &self,
@@ -362,9 +705,8 @@ impl Service {
         sel: CacheSel,
         key: u64,
         work: Work,
-        works: &mut Vec<Work>,
-        work_keys: &mut Vec<Option<(CacheSel, u64)>>,
-        pending_by_key: &mut HashMap<u64, usize>,
+        deadline_ms: Option<u64>,
+        st: &mut BatchState,
     ) -> Resolution {
         let cached = match sel {
             CacheSel::Compile => self
@@ -383,11 +725,22 @@ impl Service {
         if let Some(done) = cached {
             return Resolution::Done(done);
         }
-        let slot = *pending_by_key.entry(key).or_insert_with(|| {
-            works.push(work);
-            work_keys.push(Some((sel, key)));
-            works.len() - 1
-        });
+        let slot = match st.pending_by_key.get(&key) {
+            Some(&slot) => slot,
+            None => {
+                let cost = work_cost(&work);
+                if let Err(retry_ms) = self.try_admit(cost) {
+                    return Resolution::Done(render_overloaded(id, op.name(), retry_ms));
+                }
+                st.admitted += cost;
+                st.tokens.push(self.request_token(deadline_ms));
+                st.works.push(work);
+                st.work_keys.push(Some((sel, key)));
+                let slot = st.works.len() - 1;
+                st.pending_by_key.insert(key, slot);
+                slot
+            }
+        };
         Resolution::Pending {
             id,
             op,
@@ -519,7 +872,7 @@ impl Service {
     // Execution (runs inside pool tasks)
     // ------------------------------------------------------------------
 
-    fn execute(&self, work: &Work) -> Result<Output, ErrResp> {
+    fn execute(&self, work: &Work, cancel: &CancelToken) -> Result<Output, ErrResp> {
         match work {
             Work::Compile {
                 kernel,
@@ -535,7 +888,7 @@ impl Service {
                 passes,
                 opts,
             } => self
-                .do_search(kernel, app, input, *passes, opts)
+                .do_search(kernel, app, input, *passes, opts, cancel)
                 .map(|p| Output::Payload(Arc::new(p))),
             Work::Trace(sim) => self.do_trace(sim).map(|p| Output::Payload(Arc::new(p))),
         }
@@ -552,10 +905,7 @@ impl Service {
             kind: "compile_error",
             message: e.to_string(),
         })?;
-        let compiled = CompiledPipeline::new(&pipeline).map_err(|t| ErrResp {
-            kind: "trap",
-            message: t.to_string(),
-        })?;
+        let compiled = CompiledPipeline::new(&pipeline).map_err(trap_err)?;
         let compute = pipeline
             .stages
             .iter()
@@ -581,7 +931,7 @@ impl Service {
         ];
         Ok(Output::Compile(Arc::new(CompileValue {
             payload,
-            compiled: Arc::new(compiled),
+            compiled: Some(Arc::new(compiled)),
         })))
     }
 
@@ -609,6 +959,7 @@ impl Service {
         input: &str,
         passes: PassConfig,
         opts: &SearchOptions,
+        cancel: &CancelToken,
     ) -> Result<Payload, ErrResp> {
         let report = search_profiled(kernel, opts, |cuts, _pipe, budget| {
             let sim = SimRequest {
@@ -636,6 +987,12 @@ impl Service {
             SearchError::NoPipelines => ErrResp {
                 kind: "no_pipelines",
                 message: "no candidate pipeline compiles".to_string(),
+            },
+            // A cancelled search traps every candidate; report the
+            // cancellation, not a misleading "nothing was viable".
+            SearchError::NoViableCandidate { .. } if cancel.is_set() => ErrResp {
+                kind: "cancelled",
+                message: format!("search cancelled: {}", nonempty(cancel.reason())),
             },
             SearchError::NoViableCandidate { candidates } => ErrResp {
                 kind: "no_viable_candidate",
@@ -746,8 +1103,38 @@ fn variant_digest(v: &Variant) -> u64 {
 
 fn trap_err(t: Trap) -> ErrResp {
     ErrResp {
-        kind: "trap",
+        kind: match t {
+            Trap::Cancelled { .. } => "cancelled",
+            _ => "trap",
+        },
         message: t.to_string(),
+    }
+}
+
+/// Cancel reasons are empty only in pathological interleavings; keep
+/// the rendered message self-describing anyway.
+fn nonempty(reason: String) -> String {
+    if reason.is_empty() {
+        "cancelled".to_string()
+    } else {
+        reason
+    }
+}
+
+/// Renders a cache payload as one compact JSON object (the persisted
+/// form; [`payload_from_text`] inverts it via parse∘render identity).
+fn payload_text(p: &Payload) -> String {
+    Json::Obj(p.clone()).render()
+}
+
+/// Parses a persisted payload back into render-order fields. `None`
+/// when the text is not a JSON object (counted as corrupt by the
+/// restore path; checksummed snapshots make this unreachable short of
+/// a hand-edited file).
+fn payload_from_text(text: &str) -> Option<Payload> {
+    match parse(text) {
+        Ok(Json::Obj(pairs)) => Some(pairs),
+        _ => None,
     }
 }
 
@@ -880,6 +1267,29 @@ fn render_ok(id: u64, op: Op, cache: &str, payload: &[(String, Json)]) -> String
     Json::Obj(pairs).render()
 }
 
+/// Renders the `overloaded` shed response: a structured error whose
+/// object carries a `retry_after_ms` hint next to `kind`/`message`.
+fn render_overloaded(id: u64, op: &str, retry_after_ms: u64) -> String {
+    Json::Obj(vec![
+        ("id".to_string(), Json::u64(id)),
+        ("op".to_string(), Json::str(op)),
+        ("ok".to_string(), Json::Bool(false)),
+        ("cache".to_string(), Json::str("bypass")),
+        (
+            "error".to_string(),
+            Json::Obj(vec![
+                ("kind".to_string(), Json::str("overloaded")),
+                (
+                    "message".to_string(),
+                    Json::str("admission budget exhausted; retry after the hint"),
+                ),
+                ("retry_after_ms".to_string(), Json::u64(retry_after_ms)),
+            ]),
+        ),
+    ])
+    .render()
+}
+
 fn render_error(id: u64, op: &str, cache: &str, kind: &str, message: &str) -> String {
     Json::Obj(vec![
         ("id".to_string(), Json::u64(id)),
@@ -956,6 +1366,177 @@ mod tests {
         assert_eq!(out.responses[0], out.responses[1]);
         let (c, _) = svc.counters();
         assert_eq!((c.misses, c.insertions), (2, 1));
+    }
+
+    #[test]
+    fn zero_deadline_is_cancelled_before_execution() {
+        let svc = tiny_service();
+        let out = svc.handle_batch(&[
+            r#"{"id":1,"op":"simulate","app":"bfs","input":"internet-s","variant":"serial","deadline_ms":0}"#
+                .to_string(),
+            r#"{"id":2,"op":"compile","app":"bfs","deadline_ms":0}"#.to_string(),
+        ]);
+        for resp in &out.responses {
+            assert!(resp.contains(r#""kind":"cancelled""#), "{resp}");
+            assert!(resp.contains("deadline"), "{resp}");
+        }
+        // An expired deadline never touches the caches or the pool.
+        let (c, s) = svc.counters();
+        assert_eq!(c.misses + c.hits + s.misses + s.hits, 0);
+    }
+
+    #[test]
+    fn overload_sheds_with_a_retry_hint() {
+        let svc = Service::new(ServiceConfig {
+            scale: Scale::Tiny,
+            workers: 2,
+            default_cycle_cap: 50_000_000,
+            max_inflight: 1,
+            ..ServiceConfig::default()
+        });
+        let out = svc.handle_batch(&[
+            // Admitted despite cost > budget: the service is idle.
+            r#"{"id":1,"op":"simulate","app":"bfs","input":"internet-s","variant":"serial"}"#
+                .to_string(),
+            // Shed: the budget is already over-committed.
+            r#"{"id":2,"op":"simulate","app":"cc","input":"internet-s","variant":"serial"}"#
+                .to_string(),
+        ]);
+        assert!(
+            out.responses[0].contains(r#""ok":true"#),
+            "{}",
+            out.responses[0]
+        );
+        assert!(
+            out.responses[1].contains(r#""kind":"overloaded""#),
+            "{}",
+            out.responses[1]
+        );
+        assert!(
+            out.responses[1].contains(r#""retry_after_ms":"#),
+            "{}",
+            out.responses[1]
+        );
+        // The budget is released once the batch completes.
+        let again = svc.handle_batch(&[
+            r#"{"id":3,"op":"simulate","app":"cc","input":"internet-s","variant":"serial"}"#
+                .to_string(),
+        ]);
+        assert!(
+            again.responses[0].contains(r#""ok":true"#),
+            "{}",
+            again.responses[0]
+        );
+    }
+
+    #[test]
+    fn draining_rejects_compute_but_answers_stats_and_shutdown() {
+        let svc = tiny_service();
+        svc.begin_drain(std::time::Duration::from_secs(5));
+        assert!(svc.is_draining());
+        let out = svc.handle_batch(&[
+            r#"{"id":1,"op":"compile","app":"bfs"}"#.to_string(),
+            r#"{"id":2,"op":"stats"}"#.to_string(),
+            r#"{"id":3,"op":"shutdown"}"#.to_string(),
+        ]);
+        assert!(
+            out.responses[0].contains(r#""kind":"draining""#),
+            "{}",
+            out.responses[0]
+        );
+        assert!(
+            out.responses[1].contains(r#""draining":true"#),
+            "{}",
+            out.responses[1]
+        );
+        assert!(
+            out.responses[2].contains(r#""ok":true"#),
+            "{}",
+            out.responses[2]
+        );
+        assert!(out.shutdown);
+    }
+
+    #[test]
+    fn hard_cancel_skips_queued_work_with_structured_errors() {
+        let svc = tiny_service();
+        svc.cancel_all("test shutdown");
+        let out = svc.handle_batch(&[
+            r#"{"id":1,"op":"simulate","app":"bfs","input":"internet-s","variant":"serial"}"#
+                .to_string(),
+        ]);
+        // The draining gate rejects at plan time — the work never runs.
+        assert!(
+            out.responses[0].contains(r#""kind":"draining""#),
+            "{}",
+            out.responses[0]
+        );
+    }
+
+    #[test]
+    fn stats_surface_fleet_and_persistence_counters() {
+        let svc = tiny_service();
+        svc.handle_batch(&[
+            r#"{"id":1,"op":"compile","app":"bfs"}"#.to_string(),
+            r#"{"id":2,"op":"compile","app":"cc"}"#.to_string(),
+        ]);
+        let out = svc.handle_batch(&[r#"{"id":3,"op":"stats"}"#.to_string()]);
+        let resp = &out.responses[0];
+        for field in [
+            r#""fleet":{"batches":1"#,
+            r#""per_worker_tasks":["#,
+            r#""skipped":0"#,
+            r#""persistence":{"persisted":0,"restored":0,"corrupt_skipped":0}"#,
+            r#""inflight":0"#,
+            r#""draining":false"#,
+        ] {
+            assert!(resp.contains(field), "missing {field} in {resp}");
+        }
+    }
+
+    #[test]
+    fn cache_persists_and_restores_bit_identical_payloads() {
+        let mut path = std::env::temp_dir();
+        path.push(format!("phloem-service-snap-{}.cache", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        let cfg = ServiceConfig {
+            scale: Scale::Tiny,
+            workers: 2,
+            default_cycle_cap: 50_000_000,
+            cache_path: Some(path.clone()),
+            ..ServiceConfig::default()
+        };
+        let reqs = [
+            r#"{"id":1,"op":"compile","app":"bfs"}"#.to_string(),
+            r#"{"id":2,"op":"trace","app":"bfs","input":"internet-s","variant":"serial"}"#
+                .to_string(),
+        ];
+        let first = Service::new(cfg.clone());
+        let cold = first.handle_batch(&reqs);
+        assert!(cold
+            .responses
+            .iter()
+            .all(|r| r.contains(r#""cache":"miss""#)));
+        let written = first.persist_now().unwrap();
+        assert_eq!(written, 2);
+        assert_eq!(first.persist_counters().persisted, 2);
+        drop(first);
+
+        // A "restarted" service on the same path answers warm hits
+        // byte-identical to the cold responses (modulo provenance).
+        let second = Service::new(cfg);
+        assert_eq!(second.persist_counters().restored, 2);
+        assert_eq!(second.persist_counters().corrupt_skipped, 0);
+        let warm = second.handle_batch(&reqs);
+        for (c, w) in cold.responses.iter().zip(&warm.responses) {
+            assert!(w.contains(r#""cache":"hit""#), "{w}");
+            assert_eq!(
+                c.replace(r#""cache":"miss""#, r#""cache":"hit""#),
+                *w,
+                "restored payload must be bit-identical"
+            );
+        }
+        let _ = std::fs::remove_file(&path);
     }
 
     #[test]

@@ -1,0 +1,193 @@
+//! Daemon error-path coverage: every malformed or hostile input gets a
+//! structured per-request error, and the connection (and daemon) stay
+//! usable afterwards.
+
+use phloem_service::proto::parse;
+use std::io::{BufRead, BufReader, Read, Write};
+use std::process::{Child, Command, Stdio};
+
+fn spawn_phloemd(envs: &[(&str, &str)], extra: &[&str]) -> Child {
+    let mut cmd = Command::new(env!("CARGO_BIN_EXE_phloemd"));
+    cmd.args(extra)
+        .args(["--scale", "tiny", "--workers", "2"])
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null());
+    for (k, v) in envs {
+        cmd.env(k, v);
+    }
+    cmd.spawn().expect("spawn phloemd")
+}
+
+/// Splits a daemon transcript into blank-line-terminated frames.
+fn frames(transcript: &str) -> Vec<Vec<String>> {
+    let mut out = Vec::new();
+    let mut cur = Vec::new();
+    for line in transcript.lines() {
+        if line.is_empty() {
+            out.push(std::mem::take(&mut cur));
+        } else {
+            cur.push(line.to_string());
+        }
+    }
+    if !cur.is_empty() {
+        out.push(cur);
+    }
+    out
+}
+
+fn error_kind(resp: &str) -> String {
+    let v = parse(resp).unwrap_or_else(|e| panic!("unparseable response {resp:?}: {e}"));
+    assert_eq!(v.get("ok").and_then(|j| j.as_bool()), Some(false), "{resp}");
+    v.get("error")
+        .and_then(|e| e.get("kind"))
+        .and_then(|k| k.as_str())
+        .unwrap_or_else(|| panic!("no error.kind in {resp}"))
+        .to_string()
+}
+
+/// Feeds `input` to a fresh stdin-mode daemon and returns its frames.
+fn run_stdin(envs: &[(&str, &str)], input: &str) -> Vec<Vec<String>> {
+    let mut child = spawn_phloemd(envs, &[]);
+    child
+        .stdin
+        .as_mut()
+        .unwrap()
+        .write_all(input.as_bytes())
+        .unwrap();
+    drop(child.stdin.take());
+    let mut transcript = String::new();
+    child
+        .stdout
+        .take()
+        .unwrap()
+        .read_to_string(&mut transcript)
+        .unwrap();
+    let status = child.wait().unwrap();
+    assert!(status.success(), "phloemd exited with {status}");
+    frames(&transcript)
+}
+
+#[test]
+fn malformed_unknown_and_missing_id_are_structured_and_non_fatal() {
+    // One frame of four broken lines and one good one; then a second
+    // frame proving the daemon is still answering.
+    let input = concat!(
+        "{\"id\":1,\"op\":\"frobnicate\"}\n",              // unknown op
+        "{\"op\":\"stats\"}\n",                            // missing id
+        "{\"id\":\"x\",\"op\":\"stats\"}\n",               // non-integer id
+        "this is not json\n",                              // malformed
+        "{\"id\":5,\"op\":\"compile\",\"app\":\"bfs\"}\n", // still works
+        "\n",
+        "{\"id\":6,\"op\":\"stats\"}\n",
+        "\n",
+    );
+    let frames = run_stdin(&[], input);
+    assert_eq!(frames.len(), 2, "daemon must answer both frames");
+    let first = &frames[0];
+    assert_eq!(first.len(), 5);
+    assert_eq!(error_kind(&first[0]), "parse"); // unknown op is a parse-level reject
+    assert!(first[0].contains("unknown op"), "{}", first[0]);
+    assert_eq!(error_kind(&first[1]), "parse");
+    assert!(first[1].contains("missing \\\"id\\\""), "{}", first[1]);
+    assert_eq!(error_kind(&first[2]), "parse");
+    assert_eq!(error_kind(&first[3]), "parse");
+    assert!(first[4].contains(r#""ok":true"#), "{}", first[4]);
+    assert!(frames[1][0].contains(r#""ok":true"#), "{}", frames[1][0]);
+}
+
+#[test]
+fn eof_mid_batch_still_answers_the_partial_batch() {
+    // No trailing blank line: EOF ends the batch, which must still be
+    // answered in full before the daemon exits cleanly.
+    let input = "{\"id\":1,\"op\":\"compile\",\"app\":\"bfs\"}\n{\"id\":2,\"op\":\"stats\"}";
+    let frames = run_stdin(&[], input);
+    assert_eq!(frames.len(), 1);
+    assert_eq!(frames[0].len(), 2);
+    assert!(frames[0][0].contains(r#""id":1"#));
+    assert!(frames[0][0].contains(r#""ok":true"#));
+    assert!(frames[0][1].contains(r#""id":2"#));
+    assert!(frames[0][1].contains(r#""ok":true"#));
+}
+
+#[test]
+fn zero_deadline_is_a_structured_cancelled_error() {
+    let input = concat!(
+        "{\"id\":1,\"op\":\"simulate\",\"app\":\"bfs\",\"input\":\"internet-s\",",
+        "\"variant\":\"serial\",\"deadline_ms\":0}\n",
+        "{\"id\":2,\"op\":\"stats\"}\n",
+        "\n",
+    );
+    let frames = run_stdin(&[], input);
+    assert_eq!(frames[0].len(), 2);
+    assert_eq!(error_kind(&frames[0][0]), "cancelled");
+    assert!(frames[0][0].contains("deadline"), "{}", frames[0][0]);
+    assert!(frames[0][1].contains(r#""ok":true"#), "{}", frames[0][1]);
+}
+
+#[test]
+fn oversized_line_is_discarded_with_request_too_large() {
+    // Cap lines at 256 bytes; send a huge (valid-JSON!) line between
+    // two good requests. The oversized one is answered in place and
+    // its neighbours are unaffected.
+    let huge = format!(
+        "{{\"id\":2,\"op\":\"stats\",\"pad\":\"{}\"}}",
+        "x".repeat(4096)
+    );
+    let input = format!(
+        "{{\"id\":1,\"op\":\"stats\"}}\n{huge}\n{{\"id\":3,\"op\":\"stats\"}}\n\n{{\"id\":4,\"op\":\"stats\"}}\n\n"
+    );
+    let frames = run_stdin(&[("PHLOEMD_MAX_LINE_BYTES", "256")], &input);
+    assert_eq!(frames.len(), 2);
+    let first = &frames[0];
+    assert_eq!(first.len(), 3, "one response per request line: {first:?}");
+    assert!(first[0].contains(r#""id":1"#) && first[0].contains(r#""ok":true"#));
+    assert_eq!(error_kind(&first[1]), "request_too_large");
+    assert!(first[2].contains(r#""id":3"#) && first[2].contains(r#""ok":true"#));
+    // Next frame still answered: the stream stayed framed.
+    assert!(frames[1][0].contains(r#""id":4"#), "{}", frames[1][0]);
+}
+
+#[test]
+fn socket_read_timeout_answers_timed_out_and_frees_the_connection() {
+    let path = std::env::temp_dir().join(format!("phloemd-errors-{}.sock", std::process::id()));
+    let _ = std::fs::remove_file(&path);
+    let mut child = spawn_phloemd(
+        &[("PHLOEMD_READ_TIMEOUT_MS", "150")],
+        &["--socket", path.to_str().unwrap()],
+    );
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(30);
+    while !path.exists() {
+        assert!(std::time::Instant::now() < deadline, "no socket bound");
+        std::thread::sleep(std::time::Duration::from_millis(20));
+    }
+
+    // Send half a request and stall: the daemon must answer one
+    // timed_out error frame and close this connection.
+    let stream = std::os::unix::net::UnixStream::connect(&path).unwrap();
+    let mut writer = stream.try_clone().unwrap();
+    writer.write_all(b"{\"id\":1,\"op\":\"sta").unwrap();
+    writer.flush().unwrap();
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    reader.read_line(&mut line).unwrap();
+    assert_eq!(error_kind(line.trim_end()), "timed_out");
+    let mut rest = String::new();
+    reader.read_to_string(&mut rest).unwrap(); // connection closed
+    assert_eq!(rest.trim(), "");
+
+    // The daemon is still healthy: a new connection works, and
+    // shutdown exits cleanly.
+    let stream = std::os::unix::net::UnixStream::connect(&path).unwrap();
+    let mut writer = stream.try_clone().unwrap();
+    writeln!(writer, "{{\"id\":2,\"op\":\"shutdown\"}}").unwrap();
+    writeln!(writer).unwrap();
+    writer.flush().unwrap();
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    reader.read_line(&mut line).unwrap();
+    assert!(line.contains(r#""ok":true"#), "{line}");
+    let status = child.wait().unwrap();
+    assert!(status.success(), "phloemd exited with {status}");
+    assert!(!path.exists());
+}

@@ -50,6 +50,24 @@ echo "==> parallel --smoke (fleet scaling: determinism + overhead gates)"
 # the determinism and overhead assertions still run.
 cargo run --release -q -p phloem-bench --bin parallel -- --smoke
 
+echo "==> channel_unit (bounded channel backends: capacity edges, drop-termination, CV ordering, seeded stress)"
+cargo test -q -p pipette-sim --test channel_unit
+
+echo "==> native_equivalence (native threads vs serial interpreter vs simulator, full channel x thread matrix)"
+cargo test -q --test native_equivalence
+
+echo "==> fuzzdiff --native --smoke (generated genomes on real threads vs the serial oracle)"
+# Every generated pipeline runs on all three channel backends at
+# 1/2/4 worker threads; any divergence is delta-debugged to a minimal
+# reproducer before the run fails.
+cargo run --release -q -p phloem-bench --bin fuzzdiff -- --native --smoke
+
+echo "==> native --smoke (native-backend wall clock: oracle-verified runs, host-gated overhead bound)"
+# On a single-core host the speedup gate is skipped (stage threads
+# time-slice; flat-or-worse is physics) but every app still runs
+# natively on every channel and verifies against its host oracle.
+SCALE=tiny cargo run --release -q -p phloem-bench --bin native -- --smoke
+
 echo "==> phloem-service tests (cache-key sensitivity, grid bit-identity, daemon smoke + error paths, persistence)"
 cargo test -q -p phloem-service
 

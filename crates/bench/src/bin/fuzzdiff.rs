@@ -38,12 +38,18 @@
 //! fuzzdiff --validate-benchsuite  # validate every benchsuite/PGO pipeline
 //! fuzzdiff --faults             # fault injection: 40 plans x 6 targets x grid
 //! fuzzdiff --faults --smoke     # CI: 6 plans per target
+//! fuzzdiff --native             # native backend vs oracle: 200 genomes,
+//!                               # channel x thread grid, real OS threads
+//! fuzzdiff --native --smoke     # CI: 25 genomes
 //! ```
 //!
 //! Exits nonzero on any divergence (or any validator rejection in
 //! `--validate-benchsuite` mode).
 
-use phloem_bench::fuzz::{fuzz_sweep, minimize, render_failure, GRID};
+use phloem_bench::fuzz::{
+    check_native, fuzz_sweep, fuzz_sweep_with, minimize, minimize_with, render_failure, GRID,
+    NATIVE_GRID,
+};
 use phloem_bench::jobs;
 use phloem_benchsuite::fault_targets::targets as fault_targets;
 use phloem_benchsuite::{bfs, cc, radii, spmm, taco, Variant};
@@ -304,6 +310,32 @@ fn main() {
             val("--count").unwrap_or(40)
         };
         std::process::exit(fault_mode(val("--seed").unwrap_or(0xFA17), plans, &pool));
+    }
+    if has("--native") {
+        // Native-backend differential sweep: the same genome stream the
+        // simulator sweep draws, but every pipeline runs on real OS
+        // threads across the channel × thread-count grid and is diffed
+        // against the serial oracle's memory.
+        let (seed, count) = if has("--smoke") {
+            (0xF00D, 25)
+        } else {
+            (val("--seed").unwrap_or(1), val("--count").unwrap_or(200))
+        };
+        let start = std::time::Instant::now();
+        let progress = |k: u64| println!("... {k}/{count} programs done");
+        let outcome = fuzz_sweep_with(seed, count, &pool, Some(&progress), check_native);
+        for (_, g, why) in &outcome.failures {
+            let (min_g, min_why) = minimize_with(g.clone(), why.clone(), check_native);
+            println!("{}", render_failure(&min_g, &min_why));
+        }
+        println!(
+            "[native, {} grid points] {} ({:.1}s, {} workers)",
+            NATIVE_GRID.len(),
+            outcome.summary(seed),
+            start.elapsed().as_secs_f64(),
+            pool.workers(),
+        );
+        std::process::exit(i32::from(!outcome.failures.is_empty()));
     }
 
     let (seed, count) = if has("--smoke") {

@@ -14,7 +14,9 @@ use phloem_ir::{
     Pipeline, Value,
 };
 use phloem_pool::Pool;
-use pipette_sim::{ExecEngine, MachineConfig, SchedulerKind};
+use pipette_sim::{
+    ChannelKind, ExecBackend, ExecEngine, MachineConfig, NativeConfig, SchedulerKind,
+};
 use std::sync::atomic::{AtomicU64, Ordering};
 
 // ---------------------------------------------------------------------
@@ -490,13 +492,108 @@ fn diff_pipeline(
     None
 }
 
+// ---------------------------------------------------------------------
+// Native-backend differential check (`fuzzdiff --native`).
+// ---------------------------------------------------------------------
+
+/// Channel backend × worker-thread points every native run must agree
+/// on: the full cross of the three channel implementations with thread
+/// counts {1, 2, 4} (worker counts clamp to the stage count inside the
+/// backend, so over-provisioned points still exercise the assignment
+/// path).
+pub const NATIVE_GRID: [(ChannelKind, usize); 9] = [
+    (ChannelKind::Mpsc, 1),
+    (ChannelKind::Mpsc, 2),
+    (ChannelKind::Mpsc, 4),
+    (ChannelKind::Ring, 1),
+    (ChannelKind::Ring, 2),
+    (ChannelKind::Ring, 4),
+    (ChannelKind::Hybrid, 1),
+    (ChannelKind::Hybrid, 2),
+    (ChannelKind::Hybrid, 4),
+];
+
+/// Checks one genome through the *native* backend: every cut subset of
+/// the top-ranked candidates × pass preset that compiles runs on real
+/// threads at every [`NATIVE_GRID`] point, and the final memory must
+/// equal the serial oracle's at all of them. A trap on a pipeline the
+/// compiler accepted is a failure, exactly as in the simulator sweep.
+///
+/// Candidates are capped at 2 (vs the simulator sweep's 3): each
+/// pipeline here fans out over 9 real-thread runs instead of 6
+/// simulated ones, and the cut-subset exponent is the sweep's knob.
+pub fn check_native(g: &Genome, totals: &mut Totals) -> Option<String> {
+    let func = build_func(g);
+    let mem = build_mem(g);
+    let params = [("n", Value::I64(g.n))];
+
+    let oracle = match interp::run_serial(&func, mem.clone(), &params) {
+        Ok(r) => r,
+        Err(t) => return Some(format!("oracle trapped on the serial program: {t}")),
+    };
+
+    let cand: Vec<LoadId> = analyze(&func).candidates().into_iter().take(2).collect();
+    let cfg = MachineConfig::paper_1core();
+    for mask in 0u32..(1 << cand.len()) {
+        let cuts: Vec<LoadId> = (0..cand.len())
+            .filter(|b| mask & (1 << b) != 0)
+            .map(|b| cand[b])
+            .collect();
+        for passes in presets() {
+            let opts = CompileOptions {
+                passes,
+                ..CompileOptions::default()
+            };
+            totals.compiles += 1;
+            let pipe = match decouple_with_cuts(&func, &cuts, &opts) {
+                Ok(p) => p,
+                Err(_) => continue,
+            };
+            totals.pipelines += 1;
+            for (channel, threads) in NATIVE_GRID {
+                totals.runs += 1;
+                let mut session = pipette_sim::Session::new(cfg.clone(), mem.clone());
+                session.set_backend(ExecBackend::Native(NativeConfig { channel, threads }));
+                if let Err(t) = session.run(&pipe, &params) {
+                    return Some(format!(
+                        "cuts {:?}, passes [{}], native {channel}/t{threads} trapped: {t}",
+                        cuts.iter().map(|c| c.0).collect::<Vec<_>>(),
+                        passes.label(),
+                    ));
+                }
+                let (final_mem, _) = session.finish();
+                if !final_mem.same_contents(&oracle.mem) {
+                    return Some(format!(
+                        "cuts {:?}, passes [{}], native {channel}/t{threads}: \
+                         final memory differs from the serial oracle",
+                        cuts.iter().map(|c| c.0).collect::<Vec<_>>(),
+                        passes.label(),
+                    ));
+                }
+            }
+        }
+    }
+    None
+}
+
 /// Delta-debugs a failing genome to a local minimum, then returns it
 /// with the (re-derived) divergence description.
-pub fn minimize(mut g: Genome, mut why: String) -> (Genome, String) {
+pub fn minimize(g: Genome, why: String) -> (Genome, String) {
+    minimize_with(g, why, check)
+}
+
+/// [`minimize`] against an arbitrary checker — the native sweep shrinks
+/// its failures through [`check_native`] so the reproducer still fails
+/// on the backend that flushed it.
+pub fn minimize_with(
+    mut g: Genome,
+    mut why: String,
+    checker: impl Fn(&Genome, &mut Totals) -> Option<String>,
+) -> (Genome, String) {
     loop {
         let mut reduced = false;
         for cand in g.shrink_candidates() {
-            if let Some(w) = check(&cand, &mut Totals::default()) {
+            if let Some(w) = checker(&cand, &mut Totals::default()) {
                 g = cand;
                 why = w;
                 reduced = true;
@@ -573,6 +670,21 @@ pub fn fuzz_sweep(
     pool: &Pool,
     progress: Option<&(dyn Fn(u64) + Sync)>,
 ) -> FuzzOutcome {
+    fuzz_sweep_with(seed, count, pool, progress, check)
+}
+
+/// [`fuzz_sweep`] against an arbitrary per-genome checker. The genome
+/// stream is identical for every checker (same seed → same programs),
+/// so `fuzzdiff --native` fuzzes exactly the programs the simulator
+/// sweep fuzzes. Native checks spawn their own worker fleets inside the
+/// pool's tasks; the pool's nested-fleet path makes that legal.
+pub fn fuzz_sweep_with(
+    seed: u64,
+    count: u64,
+    pool: &Pool,
+    progress: Option<&(dyn Fn(u64) + Sync)>,
+    checker: impl Fn(&Genome, &mut Totals) -> Option<String> + Sync,
+) -> FuzzOutcome {
     let mut rng = Rng::new(seed);
     let genomes: Vec<Genome> = (0..count).map(|_| Genome::random(&mut rng)).collect();
     let done = AtomicU64::new(0);
@@ -581,7 +693,7 @@ pub fn fuzz_sweep(
             programs: 1,
             ..Totals::default()
         };
-        let why = check(g, &mut totals);
+        let why = checker(g, &mut totals);
         let k = done.fetch_add(1, Ordering::Relaxed) + 1;
         if let Some(p) = progress {
             if k.is_multiple_of(200) {

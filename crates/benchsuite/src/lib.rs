@@ -16,4 +16,4 @@ pub mod runner;
 pub mod spmm;
 pub mod taco;
 
-pub use runner::{gmean, run_guarded, Measurement, Variant};
+pub use runner::{gmean, run_guarded, with_backend, Measurement, Variant};

@@ -74,6 +74,17 @@ impl Measurement {
     }
 }
 
+/// Runs `f` with the given execution backend ambient: every session the
+/// closure constructs (all of the suite's `run()` entry points build
+/// theirs internally) executes on that backend. With
+/// [`pipette_sim::ExecBackend::Native`] the measured "cycles" are
+/// wall-clock nanoseconds; final memory — and therefore every oracle
+/// check inside the apps — is identical for correct pipelines.
+pub fn with_backend<R>(backend: pipette_sim::ExecBackend, f: impl FnOnce() -> R) -> R {
+    let _scope = pipette_sim::BackendScope::enter(backend);
+    f()
+}
+
 /// Runs a measurement closure, converting both structured traps and
 /// panics into a printable failure string.
 ///

@@ -70,6 +70,8 @@ pub use mem::MemState;
 pub use pipeline::{Pipeline, RaConfig, RaMode, Stage, StageKind, StageProgram};
 pub use step::{bind_params, StageExec, StageSpec, StepInterp};
 pub use stmt::{CtrlHandler, HandlerEnd, Stmt};
-pub use validate::{validate_pipeline, PipelineError, ValidateLimits, Violation};
+pub use validate::{
+    queue_topology, validate_pipeline, PipelineError, QueueEndpoints, ValidateLimits, Violation,
+};
 pub use value::{eval_binop, eval_unop, BinOp, Trap, Ty, UnOp, Value};
 pub use world::{BlockReason, FunctionalWorld, OpCounts, StepResult, Tid, Time, UopClass, World};

@@ -377,6 +377,59 @@ fn stage_io(stage: &Stage) -> StageIo {
     io
 }
 
+/// Static endpoints of one hardware queue: the stages that enqueue into
+/// it and the single stage that dequeues from it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QueueEndpoints {
+    /// The queue these endpoints describe.
+    pub queue: QueueId,
+    /// Stage indices that enqueue via any op (`Enq`/`EnqSel`/`EnqCtrl`),
+    /// in stage order. Validated pipelines have at least one.
+    pub producers: Vec<usize>,
+    /// The consuming stage index. Validated pipelines have exactly one
+    /// consumer per queue; `None` only on unvalidated input.
+    pub consumer: Option<usize>,
+}
+
+impl QueueEndpoints {
+    /// Whether a single stage feeds this queue — the lock-free SPSC
+    /// channel case. Fan-in queues (EnqSel distribute boundaries,
+    /// broadcast control) return `false` and need a guarded send path.
+    #[must_use]
+    pub fn single_producer(&self) -> bool {
+        self.producers.len() == 1
+    }
+}
+
+/// Computes the producer/consumer endpoints of every queue referenced by
+/// `pipeline`, in queue-id order, using the same static scan as the
+/// validator. This is the channel-lowering map a physical backend keys
+/// on: [`QueueEndpoints::single_producer`] queues lower to SPSC rings,
+/// fan-in queues to a guarded multi-producer path, and `consumer` names
+/// the one stage allowed to hold the receiving endpoint.
+#[must_use]
+pub fn queue_topology(pipeline: &Pipeline) -> Vec<QueueEndpoints> {
+    let mut producers: BTreeMap<QueueId, Vec<usize>> = BTreeMap::new();
+    let mut consumers: BTreeMap<QueueId, Vec<usize>> = BTreeMap::new();
+    for (i, stage) in pipeline.stages.iter().enumerate() {
+        let io = stage_io(stage);
+        for &q in &io.enq_any {
+            producers.entry(q).or_default().push(i);
+        }
+        for &q in &io.deq {
+            consumers.entry(q).or_default().push(i);
+        }
+    }
+    let ids: BTreeSet<QueueId> = producers.keys().chain(consumers.keys()).copied().collect();
+    ids.into_iter()
+        .map(|q| QueueEndpoints {
+            queue: q,
+            producers: producers.remove(&q).unwrap_or_default(),
+            consumer: consumers.get(&q).and_then(|cs| cs.first().copied()),
+        })
+        .collect()
+}
+
 /// Validates pipeline-level invariants (see the module docs); `pass`
 /// names the compiler pass (or tool phase) whose output is checked and
 /// is reported in any [`PipelineError`].

@@ -55,6 +55,7 @@ pub mod energy;
 pub mod faults;
 pub mod machine;
 pub mod metrics;
+pub mod native;
 mod queue;
 mod scheduler;
 pub mod stats;
@@ -68,6 +69,7 @@ pub use energy::{EnergyBreakdown, EnergyModel};
 pub use faults::{Fault, FaultPlan};
 pub use machine::{CancelScope, CompiledPipeline, Machine, RunOutcome, SchedulerKind, Session};
 pub use metrics::{MetricsSink, QueueMetrics, StageMetrics};
+pub use native::{BackendScope, ChannelBackend, ChannelKind, ExecBackend, NativeConfig};
 pub use phloem_ir::ExecEngine;
 pub use phloem_pool::CancelToken;
 pub use stats::{CycleBreakdown, QueueStats, RunStats, ThreadStats};

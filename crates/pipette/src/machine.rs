@@ -15,6 +15,7 @@ use crate::cache::MemHierarchy;
 use crate::config::MachineConfig;
 use crate::energy::{EnergyBreakdown, EnergyModel};
 use crate::faults::FaultPlan;
+use crate::native::{BackendScope, ExecBackend};
 use crate::scheduler;
 pub use crate::scheduler::SchedulerKind;
 use crate::stats::RunStats;
@@ -166,6 +167,10 @@ pub struct Session {
     /// boundaries; captured from the ambient [`CancelScope`] at session
     /// creation unless [`Session::set_cancel`] overrides it.
     cancel: Option<CancelToken>,
+    /// Execution substrate: the cycle-level simulator (default) or the
+    /// native thread backend. Captured from the ambient [`BackendScope`]
+    /// at creation unless [`Session::set_backend`] overrides it.
+    backend: ExecBackend,
 }
 
 impl Session {
@@ -183,7 +188,22 @@ impl Session {
             faults: None,
             trace: None,
             cancel: CancelScope::current(),
+            backend: BackendScope::current().unwrap_or(ExecBackend::Sim),
         }
+    }
+
+    /// Selects the execution substrate for subsequent invocations. The
+    /// simulator predicts cycles; the native backend runs the pipeline
+    /// on real OS threads and reports wall-clock nanoseconds in the
+    /// cycle slot (final memory is identical for correct pipelines —
+    /// `tests/native_equivalence.rs` pins this).
+    pub fn set_backend(&mut self, backend: ExecBackend) {
+        self.backend = backend;
+    }
+
+    /// The currently selected execution substrate.
+    pub fn backend(&self) -> &ExecBackend {
+        &self.backend
     }
 
     /// Installs a cancellation token checked at every watchdog window
@@ -361,6 +381,45 @@ impl Session {
         }
         for s in &pipeline.stages {
             self.active_cores.insert(s.core);
+        }
+        if let ExecBackend::Native(ncfg) = self.backend {
+            // Native runs share the validation path above (malformed
+            // pipelines fail identically on both backends) and then
+            // bypass the timing world entirely: stages execute on real
+            // threads and "cycles" are wall-clock nanoseconds.
+            let run = crate::native::run_native(
+                pipeline,
+                &mut self.mem,
+                params,
+                &ncfg,
+                self.cfg.queue_capacity,
+                self.cancel.as_ref(),
+            )?;
+            let mut invocation = RunStats {
+                cycles: self.now + run.wall_nanos,
+                threads: Vec::with_capacity(pipeline.stages.len()),
+                queues: Vec::new(),
+                cache: self.hier.stats,
+                energy: EnergyBreakdown::default(),
+                invocations: 1,
+            };
+            for (s, c) in pipeline.stages.iter().zip(&run.counts) {
+                invocation.threads.push(crate::stats::ThreadStats {
+                    name: s.program.func.name.clone(),
+                    is_ra: matches!(s.kind, StageKind::Ra(_)),
+                    uops: c.uops,
+                    branches: c.branches,
+                    loads: c.loads,
+                    stores: c.stores + c.atomics,
+                    enqs: c.enqs,
+                    deqs: c.deqs,
+                    finish_time: self.now + run.wall_nanos,
+                    ..Default::default()
+                });
+            }
+            self.stats.accumulate(&invocation);
+            self.now += run.wall_nanos;
+            return Ok(run.wall_nanos);
         }
         let base = self.now + self.cfg.launch_overhead;
         let nstages = pipeline.stages.len();

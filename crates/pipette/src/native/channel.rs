@@ -1,0 +1,397 @@
+//! Bounded channels backing hardware queues in the native backend.
+//!
+//! Each hardware queue of a pipeline lowers to one bounded channel
+//! carrying [`Value`] words — data and in-band control values travel the
+//! same channel, exactly as they share the hardware FIFO in the
+//! simulator. The buffer implementation is pluggable behind
+//! [`ChannelBackend`]:
+//!
+//! * [`ChannelKind::Mpsc`] — the std library's `sync_channel`, wrapped;
+//!   the conservative reference backend.
+//! * [`ChannelKind::Ring`] — a FastFlow-style bounded SPSC ring of
+//!   `capacity` slots with monotonic head/tail counters (acquire/release
+//!   pairs on the counters order the slot accesses).
+//! * [`ChannelKind::Hybrid`] — the ring plus a short bounded spin before
+//!   reporting `Full`/`Empty`, trading a few cycles of busy-wait for
+//!   fewer trips through the runtime's park path.
+//!
+//! The [`Sender`]/[`Receiver`] endpoints own the lifecycle bookkeeping
+//! the backends don't: sender counting (so a drained channel whose
+//! producers are all gone reports `Disconnected`, not `Empty`) and
+//! receiver liveness (so producers feeding a dead consumer learn about
+//! it instead of filling a buffer nobody drains). The validator
+//! guarantees every queue has exactly one consumer, so `Receiver` is
+//! unique per channel; fan-in queues (`EnqSel`/control broadcast) clone
+//! the `Sender`, and a send automatically serializes through a mutex
+//! whenever more than one `Sender` is live.
+
+use phloem_ir::Value;
+use std::cell::UnsafeCell;
+use std::fmt;
+use std::mem::MaybeUninit;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+
+/// Which bounded-buffer implementation a channel uses.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum ChannelKind {
+    /// `std::sync::mpsc::sync_channel`, wrapped.
+    Mpsc,
+    /// Custom SPSC ring buffer (FastFlow-style).
+    Ring,
+    /// The ring with a bounded spin before reporting full/empty.
+    Hybrid,
+}
+
+impl ChannelKind {
+    /// All backends, for differential sweeps.
+    pub const ALL: [ChannelKind; 3] = [ChannelKind::Mpsc, ChannelKind::Ring, ChannelKind::Hybrid];
+
+    /// Stable lowercase label (CLI flags, JSON annotations).
+    pub fn label(self) -> &'static str {
+        match self {
+            ChannelKind::Mpsc => "mpsc",
+            ChannelKind::Ring => "ring",
+            ChannelKind::Hybrid => "hybrid",
+        }
+    }
+
+    /// Parses a [`Self::label`] back into a kind.
+    pub fn parse(s: &str) -> Option<ChannelKind> {
+        ChannelKind::ALL.into_iter().find(|k| k.label() == s)
+    }
+}
+
+impl fmt::Display for ChannelKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Construction errors.
+#[derive(Debug, PartialEq, Eq)]
+pub enum ChannelError {
+    /// Bounded channels need at least one slot (a zero-capacity
+    /// rendezvous has no hardware analogue here — the simulator's queues
+    /// are at least one entry deep).
+    ZeroCapacity,
+}
+
+impl fmt::Display for ChannelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ChannelError::ZeroCapacity => write!(f, "channel capacity must be at least 1"),
+        }
+    }
+}
+
+impl std::error::Error for ChannelError {}
+
+/// Why a `try_send` did not enqueue. The value is handed back so blocked
+/// producers can retry without re-evaluating it.
+#[derive(Debug, PartialEq)]
+pub enum TrySendError {
+    /// The buffer is full; retry after the consumer drains.
+    Full(Value),
+    /// The receiver was dropped; no send can ever succeed again.
+    Disconnected(Value),
+}
+
+/// Why a `try_recv` returned no value.
+#[derive(Debug, PartialEq, Eq)]
+pub enum TryRecvError {
+    /// The buffer is empty but senders are still live; retry later.
+    Empty,
+    /// The buffer is empty and every sender was dropped: the channel is
+    /// drained for good.
+    Disconnected,
+}
+
+/// A pluggable bounded FIFO buffer of [`Value`] words.
+///
+/// Implementations provide only the buffer: internally synchronized for
+/// the single-producer/single-consumer case, with *no* lifecycle
+/// tracking (the [`Sender`]/[`Receiver`] endpoints layer that on top).
+/// Multi-producer use is serialized by the endpoints, never by the
+/// backend.
+pub trait ChannelBackend: Send + Sync {
+    /// Attempts to push; hands `v` back when the buffer is full.
+    ///
+    /// # Errors
+    /// Returns `Err(v)` when the buffer is full.
+    fn try_push(&self, v: Value) -> Result<(), Value>;
+
+    /// Attempts to pop; `None` when the buffer is empty.
+    fn try_pop(&self) -> Option<Value>;
+}
+
+/// [`ChannelKind::Mpsc`]: the std sync channel behind mutexed endpoints
+/// (the backend trait is `&self`-shared, `mpsc::Receiver` is not
+/// `Sync`). Contention on these mutexes is bounded by the channel's own
+/// SPSC-at-steady-state usage.
+struct MpscBackend {
+    tx: Mutex<mpsc::SyncSender<Value>>,
+    rx: Mutex<mpsc::Receiver<Value>>,
+}
+
+impl ChannelBackend for MpscBackend {
+    fn try_push(&self, v: Value) -> Result<(), Value> {
+        let tx = self.tx.lock().unwrap_or_else(|e| e.into_inner());
+        match tx.try_send(v) {
+            Ok(()) => Ok(()),
+            // Disconnection cannot happen: the backend owns both ends for
+            // its whole life. Treat it like Full defensively.
+            Err(mpsc::TrySendError::Full(v) | mpsc::TrySendError::Disconnected(v)) => Err(v),
+        }
+    }
+
+    fn try_pop(&self) -> Option<Value> {
+        let rx = self.rx.lock().unwrap_or_else(|e| e.into_inner());
+        rx.try_recv().ok()
+    }
+}
+
+/// [`ChannelKind::Ring`]: a bounded SPSC ring with monotonically
+/// increasing head/tail counters (never wrapped, so full/empty are
+/// `tail - head == cap` / `tail == head` with no lap ambiguity).
+///
+/// The release-store on `tail` after writing a slot pairs with the
+/// consumer's acquire-load of `tail` before reading it; symmetrically
+/// for `head` when a slot is vacated. This is the classic Lamport queue
+/// and is correct for exactly one concurrent pusher and one concurrent
+/// popper — which the endpoints enforce.
+struct RingBackend {
+    slots: Box<[UnsafeCell<MaybeUninit<Value>>]>,
+    /// Next index to pop (only the consumer advances it).
+    head: AtomicU64,
+    /// Next index to push (only the producer advances it).
+    tail: AtomicU64,
+}
+
+// SAFETY: slot accesses are ordered by the acquire/release pairs on
+// `head`/`tail`; a slot is touched by at most one thread at a time
+// (producer while reserved, consumer after publication).
+unsafe impl Send for RingBackend {}
+unsafe impl Sync for RingBackend {}
+
+impl RingBackend {
+    fn new(capacity: usize) -> RingBackend {
+        RingBackend {
+            slots: (0..capacity)
+                .map(|_| UnsafeCell::new(MaybeUninit::uninit()))
+                .collect(),
+            head: AtomicU64::new(0),
+            tail: AtomicU64::new(0),
+        }
+    }
+}
+
+impl ChannelBackend for RingBackend {
+    fn try_push(&self, v: Value) -> Result<(), Value> {
+        let t = self.tail.load(Ordering::Relaxed);
+        let h = self.head.load(Ordering::Acquire);
+        if t - h == self.slots.len() as u64 {
+            return Err(v);
+        }
+        let slot = &self.slots[(t % self.slots.len() as u64) as usize];
+        // SAFETY: `t < h + cap` means the consumer has not reached this
+        // slot's lap; only this (sole) producer writes it.
+        unsafe { (*slot.get()).write(v) };
+        self.tail.store(t + 1, Ordering::Release);
+        Ok(())
+    }
+
+    fn try_pop(&self) -> Option<Value> {
+        let h = self.head.load(Ordering::Relaxed);
+        let t = self.tail.load(Ordering::Acquire);
+        if t == h {
+            return None;
+        }
+        let slot = &self.slots[(h % self.slots.len() as u64) as usize];
+        // SAFETY: `h < t` means the producer published this slot; only
+        // this (sole) consumer reads it. `Value` is `Copy`, so no drop
+        // obligations remain in the slot.
+        let v = unsafe { (*slot.get()).assume_init_read() };
+        self.head.store(h + 1, Ordering::Release);
+        Some(v)
+    }
+}
+
+/// Bounded spin length for [`ChannelKind::Hybrid`]. Short enough to be
+/// harmless on a single-core host (where spinning cannot help), long
+/// enough to ride out a consumer that is one context switch away on a
+/// multicore one.
+const HYBRID_SPINS: usize = 64;
+
+/// [`ChannelKind::Hybrid`]: the ring plus a bounded spin before giving
+/// up, so transient full/empty blips never reach the park path.
+struct HybridBackend {
+    ring: RingBackend,
+}
+
+impl ChannelBackend for HybridBackend {
+    fn try_push(&self, mut v: Value) -> Result<(), Value> {
+        for _ in 0..HYBRID_SPINS {
+            match self.ring.try_push(v) {
+                Ok(()) => return Ok(()),
+                Err(back) => {
+                    v = back;
+                    std::hint::spin_loop();
+                }
+            }
+        }
+        self.ring.try_push(v)
+    }
+
+    fn try_pop(&self) -> Option<Value> {
+        for _ in 0..HYBRID_SPINS {
+            if let Some(v) = self.ring.try_pop() {
+                return Some(v);
+            }
+            std::hint::spin_loop();
+        }
+        self.ring.try_pop()
+    }
+}
+
+/// Shared channel state: the buffer plus lifecycle bookkeeping.
+struct Core {
+    backend: Box<dyn ChannelBackend>,
+    /// Live `Sender` clones. When it hits zero the channel can never
+    /// gain another value: `Empty` hardens into `Disconnected`.
+    senders: AtomicUsize,
+    /// Cleared when the `Receiver` drops; producers then get
+    /// `Disconnected` instead of filling a buffer nobody drains.
+    receiver_alive: AtomicBool,
+    /// Serializes sends while more than one `Sender` is live (fan-in
+    /// queues). Single-producer channels never touch it.
+    send_lock: Mutex<()>,
+}
+
+/// The producing endpoint. Clone it once per producer stage; sends
+/// serialize automatically while clones coexist and go lock-free again
+/// once the channel is back to a single producer.
+///
+/// `Sender` is `Send` but intentionally not `Sync`: the lock-free path
+/// is only sound when each live clone is driven by one thread.
+pub struct Sender {
+    core: Arc<Core>,
+    _not_sync: std::marker::PhantomData<std::cell::Cell<()>>,
+}
+
+impl Sender {
+    /// Attempts to enqueue `v`.
+    ///
+    /// # Errors
+    /// [`TrySendError::Full`] when the buffer is full,
+    /// [`TrySendError::Disconnected`] when the receiver is gone; both
+    /// hand the value back.
+    pub fn try_send(&self, v: Value) -> Result<(), TrySendError> {
+        if !self.core.receiver_alive.load(Ordering::Acquire) {
+            return Err(TrySendError::Disconnected(v));
+        }
+        let res = if self.core.senders.load(Ordering::Acquire) > 1 {
+            let _g = self
+                .core
+                .send_lock
+                .lock()
+                .unwrap_or_else(|e| e.into_inner());
+            self.core.backend.try_push(v)
+        } else {
+            self.core.backend.try_push(v)
+        };
+        res.map_err(TrySendError::Full)
+    }
+}
+
+impl Clone for Sender {
+    fn clone(&self) -> Sender {
+        self.core.senders.fetch_add(1, Ordering::AcqRel);
+        Sender {
+            core: Arc::clone(&self.core),
+            _not_sync: std::marker::PhantomData,
+        }
+    }
+}
+
+impl Drop for Sender {
+    fn drop(&mut self) {
+        self.core.senders.fetch_sub(1, Ordering::AcqRel);
+    }
+}
+
+/// The consuming endpoint — unique per channel, matching the
+/// validator's one-consumer-per-queue discipline. `Send` but not
+/// `Sync`, like [`Sender`].
+pub struct Receiver {
+    core: Arc<Core>,
+    _not_sync: std::marker::PhantomData<std::cell::Cell<()>>,
+}
+
+impl Receiver {
+    /// Attempts to dequeue.
+    ///
+    /// # Errors
+    /// [`TryRecvError::Empty`] while producers are live,
+    /// [`TryRecvError::Disconnected`] once the channel is drained and
+    /// the last sender dropped.
+    pub fn try_recv(&self) -> Result<Value, TryRecvError> {
+        if let Some(v) = self.core.backend.try_pop() {
+            return Ok(v);
+        }
+        if self.core.senders.load(Ordering::Acquire) == 0 {
+            // A value pushed just before the last sender dropped must
+            // still drain: re-check the buffer *after* observing zero.
+            return match self.core.backend.try_pop() {
+                Some(v) => Ok(v),
+                None => Err(TryRecvError::Disconnected),
+            };
+        }
+        Err(TryRecvError::Empty)
+    }
+}
+
+impl Drop for Receiver {
+    fn drop(&mut self) {
+        self.core.receiver_alive.store(false, Ordering::Release);
+    }
+}
+
+/// Creates a bounded channel of the given kind and capacity.
+///
+/// # Errors
+/// [`ChannelError::ZeroCapacity`] when `capacity == 0`.
+pub fn channel(kind: ChannelKind, capacity: usize) -> Result<(Sender, Receiver), ChannelError> {
+    if capacity == 0 {
+        return Err(ChannelError::ZeroCapacity);
+    }
+    let backend: Box<dyn ChannelBackend> = match kind {
+        ChannelKind::Mpsc => {
+            let (tx, rx) = mpsc::sync_channel(capacity);
+            Box::new(MpscBackend {
+                tx: Mutex::new(tx),
+                rx: Mutex::new(rx),
+            })
+        }
+        ChannelKind::Ring => Box::new(RingBackend::new(capacity)),
+        ChannelKind::Hybrid => Box::new(HybridBackend {
+            ring: RingBackend::new(capacity),
+        }),
+    };
+    let core = Arc::new(Core {
+        backend,
+        senders: AtomicUsize::new(1),
+        receiver_alive: AtomicBool::new(true),
+        send_lock: Mutex::new(()),
+    });
+    Ok((
+        Sender {
+            core: Arc::clone(&core),
+            _not_sync: std::marker::PhantomData,
+        },
+        Receiver {
+            core,
+            _not_sync: std::marker::PhantomData,
+        },
+    ))
+}

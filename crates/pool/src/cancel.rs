@@ -42,13 +42,65 @@ fn now_ms() -> u64 {
 const NO_DEADLINE: u64 = u64::MAX;
 
 /// A condvar a cancelled token must notify (see the module docs). The
-/// pool parks idle workers on one of these per fleet.
+/// pool parks idle workers on one of these per fleet, and blocking-aware
+/// consumers (the native backend's channel runtime) use the same shape
+/// as an explicit unpark hook.
+///
+/// The waker carries a monotonic **notification epoch**: every
+/// [`CancelWaker::notify`] bumps it under the lock, and
+/// [`CancelWaker::wait_if_unchanged`] parks only while the epoch still
+/// matches the value the caller sampled *before* scanning for work.
+/// That read-scan-park protocol makes lost wakeups structurally
+/// impossible — an event between the scan and the park bumps the epoch
+/// and the park returns immediately — so waiters need only a coarse
+/// timeout backstop instead of a busy 1 ms treadmill.
 #[derive(Default)]
 pub struct CancelWaker {
     /// Guard for the condvar (the pool holds no data under it).
     pub lock: Mutex<()>,
     /// Notified on cancel and by the pool's own wake paths.
     pub cv: Condvar,
+    /// Monotonic notification count; bumped under `lock` by `notify`.
+    epoch: AtomicU64,
+}
+
+impl CancelWaker {
+    /// Current notification epoch. Sample this *before* scanning for
+    /// work, then pass it to [`CancelWaker::wait_if_unchanged`].
+    pub fn epoch(&self) -> u64 {
+        self.epoch.load(Ordering::Acquire)
+    }
+
+    /// Bumps the epoch and wakes every parked waiter. This is the
+    /// explicit unpark hook: completion, new stealable work, channel
+    /// activity, and token cancellation all route through it.
+    pub fn notify(&self) {
+        let _g = self.lock.lock().unwrap_or_else(|e| e.into_inner());
+        self.epoch.fetch_add(1, Ordering::Release);
+        self.cv.notify_all();
+    }
+
+    /// Parks until the epoch moves past `seen` or `timeout` elapses.
+    /// Returns `true` when woken by a notification (the epoch changed),
+    /// `false` when the timeout backstop expired with the epoch still
+    /// at `seen`. Returns immediately (true) if the epoch already moved
+    /// — the caller's pre-scan sample closes the lost-wakeup window.
+    pub fn wait_if_unchanged(&self, seen: u64, timeout: Duration) -> bool {
+        let deadline = Instant::now() + timeout;
+        let mut g = self.lock.lock().unwrap_or_else(|e| e.into_inner());
+        while self.epoch.load(Ordering::Acquire) == seen {
+            let now = Instant::now();
+            if now >= deadline {
+                return false;
+            }
+            let (ng, _res) = self
+                .cv
+                .wait_timeout(g, deadline - now)
+                .unwrap_or_else(|e| e.into_inner());
+            g = ng;
+        }
+        true
+    }
 }
 
 struct Inner {
@@ -73,8 +125,7 @@ impl Inner {
         }
         let wakers = self.wakers.lock().unwrap_or_else(|e| e.into_inner());
         for w in wakers.iter() {
-            let _g = w.lock.lock().unwrap_or_else(|e| e.into_inner());
-            w.cv.notify_all();
+            w.notify();
         }
     }
 }
@@ -301,6 +352,36 @@ mod tests {
         parent.cancel("drain"); // cancel on the PARENT must wake it
         h.join().unwrap();
         assert!(flag.load(Ordering::SeqCst));
+    }
+
+    #[test]
+    fn waker_epoch_wait_protocol_has_no_lost_wakeup() {
+        let w = CancelWaker::default();
+        // Notification between the epoch sample and the wait: the wait
+        // must return immediately (true) instead of sleeping out the
+        // timeout — this is exactly the lost-wakeup window the epoch
+        // protocol closes.
+        let seen = w.epoch();
+        w.notify();
+        let t0 = Instant::now();
+        assert!(w.wait_if_unchanged(seen, Duration::from_secs(5)));
+        assert!(
+            t0.elapsed() < Duration::from_secs(1),
+            "woke via epoch, not timeout"
+        );
+        // No notification at all: the backstop expires and reports it.
+        let seen = w.epoch();
+        assert!(!w.wait_if_unchanged(seen, Duration::from_millis(10)));
+    }
+
+    #[test]
+    fn cancel_notification_bumps_the_waker_epoch() {
+        let t = CancelToken::new();
+        let waker = Arc::new(CancelWaker::default());
+        let _reg = t.register_waker(Arc::clone(&waker));
+        let seen = waker.epoch();
+        t.cancel("drain");
+        assert!(waker.epoch() > seen, "latch must route through notify()");
     }
 
     #[test]

@@ -22,9 +22,15 @@
 //!   neighbour's remaining block (from the back, preserving the
 //!   victim's locality at the front), amortizing steal traffic;
 //! * **park/unpark** — a worker that finds nothing while tasks are
-//!   still running parks on a condvar instead of spinning; it is woken
-//!   by new stealable work or by fleet completion (a 1 ms wait timeout
-//!   bounds any lost-wakeup race without busy-spinning);
+//!   still running parks on the fleet's [`CancelWaker`] instead of
+//!   spinning. Parking is epoch-guarded: the worker samples the waker's
+//!   notification epoch *before* its work scan and parks only while the
+//!   epoch is unchanged, so an unpark between scan and park can never be
+//!   lost; new stealable work, fleet completion, cancellation, and
+//!   external unpark hooks (the native backend's channels) all notify
+//!   explicitly, and a coarse timeout backstop exists purely as a
+//!   diagnostic of last resort ([`FleetStats::timeout_wakeups`] counts
+//!   it and is asserted zero by the unit tests);
 //! * **panic isolation** — each task runs under `catch_unwind`; a
 //!   panicking task yields `Err(TaskPanic)` in its own result slot and
 //!   cannot take a worker (or the whole fleet) down;
@@ -134,6 +140,12 @@ pub struct FleetStats {
     /// Tasks skipped because the fleet's [`CancelToken`] fired before
     /// they were dequeued (always 0 for uncancellable fleets).
     pub skipped: u64,
+    /// Park wakeups delivered by the coarse timeout backstop rather than
+    /// an explicit notification. The epoch-guarded park protocol makes
+    /// every legitimate wake explicit (work, completion, cancel), so
+    /// this is structurally zero; a nonzero value means some wake path
+    /// forgot to call [`CancelWaker::notify`].
+    pub timeout_wakeups: u64,
 }
 
 /// Pool configuration. `Default` reads the shared env knobs.
@@ -279,11 +291,25 @@ impl Pool {
         }
         // Fleets take the shared quiesce lock non-exclusively, so a
         // `quiesced` timing section can exclude every in-process fleet.
-        let _fleet = quiesce_lock().read().unwrap_or_else(|e| e.into_inner());
+        //
+        // A *nested* fleet — one launched from inside another fleet's
+        // task, e.g. the native backend spinning up its stage workers
+        // inside a service request — must NOT re-acquire the lock: the
+        // outer fleet already holds it for the whole scope of the task,
+        // and a second read acquisition on this thread can deadlock
+        // against a queued `quiesced` writer (reader → writer → reader
+        // cycle). The outer hold already keeps the process non-quiesced
+        // for exactly as long as the nested fleet can live (scoped
+        // threads), so skipping the lock loses nothing.
+        let nested = IN_FLEET.with(|flag| flag.get());
+        let _fleet = (!nested).then(|| quiesce_lock().read().unwrap_or_else(|e| e.into_inner()));
         let slots: Vec<OnceLock<Result<R, TaskPanic>>> = (0..n).map(|_| OnceLock::new()).collect();
         if workers == 1 {
             // Inline serial path: same panic isolation and skip
-            // semantics, no threads.
+            // semantics, no threads. Tasks run on the caller's thread,
+            // so mark it in-fleet for the duration (restoring the prior
+            // state) — a nested fleet inside a task must see the flag.
+            let _scope = FleetScope::enter();
             for (i, slot) in slots.iter().enumerate() {
                 if cancel.is_some_and(|t| t.poll_expired()) {
                     stats.skipped += (n - i) as u64;
@@ -312,6 +338,10 @@ impl Pool {
                                 .unwrap_or(1);
                             pin_to_core(w % cores);
                         }
+                        // Worker threads are in-fleet for their whole
+                        // life: a task that launches a nested fleet must
+                        // not re-take the quiesce lock (see run_inner).
+                        let _scope = FleetScope::enter();
                         worker_loop(w, shared, slots, f);
                     });
                 }
@@ -320,6 +350,7 @@ impl Pool {
             stats.stolen_tasks = shared.stolen_tasks.load(Ordering::Relaxed);
             stats.parks = shared.parks.load(Ordering::Relaxed);
             stats.skipped = shared.skipped.load(Ordering::Relaxed);
+            stats.timeout_wakeups = shared.timeout_wakeups.load(Ordering::Relaxed);
             for (w, c) in shared.per_worker_tasks.iter().enumerate() {
                 stats.per_worker_tasks[w] = c.load(Ordering::Relaxed);
             }
@@ -367,6 +398,7 @@ struct Shared {
     stolen_tasks: AtomicU64,
     parks: AtomicU64,
     skipped: AtomicU64,
+    timeout_wakeups: AtomicU64,
     per_worker_tasks: Vec<AtomicU64>,
 }
 
@@ -392,6 +424,7 @@ impl Shared {
             stolen_tasks: AtomicU64::new(0),
             parks: AtomicU64::new(0),
             skipped: AtomicU64::new(0),
+            timeout_wakeups: AtomicU64::new(0),
             per_worker_tasks: (0..workers).map(|_| AtomicU64::new(0)).collect(),
         }
     }
@@ -411,8 +444,7 @@ impl Shared {
     /// the last so they can observe termination and exit.
     fn complete_one(&self) {
         if self.remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
-            let _g = self.idle.lock.lock().unwrap_or_else(|e| e.into_inner());
-            self.idle.cv.notify_all();
+            self.idle.notify();
         }
     }
 
@@ -447,21 +479,62 @@ impl Shared {
         if !taken.is_empty() {
             self.lock_deque(w).extend(taken);
             // New stealable work: wake parked workers to share it.
-            let _g = self.idle.lock.lock().unwrap_or_else(|e| e.into_inner());
-            self.idle.cv.notify_all();
+            self.idle.notify();
         }
         first
     }
 }
 
+thread_local! {
+    /// True while the current thread is executing inside a fleet —
+    /// either as a scoped worker thread or as the caller running the
+    /// inline (workers == 1) path. Nested fleets consult this to skip
+    /// re-acquiring the quiesce lock (see [`Pool::run_inner`]).
+    static IN_FLEET: std::cell::Cell<bool> = const { std::cell::Cell::new(false) };
+}
+
+/// RAII marker setting [`IN_FLEET`] for the current thread, restoring
+/// the previous value on drop (inline fleets can themselves be nested).
+struct FleetScope {
+    prev: bool,
+}
+
+impl FleetScope {
+    fn enter() -> FleetScope {
+        FleetScope {
+            prev: IN_FLEET.with(|flag| flag.replace(true)),
+        }
+    }
+}
+
+impl Drop for FleetScope {
+    fn drop(&mut self) {
+        let prev = self.prev;
+        IN_FLEET.with(|flag| flag.set(prev));
+    }
+}
+
+/// Coarse backstop for epoch-guarded parks: with every wake path
+/// explicit this should never expire; it exists so an unforeseen bug
+/// degrades to a half-second hiccup (and a nonzero
+/// [`FleetStats::timeout_wakeups`]) instead of a hang.
+const PARK_BACKSTOP: Duration = Duration::from_millis(500);
+
 /// One worker's scheduling loop: own deque front → injector → steal-half
-/// → park (until woken or a 1 ms timeout) while tasks remain in flight.
+/// → epoch-guarded park while tasks remain in flight. The park samples
+/// the waker epoch *before* the work scan, so any wake-worthy event
+/// after the sample (new stealable work, completion, cancel) bumps the
+/// epoch and the park returns immediately — no lost wakeups, and no
+/// 1 ms timeout treadmill while a long task holds the fleet open.
 fn worker_loop<R, F>(w: usize, shared: &Shared, slots: &[OnceLock<Result<R, TaskPanic>>], f: &F)
 where
     R: Send,
     F: Fn(usize) -> R + Sync,
 {
     loop {
+        // Sampled before the scan: the park below only sleeps while the
+        // epoch is still this value.
+        let seen = shared.idle.epoch();
         let task = {
             let own = self_pop(shared, w);
             match own {
@@ -489,21 +562,17 @@ where
                 if shared.remaining.load(Ordering::Acquire) == 0 {
                     return;
                 }
-                // Tasks are still in flight elsewhere: park. The
-                // timeout bounds any lost-wakeup race (a steal that
-                // repopulated a deque between our scan and the wait);
-                // completion and cancellation both notify this condvar
-                // explicitly, so neither waits out the timeout.
+                // Tasks are still in flight elsewhere: park until an
+                // explicit notification (new stealable work, fleet
+                // completion, cancellation) bumps the epoch past the
+                // pre-scan sample. An event that raced the scan already
+                // bumped it, so the wait returns without sleeping. The
+                // coarse backstop should never fire; count it when it
+                // does so the unit tests can assert it stays zero.
                 shared.parks.fetch_add(1, Ordering::Relaxed);
-                let g = shared.idle.lock.lock().unwrap_or_else(|e| e.into_inner());
-                if shared.remaining.load(Ordering::Acquire) == 0 {
-                    return;
+                if !shared.idle.wait_if_unchanged(seen, PARK_BACKSTOP) {
+                    shared.timeout_wakeups.fetch_add(1, Ordering::Relaxed);
                 }
-                let _ = shared
-                    .idle
-                    .cv
-                    .wait_timeout(g, Duration::from_millis(1))
-                    .map(|(g, _)| drop(g));
             }
         }
     }

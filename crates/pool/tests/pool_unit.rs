@@ -86,6 +86,55 @@ fn dry_workers_park_until_completion() {
     );
 }
 
+/// Park-wakeup regression: with the epoch-guarded park protocol, a dry
+/// worker waiting out a ~120ms straggler parks a small number of times
+/// and is woken by the completion notification, never by the timeout
+/// backstop. (The old fixed-1ms condvar bound re-woke the dry worker
+/// ~120 times here, busy-burning the host while native-channel stages
+/// block.)
+#[test]
+fn parked_workers_wake_by_notification_not_timeout() {
+    let pool = Pool::new(2);
+    let (out, stats) = pool.run_stats(2, |i| {
+        if i == 1 {
+            std::thread::sleep(Duration::from_millis(120));
+        }
+        i
+    });
+    assert!(out.iter().all(|r| r.is_ok()));
+    assert!(
+        stats.parks <= 4,
+        "dry worker re-parked {} times over a 120ms straggler; \
+         the park loop is still polling instead of blocking: {stats:?}",
+        stats.parks
+    );
+    assert_eq!(
+        stats.timeout_wakeups, 0,
+        "a park wakeup came from the timeout backstop, not a \
+         notification: {stats:?}"
+    );
+}
+
+/// Nested fleets: a task running inside one fleet may spawn its own
+/// fleet (the native backend does exactly this when a service request
+/// executing on a pool worker runs pipeline stages on threads). The
+/// inner fleet must not re-acquire the quiesce lock and deadlock.
+#[test]
+fn nested_fleet_inside_a_task_completes() {
+    let outer = Pool::new(2);
+    let out = outer.run(4, |i| {
+        let inner = Pool::new(2);
+        let inner_out = inner.run(3, move |j| i * 10 + j);
+        inner_out
+            .into_iter()
+            .map(|r| r.unwrap())
+            .collect::<Vec<usize>>()
+    });
+    for (i, r) in out.iter().enumerate() {
+        assert_eq!(r.as_ref().unwrap(), &vec![i * 10, i * 10 + 1, i * 10 + 2]);
+    }
+}
+
 /// Panic containment: a panicking task fills its own slot with
 /// `Err(TaskPanic)` and nothing else.
 #[test]

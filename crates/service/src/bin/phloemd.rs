@@ -14,6 +14,14 @@
 //!         [--drain-ms N] [--max-conns N]
 //! ```
 //!
+//! Ops: `compile`, `simulate`, `simulate_native`, `search`, `trace`,
+//! `stats`, `shutdown`. `simulate_native` runs the variant on the
+//! native thread backend (real OS threads; optional `"channel":
+//! "mpsc"|"ring"|"hybrid"` and `"threads": N` fields, `0` = one thread
+//! per stage) and reports wall-clock nanoseconds in the `cycles` slot,
+//! uncached; it honours `deadline_ms` like any compute op — the native
+//! park loop observes the request's cancel token.
+//!
 //! Without `--socket`, requests come from stdin and responses go to
 //! stdout (errors and lifecycle notes to stderr). With `--socket PATH`,
 //! the daemon serves connections **concurrently** (one thread each, up

@@ -186,6 +186,35 @@ pub fn machine_config_digest(m: &MachineConfig) -> u64 {
     h.finish()
 }
 
+/// Digest of the machine-configuration fields the **native** backend
+/// can observe — the keying counterpart of
+/// `tests/native_equivalence.rs`: native execution is real threads and
+/// real channels, so the simulated timing model (cache hierarchy, DRAM
+/// and queue latencies, issue width, ROB, prefetcher, scheduler,
+/// engine, fast-forward, watchdog) provably cannot change its results.
+/// Only the fields that shape the *program* — validation limits and
+/// channel depth — are keyed:
+///
+/// * `cores`, `smt_threads`, `max_queues`, `ras_per_core` — pipeline
+///   validation limits (`Pipeline::check`), which gate whether a run is
+///   admitted at all;
+/// * `queue_capacity` — the native channels' bounded depth, which
+///   changes blocking behaviour (never results, but deadlock-vs-run
+///   for malformed pipelines).
+///
+/// Keying native work on the full [`machine_config_digest`] would split
+/// provenance between configs that are indistinguishable to the
+/// backend; `tests/service_native.rs` pins both directions per field.
+pub fn native_machine_config_digest(m: &MachineConfig) -> u64 {
+    let mut h = KeyHasher::new();
+    h.usize(m.cores)
+        .usize(m.smt_threads)
+        .u64(m.max_queues as u64)
+        .usize(m.ras_per_core)
+        .usize(m.queue_capacity);
+    h.finish()
+}
+
 /// Digest of the PGO search options. `workers` is deliberately
 /// **excluded**: the determinism suite pins that a search report is
 /// byte-identical at every worker count, so keying on it would split

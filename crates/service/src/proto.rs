@@ -337,6 +337,10 @@ pub enum Op {
     Compile,
     /// Run one benchmark variant on one input; uncached (`bypass`).
     Simulate,
+    /// Run one benchmark variant on the native thread backend (real OS
+    /// threads, bounded channels); uncached (`bypass`) — the payload
+    /// carries wall-clock time, which is not content-addressable.
+    SimulateNative,
     /// PGO candidate search on one input; cached.
     Search,
     /// Traced run producing the canonical event-stream digest; cached.
@@ -353,6 +357,7 @@ impl Op {
         match self {
             Op::Compile => "compile",
             Op::Simulate => "simulate",
+            Op::SimulateNative => "simulate_native",
             Op::Search => "search",
             Op::Trace => "trace",
             Op::Stats => "stats",
@@ -382,8 +387,12 @@ pub struct Request {
     pub passes: Option<String>,
     /// Stage budget for `compile` / the `phloem` variant.
     pub stages: Option<usize>,
-    /// Thread count for the `data-parallel` variant.
+    /// Thread count for the `data-parallel` variant — and, for
+    /// `simulate_native`, the native worker count (`0`/absent = one
+    /// thread per stage).
     pub threads: Option<usize>,
+    /// Channel backend for `simulate_native`: `mpsc`, `ring`, `hybrid`.
+    pub channel: Option<String>,
     /// Per-request watchdog budget in simulated cycles.
     pub cycle_cap: Option<u64>,
     /// Search: candidate decoupling points drawn from the ranking top.
@@ -405,6 +414,7 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
     let op = match v.get("op").and_then(Json::as_str) {
         Some("compile") => Op::Compile,
         Some("simulate") => Op::Simulate,
+        Some("simulate_native") => Op::SimulateNative,
         Some("search") => Op::Search,
         Some("trace") => Op::Trace,
         Some("stats") => Op::Stats,
@@ -426,6 +436,7 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
         passes: s("passes"),
         stages: v.get("stages").and_then(Json::as_usize),
         threads: v.get("threads").and_then(Json::as_usize),
+        channel: s("channel"),
         cycle_cap: v.get("cycle_cap").and_then(Json::as_u64),
         top_k: v.get("top_k").and_then(Json::as_usize),
         max_stages: v.get("max_stages").and_then(Json::as_usize),

@@ -13,11 +13,11 @@
 //!    both read `hit` on a warm one. Duplicate misses are deduplicated
 //!    by key so the expensive work runs exactly once per batch.
 //! 2. **Compute** (parallel): every miss and every uncacheable request
-//!    fans out over the pool. Work inside a pool task never spawns a
-//!    nested fleet — searches run with `workers = 1` — because fleets
-//!    hold the pool's shared quiesce lock for their whole run and
-//!    re-entrant acquisition is not a supported pattern; batch-level
-//!    parallelism already keeps the host busy.
+//!    fans out over the pool. Searches run with `workers = 1` —
+//!    batch-level parallelism already keeps the host busy — while
+//!    `simulate_native` work *does* spawn a nested fleet (its stage
+//!    threads) inside the pool task, through the pool's explicit
+//!    nested-fleet path.
 //! 3. **Insert + assemble** (sequential): successful cacheable results
 //!    are inserted, and responses are rendered in request order.
 //!    Cached payloads are stored as rendered-JSON fragments, so a hit
@@ -63,7 +63,9 @@ use phloem_compiler::{compile_static, CompileOptions, PassConfig};
 use phloem_ir::{Function, Trap};
 use phloem_pool::{CancelToken, FleetStats, Pool};
 use phloem_workloads::catalog::Scale;
-use pipette_sim::{CancelScope, CompiledPipeline, MachineConfig, RunStats};
+use pipette_sim::{
+    CancelScope, ChannelKind, CompiledPipeline, ExecBackend, MachineConfig, NativeConfig, RunStats,
+};
 use std::collections::HashMap;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -158,6 +160,10 @@ enum Work {
         stages: usize,
     },
     Simulate(SimRequest),
+    SimulateNative {
+        sim: SimRequest,
+        native: NativeConfig,
+    },
     Search {
         kernel: Function,
         app: String,
@@ -210,6 +216,10 @@ fn work_cost(w: &Work) -> u64 {
     match w {
         Work::Compile { .. } => 1,
         Work::Simulate(_) | Work::Trace(_) => 2,
+        // Native runs finish in real time rather than simulated time,
+        // but they occupy real OS threads while they do — same weight
+        // as a simulate so a flood of them still sheds.
+        Work::SimulateNative { .. } => 2,
         Work::Search { opts, .. } => 2 * (1 + opts.top_k as u64),
     }
 }
@@ -222,6 +232,7 @@ struct FleetAccum {
     steals: u64,
     stolen_tasks: u64,
     parks: u64,
+    timeout_wakeups: u64,
     skipped: u64,
     per_worker_tasks: Vec<u64>,
 }
@@ -232,6 +243,7 @@ impl FleetAccum {
         self.steals += s.steals;
         self.stolen_tasks += s.stolen_tasks;
         self.parks += s.parks;
+        self.timeout_wakeups += s.timeout_wakeups;
         self.skipped += s.skipped;
         if self.per_worker_tasks.len() < s.per_worker_tasks.len() {
             self.per_worker_tasks.resize(s.per_worker_tasks.len(), 0);
@@ -447,6 +459,7 @@ impl Service {
             ("steals".to_string(), Json::u64(f.steals)),
             ("stolen_tasks".to_string(), Json::u64(f.stolen_tasks)),
             ("parks".to_string(), Json::u64(f.parks)),
+            ("timeout_wakeups".to_string(), Json::u64(f.timeout_wakeups)),
             ("skipped".to_string(), Json::u64(f.skipped)),
             (
                 "per_worker_tasks".to_string(),
@@ -554,6 +567,37 @@ impl Service {
                     Err(msg) => Resolution::Done(render_error(
                         req.id,
                         Op::Simulate.name(),
+                        "bypass",
+                        "bad_request",
+                        &msg,
+                    )),
+                },
+                Op::SimulateNative => match self.plan_simulate_native(&req) {
+                    Ok(work) => {
+                        let cost = work_cost(&work);
+                        match self.try_admit(cost) {
+                            Ok(()) => {
+                                st.admitted += cost;
+                                st.tokens.push(self.request_token(deadline));
+                                st.works.push(work);
+                                st.work_keys.push(None);
+                                Resolution::Pending {
+                                    id: req.id,
+                                    op: Op::SimulateNative,
+                                    cache: "bypass",
+                                    slot: st.works.len() - 1,
+                                }
+                            }
+                            Err(retry_ms) => Resolution::Done(render_overloaded(
+                                req.id,
+                                Op::SimulateNative.name(),
+                                retry_ms,
+                            )),
+                        }
+                    }
+                    Err(msg) => Resolution::Done(render_error(
+                        req.id,
+                        Op::SimulateNative.name(),
                         "bypass",
                         "bad_request",
                         &msg,
@@ -792,6 +836,25 @@ impl Service {
         })
     }
 
+    fn plan_simulate_native(&self, req: &crate::proto::Request) -> Result<Work, String> {
+        let sim = self.plan_simulate(req)?;
+        let channel = match req.channel.as_deref() {
+            None => ChannelKind::Mpsc,
+            Some(name) => ChannelKind::parse(name)
+                .ok_or_else(|| format!("unknown channel backend {name:?}"))?,
+        };
+        Ok(Work::SimulateNative {
+            sim,
+            // `threads` doubles as the data-parallel width in
+            // `plan_simulate`'s variant parsing; for the native op it is
+            // the worker count (0 = one thread per stage).
+            native: NativeConfig {
+                channel,
+                threads: req.threads.unwrap_or(0),
+            },
+        })
+    }
+
     fn plan_search(&self, req: &crate::proto::Request) -> Result<(Work, u64), String> {
         let app = required(&req.app, "app")?;
         let kernel = app_kernel(&app).ok_or_else(|| format!("unknown app {app:?}"))?;
@@ -801,10 +864,10 @@ impl Service {
             max_stages: req.max_stages.unwrap_or(3),
             top_k: req.top_k.unwrap_or(4),
             compile: self.compile_opts(passes),
-            // Searches run inside pool tasks; nested fleets are not a
-            // supported pattern (see the module docs), so the inner
-            // candidate sweep is serial and the batch provides the
-            // parallelism.
+            // Searches run inside pool tasks; the inner candidate sweep
+            // is serial and the batch provides the parallelism (a
+            // nested candidate fleet would only fight the batch for the
+            // same cores).
             workers: 1,
             profile_cycle_cap: req.cycle_cap.unwrap_or(self.cfg.default_cycle_cap),
             retry_cap_factor: 2,
@@ -881,6 +944,9 @@ impl Service {
                 stages,
             } => self.do_compile(kernel, app, opts, *stages),
             Work::Simulate(sim) => self.do_simulate(sim).map(|p| Output::Payload(Arc::new(p))),
+            Work::SimulateNative { sim, native } => self
+                .do_simulate_native(sim, *native)
+                .map(|p| Output::Payload(Arc::new(p))),
             Work::Search {
                 kernel,
                 app,
@@ -938,6 +1004,49 @@ impl Service {
     fn do_simulate(&self, sim: &SimRequest) -> Result<Payload, ErrResp> {
         let m = run_one(&self.inputs, &self.cfg.machine, sim).map_err(trap_err)?;
         Ok(measurement_payload(&m))
+    }
+
+    /// Runs one request on the native thread backend. The ambient
+    /// [`pipette_sim::BackendScope`] routes every session the app
+    /// constructs onto real threads; the per-request cancel token is
+    /// already ambient (the caller's `CancelScope`), so deadlines and
+    /// drains reach the native run's park loop. The native fleet is a
+    /// *nested* fleet inside this pool task — the pool's nested-fleet
+    /// path (`phloem-pool`) makes that legal.
+    fn do_simulate_native(
+        &self,
+        sim: &SimRequest,
+        native: NativeConfig,
+    ) -> Result<Payload, ErrResp> {
+        let m = phloem_benchsuite::with_backend(ExecBackend::Native(native), || {
+            run_one(&self.inputs, &self.cfg.machine, sim)
+        })
+        .map_err(trap_err)?;
+        let mut payload = measurement_payload(&m);
+        // Under the native backend the cycles slot carries wall-clock
+        // nanoseconds; label the payload honestly and stamp the
+        // native-relevant machine digest (timing-model fields excluded —
+        // see `key::native_machine_config_digest`) so provenance groups
+        // native results across timing configs.
+        payload.push(("backend".to_string(), Json::str("native")));
+        payload.push(("channel".to_string(), Json::str(native.channel.label())));
+        payload.push(("threads".to_string(), Json::u64(native.threads as u64)));
+        payload.push((
+            "host_cores".to_string(),
+            Json::u64(
+                std::thread::available_parallelism()
+                    .map(|n| n.get() as u64)
+                    .unwrap_or(1),
+            ),
+        ));
+        payload.push((
+            "machine".to_string(),
+            Json::str(format!(
+                "{:016x}",
+                key::native_machine_config_digest(&self.cfg.machine)
+            )),
+        ));
+        Ok(payload)
     }
 
     fn do_trace(&self, sim: &SimRequest) -> Result<Payload, ErrResp> {
